@@ -1,0 +1,344 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation in one run, printing a report with paper-vs-measured values.
+// EXPERIMENTS.md is this program's output plus commentary.
+//
+// Usage: experiments [-only e4] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	rcdelay "repro"
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/elmore"
+	"repro/internal/pla"
+	"repro/internal/randnet"
+	"repro/internal/rctree"
+	"repro/internal/sim"
+	"repro/internal/waveform"
+	"repro/internal/wire"
+)
+
+const fig7Expr = `(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9`
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (e1..e10)")
+	quick := flag.Bool("quick", false, "smaller sizes for E8 timing")
+	flag.Parse()
+	exps := []struct {
+		id  string
+		fn  func(quick bool) error
+		des string
+	}{
+		{"e1", e1, "closed forms and eq. 7 ordering"},
+		{"e2", e2, "Figure 3 resistance terms"},
+		{"e3", e3, "Figure 7 / eq. 18 quantity vector"},
+		{"e4", e4, "Figure 10 delay and voltage tables"},
+		{"e5", e5, "Figure 11 bounds vs exact simulation"},
+		{"e6", e6, "Figure 13 PLA sweep"},
+		{"e7", e7, "Figure 5 bound shapes and Elmore comparison"},
+		{"e8", e8, "§IV complexity: direct vs algebra"},
+		{"e9", e9, "§V technology numbers"},
+		{"e10", e10, "§VI ramp-input extension"},
+	}
+	for _, e := range exps {
+		if *only != "" && !strings.EqualFold(*only, e.id) {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", strings.ToUpper(e.id), e.des)
+		if err := e.fn(*quick); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func e1(bool) error {
+	const R, C = 120.0, 7.0
+	q := algebra.URC(R, C)
+	tm, err := q.Times()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("uniform line R=%g C=%g: TP=%g (paper RC/2=%g)  TD=%g (RC/2)  TR=%g (paper RC/3=%g)\n",
+		R, C, tm.TP, R*C/2, tm.TD, tm.TR, R*C/3)
+	rng := rand.New(rand.NewSource(1))
+	worst := 0.0
+	for i := 0; i < 2000; i++ {
+		tr := randnet.Tree(rng, randnet.DefaultConfig(1+rng.Intn(40)))
+		for _, e := range tr.Outputs() {
+			t, err := tr.CharacteristicTimes(e)
+			if err != nil {
+				return err
+			}
+			if err := t.Validate(); err != nil {
+				return fmt.Errorf("ordering violated: %w", err)
+			}
+			if t.TP > 0 {
+				if r := t.TD / t.TP; r > worst {
+					worst = r
+				}
+			}
+		}
+	}
+	fmt.Printf("eq. 7 ordering TR<=TD<=TP held on 2000 random trees (max TD/TP=%.3f)\n", worst)
+	return nil
+}
+
+func e2(bool) error {
+	b := rctree.NewBuilder("in")
+	a := b.Resistor(rctree.Root, "a", 1)
+	bb := b.Resistor(a, "b", 2)
+	k := b.Resistor(bb, "k", 4)
+	leaf := b.Resistor(k, "leaf", 8)
+	e := b.Resistor(bb, "e", 16)
+	b.Capacitor(leaf, 1)
+	b.Capacitor(e, 1)
+	b.Output(e)
+	tr, err := b.Build()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Rkk=%g (want R1+R2+R3=7)  Ree=%g (want R1+R2+R5=19)  Rke=%g (want R1+R2=3)\n",
+		tr.PathResistance(k), tr.PathResistance(e),
+		tr.PathResistance(tr.CommonAncestor(k, e)))
+	return nil
+}
+
+func e3(bool) error {
+	e, err := algebra.Parse(fig7Expr)
+	if err != nil {
+		return err
+	}
+	v := e.Eval().Vector()
+	fmt.Printf("eq. 18 quantity vector (CT TP R22 TD2 TR2R22) = %g %g %g %g %g\n",
+		v[0], v[1], v[2], v[3], v[4])
+	fmt.Println("hand-derived reference:                        22 419 18 363 6033")
+	return nil
+}
+
+func e4(bool) error {
+	tree, out, err := rcdelay.ParseExpression(fig7Expr)
+	if err != nil {
+		return err
+	}
+	b, err := rcdelay.BoundsFor(tree, out)
+	if err != nil {
+		return err
+	}
+	paperDelay := [][3]float64{
+		{0.1, 0, 68.167}, {0.2, 27.8, 117.22}, {0.3, 71.46, 173.17},
+		{0.4, 123.13, 237.76}, {0.5, 184.23, 314.15}, {0.6, 259.02, 407.65},
+		{0.7, 355.45, 528.18}, {0.8, 491.34, 698.07}, {0.9, 723.66, 988.5},
+	}
+	fmt.Printf("%6s %22s %22s\n", "V", "TMIN (ours / paper)", "TMAX (ours / paper)")
+	for _, row := range paperDelay {
+		fmt.Printf("%6.1f %10.3f / %-9.3f %10.3f / %-9.3f\n",
+			row[0], b.TMin(row[0]), row[1], b.TMax(row[0]), row[2])
+	}
+	paperVolt := [][3]float64{
+		{20, 0, 0.18138}, {40, 0.03243, 0.22912}, {60, 0.0814, 0.27565},
+		{80, 0.12565, 0.31761}, {100, 0.16644, 0.35714}, {200, 0.34342, 0.52297},
+		{300, 0.48283, 0.64603}, {400, 0.59263, 0.73734}, {500, 0.67913, 0.8051},
+		{1000, 0.90271, 0.95615}, {2000, 0.99105, 0.99778},
+	}
+	fmt.Printf("%6s %22s %22s\n", "T", "VMIN (ours / paper)", "VMAX (ours / paper)")
+	for _, row := range paperVolt {
+		fmt.Printf("%6.0f %10.5f / %-9.5f %10.5f / %-9.5f\n",
+			row[0], b.VMin(row[0]), row[1], b.VMax(row[0]), row[2])
+	}
+	return nil
+}
+
+func e5(bool) error {
+	tree, out, err := rcdelay.ParseExpression(fig7Expr)
+	if err != nil {
+		return err
+	}
+	b, err := rcdelay.BoundsFor(tree, out)
+	if err != nil {
+		return err
+	}
+	s, err := rcdelay.SimulateStep(tree, 64)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%6s %8s %8s %8s\n", "t", "vmin", "vexact", "vmax")
+	var worst float64
+	for _, t := range []float64{50, 100, 150, 200, 300, 400, 500, 600} {
+		v, err := s.Voltage(out, t)
+		if err != nil {
+			return err
+		}
+		lo, hi := b.VMin(t), b.VMax(t)
+		if v < lo || v > hi {
+			return fmt.Errorf("bracket violated at t=%g", t)
+		}
+		if gap := hi - lo; gap > worst {
+			worst = gap
+		}
+		fmt.Printf("%6.0f %8.4f %8.4f %8.4f\n", t, lo, v, hi)
+	}
+	cross, err := s.CrossingTime(out, 0.5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("50%% crossing: exact %.2f in [TMIN, TMAX] = [%.2f, %.2f]; widest envelope gap %.3f\n",
+		cross, b.TMin(0.5), b.TMax(0.5), worst)
+	return nil
+}
+
+func e6(bool) error {
+	pts, err := pla.Sweep(pla.PaperParams(), []int{2, 4, 10, 20, 40, 100}, 0.7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%8s %12s %12s\n", "minterms", "tmin (ns)", "tmax (ns)")
+	for _, p := range pts {
+		fmt.Printf("%8d %12.4f %12.4f\n", p.Minterms, p.TMin/1000, p.TMax/1000)
+	}
+	last := pts[len(pts)-1]
+	fmt.Printf("paper: \"delay is guaranteed to be no worse than 10 nsec\" at 100 minterms; ours: %.2f ns\n",
+		last.TMax/1000)
+	return nil
+}
+
+func e7(bool) error {
+	tree, out, err := rcdelay.ParseExpression(fig7Expr)
+	if err != nil {
+		return err
+	}
+	b, err := rcdelay.BoundsFor(tree, out)
+	if err != nil {
+		return err
+	}
+	pts := b.SampleCurves(1200, 12)
+	fmt.Printf("%6s %8s %8s %10s\n", "t", "vmin", "vmax", "vmin(eq.4)")
+	for _, p := range pts {
+		fmt.Printf("%6.0f %8.4f %8.4f %10.4f\n", p.T, p.VMin, p.VMax, p.VMinElmore)
+	}
+	el := elmore.Delays(tree)[out]
+	fmt.Printf("Elmore baseline TD=%.4g lies in [TMIN(0.63), TMAX(0.63)] = [%.4g, %.4g]\n",
+		el, b.TMin(0.632), b.TMax(0.632))
+	return nil
+}
+
+func e8(quick bool) error {
+	sizes := []int{10, 100, 1000}
+	if quick {
+		sizes = []int{10, 100}
+	}
+	rng := rand.New(rand.NewSource(8))
+	fmt.Printf("%8s %16s %16s %16s\n", "n", "direct O(n)", "algebra O(n)", "reference O(nd)")
+	for _, n := range sizes {
+		tr := randnet.Tree(rng, randnet.DefaultConfig(n))
+		e := tr.Outputs()[len(tr.Outputs())-1]
+		direct := timeIt(func() {
+			if _, err := tr.CharacteristicTimes(e); err != nil {
+				panic(err)
+			}
+		})
+		alg := timeIt(func() {
+			expr, err := algebra.FromTree(tr, e)
+			if err != nil {
+				panic(err)
+			}
+			expr.Eval()
+		})
+		ref := timeIt(func() {
+			if _, err := tr.CharacteristicTimesRef(e); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("%8d %16s %16s %16s\n", n, direct, alg, ref)
+	}
+	return nil
+}
+
+func timeIt(fn func()) time.Duration {
+	const reps = 50
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start) / reps
+}
+
+func e9(bool) error {
+	tech := wire.PaperTech()
+	segR, segC, err := tech.LineRC(wire.Segment{Layer: "poly", Length: 24 * wire.Micron, Width: 4 * wire.Micron})
+	if err != nil {
+		return err
+	}
+	gR, gC, err := tech.GateRC(4 * wire.Micron)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("inter-gate 24µm poly: R=%.0f Ω (paper 180), C=%.4f pF (paper ~0.01)\n", segR, segC*1e12)
+	fmt.Printf("4µm gate:             R=%.0f Ω (paper 30),  C=%.4f pF (paper ~0.013)\n", gR, gC*1e12)
+	return nil
+}
+
+func e10(bool) error {
+	tree, out, err := rcdelay.ParseExpression(fig7Expr)
+	if err != nil {
+		return err
+	}
+	tm, err := rcdelay.CharacteristicTimes(tree, out)
+	if err != nil {
+		return err
+	}
+	b, err := core.New(tm)
+	if err != nil {
+		return err
+	}
+	lumped, mapping, err := sim.Discretize(tree, 32)
+	if err != nil {
+		return err
+	}
+	ckt, err := sim.NewCircuit(lumped)
+	if err != nil {
+		return err
+	}
+	resp, err := ckt.EigenResponse()
+	if err != nil {
+		return err
+	}
+	i, err := ckt.Index(mapping[out])
+	if err != nil {
+		return err
+	}
+	ramp := waveform.Ramp(200)
+	fmt.Printf("%6s %8s %8s %8s   (input: 200-unit ramp)\n", "t", "vmin", "vexact", "vmax")
+	for _, t := range []float64{100, 200, 400, 800} {
+		lo, hi, err := waveform.ResponseBounds(b, ramp, t, 256)
+		if err != nil {
+			return err
+		}
+		exact, err := waveform.ExactResponse(resp, i, ramp, t)
+		if err != nil {
+			return err
+		}
+		if exact < lo-1e-6 || exact > hi+1e-6 {
+			return fmt.Errorf("ramp bracket violated at t=%g", t)
+		}
+		fmt.Printf("%6.0f %8.4f %8.4f %8.4f\n", t, lo, exact, hi)
+	}
+	tLo, tHi, err := waveform.CrossingBounds(b, ramp, 0.5, 5000, 128)
+	if err != nil {
+		return err
+	}
+	if math.IsInf(tHi, 1) {
+		return fmt.Errorf("ramp crossing upper bound diverged")
+	}
+	fmt.Printf("ramp 50%% crossing bounded by [%.2f, %.2f]\n", tLo, tHi)
+	return nil
+}

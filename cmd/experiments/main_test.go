@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+// TestAllExperiments runs every reproduction experiment end to end (quick
+// sizes for the timing sweep). Each eN function returns an error whenever a
+// paper claim fails to reproduce, so this single test re-validates the whole
+// of EXPERIMENTS.md on every test run.
+func TestAllExperiments(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(quick bool) error
+	}{
+		{"e1", e1}, {"e2", e2}, {"e3", e3}, {"e4", e4}, {"e5", e5},
+		{"e6", e6}, {"e7", e7}, {"e8", e8}, {"e9", e9}, {"e10", e10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.fn(true); err != nil {
+				t.Fatalf("experiment %s failed: %v", tc.name, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+// Command plasweep regenerates Figure 13 of the paper: upper and lower
+// bounds on the response time of a PLA AND-plane polysilicon line as a
+// function of the number of minterms, at a chosen threshold. Output is CSV
+// (minterms, tmin_ns, tmax_ns), suitable for a log-log plot.
+//
+// Usage:
+//
+//	plasweep                       # 2..100 minterms at V=0.7, paper values
+//	plasweep -threshold 0.5 -max 400
+//	plasweep -from-tech            # derive element values from §V physics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/pla"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.7, "voltage threshold as a fraction of VDD")
+		max       = flag.Int("max", 100, "largest minterm count (swept in steps of 2)")
+		fromTech  = flag.Bool("from-tech", false, "derive element values from §V process physics instead of the paper's rounded numbers")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *threshold, *max, *fromTech); err != nil {
+		fmt.Fprintln(os.Stderr, "plasweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, threshold float64, max int, fromTech bool) error {
+	params := pla.PaperParams()
+	if fromTech {
+		var err error
+		params, err = pla.ParamsFromTech(wire.PaperTech())
+		if err != nil {
+			return err
+		}
+	}
+	if max < 2 {
+		return fmt.Errorf("-max must be at least 2")
+	}
+	var minterms []int
+	for n := 2; n <= max; n += 2 {
+		minterms = append(minterms, n)
+	}
+	pts, err := pla.Sweep(params, minterms, threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "minterms,tmin_ns,tmax_ns")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d,%.6g,%.6g\n", p.Minterms, p.TMin/1000, p.TMax/1000)
+	}
+	last := pts[len(pts)-1]
+	fmt.Fprintf(os.Stderr, "plasweep: at %d minterms the delay is guaranteed <= %.2f ns (threshold %.2g)\n",
+		last.Minterms, last.TMax/1000, threshold)
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunCSVShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0.7, 20, false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "minterms,tmin_ns,tmax_ns" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 11 { // header + 10 rows (2..20 step 2)
+		t.Fatalf("lines = %d, want 11", len(lines))
+	}
+	var prevMax float64
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 {
+			t.Fatalf("bad row %q", line)
+		}
+		tmin, err1 := strconv.ParseFloat(fields[1], 64)
+		tmax, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("non-numeric row %q", line)
+		}
+		if tmin > tmax {
+			t.Errorf("row %q has tmin > tmax", line)
+		}
+		if tmax <= prevMax {
+			t.Errorf("tmax not increasing at %q", line)
+		}
+		prevMax = tmax
+	}
+}
+
+func TestRunFromTech(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0.7, 10, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "minterms") {
+		t.Error("missing header")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0.7, 1, false); err == nil {
+		t.Error("max < 2 accepted")
+	}
+	if err := run(&buf, 0, 10, false); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+}

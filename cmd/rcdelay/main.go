@@ -1,0 +1,133 @@
+// Command rcdelay computes Penfield–Rubinstein delay and voltage bounds for
+// an RC tree given as a netlist file or as the paper's algebraic notation,
+// printing Figure 10-style tables for every output.
+//
+// Usage:
+//
+//	rcdelay -demo
+//	rcdelay -expr '(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9'
+//	rcdelay -netlist net.ckt -thresholds 0.1,0.5,0.9 -times 20,100,500
+//	rcdelay -netlist net.ckt -certify 0.7:500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	rcdelay "repro"
+)
+
+const demoExpr = `(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9`
+
+func main() {
+	var (
+		netlistPath = flag.String("netlist", "", "path to a SPICE-like RC tree deck")
+		expr        = flag.String("expr", "", "network in the paper's URC/WB/WC notation")
+		demo        = flag.Bool("demo", false, "run the paper's Figure 7/10 example network")
+		thresholds  = flag.String("thresholds", "0.1,0.2,0.3,0.4,0.5,0.6,0.7,0.8,0.9", "comma-separated voltage thresholds for the delay table")
+		times       = flag.String("times", "20,40,60,80,100,200,300,400,500,1000,2000", "comma-separated times for the voltage table")
+		certify     = flag.String("certify", "", "certify 'threshold:deadline', e.g. 0.7:500")
+	)
+	flag.Parse()
+	if err := run(*netlistPath, *expr, *demo, *thresholds, *times, *certify); err != nil {
+		fmt.Fprintln(os.Stderr, "rcdelay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netlistPath, expr string, demo bool, thresholds, times, certify string) error {
+	tree, err := loadTree(netlistPath, expr, demo)
+	if err != nil {
+		return err
+	}
+	vs, err := parseFloats(thresholds)
+	if err != nil {
+		return fmt.Errorf("bad -thresholds: %w", err)
+	}
+	ts, err := parseFloats(times)
+	if err != nil {
+		return fmt.Errorf("bad -times: %w", err)
+	}
+
+	results, err := rcdelay.Analyze(tree)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		tm := res.Times
+		fmt.Printf("output %s: TP=%.6g TD=%.6g TR=%.6g Ree=%.6g\n",
+			res.Name, tm.TP, tm.TD, tm.TR, tm.Ree)
+		fmt.Printf("%10s %12s %12s\n", "V", "TMIN", "TMAX")
+		for _, row := range res.Bounds.DelayTable(vs) {
+			fmt.Printf("%10.3g %12.5g %12.5g\n", row.V, row.TMin, row.TMax)
+		}
+		fmt.Printf("%10s %12s %12s\n", "T", "VMIN", "VMAX")
+		for _, row := range res.Bounds.VoltageTable(ts) {
+			fmt.Printf("%10.4g %12.5f %12.5f\n", row.T, row.VMin, row.VMax)
+		}
+		if certify != "" {
+			v, deadline, err := parseCertify(certify)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("certify v=%g by t=%g: %s\n", v, deadline, res.Bounds.OK(v, deadline))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func loadTree(netlistPath, expr string, demo bool) (*rcdelay.Tree, error) {
+	switch {
+	case demo:
+		tree, _, err := rcdelay.ParseExpression(demoExpr)
+		return tree, err
+	case expr != "":
+		tree, _, err := rcdelay.ParseExpression(expr)
+		return tree, err
+	case netlistPath != "":
+		data, err := os.ReadFile(netlistPath)
+		if err != nil {
+			return nil, err
+		}
+		return rcdelay.ParseNetlist(string(data))
+	}
+	return nil, fmt.Errorf("one of -demo, -expr or -netlist is required")
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no values")
+	}
+	return out, nil
+}
+
+func parseCertify(s string) (v, deadline float64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-certify wants 'threshold:deadline', got %q", s)
+	}
+	if v, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return 0, 0, fmt.Errorf("bad threshold in -certify: %w", err)
+	}
+	if deadline, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return 0, 0, fmt.Errorf("bad deadline in -certify: %w", err)
+	}
+	return v, deadline, nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.1, 0.5 ,0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 0.1 || got[2] != 0.9 {
+		t.Errorf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("1,zap"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := parseFloats(" , "); err == nil {
+		t.Error("empty list accepted")
+	}
+}
+
+func TestParseCertify(t *testing.T) {
+	v, d, err := parseCertify("0.7:500")
+	if err != nil || math.Abs(v-0.7) > 1e-12 || d != 500 {
+		t.Errorf("parseCertify = %g, %g, %v", v, d, err)
+	}
+	for _, bad := range []string{"", "0.7", "x:500", "0.7:y"} {
+		if _, _, err := parseCertify(bad); err == nil {
+			t.Errorf("parseCertify(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadTree(t *testing.T) {
+	if _, err := loadTree("", "", false); err == nil {
+		t.Error("no source accepted")
+	}
+	tree, err := loadTree("", "", true)
+	if err != nil || tree == nil {
+		t.Fatalf("demo: %v", err)
+	}
+	tree, err = loadTree("", "URC 10 2", false)
+	if err != nil || tree == nil {
+		t.Fatalf("expr: %v", err)
+	}
+	if _, err := loadTree("", "URC", false); err == nil {
+		t.Error("bad expr accepted")
+	}
+	if _, err := loadTree("/nonexistent/path.ckt", "", false); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.ckt")
+	if err := os.WriteFile(path, []byte(".input in\nR1 in a 5\nC1 a 0 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tree, err = loadTree(path, "", false)
+	if err != nil || tree.NumNodes() != 2 {
+		t.Fatalf("netlist: %v (%v)", err, tree)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "", false, "0.5", "10", ""); err == nil {
+		t.Error("run without source succeeded")
+	}
+	if err := run("", "URC 10 2", false, "bogus", "10", ""); err == nil {
+		t.Error("bad thresholds accepted")
+	}
+	if err := run("", "URC 10 2", false, "0.5", "bogus", ""); err == nil {
+		t.Error("bad times accepted")
+	}
+	if err := run("", "URC 10 2", false, "0.5", "10", "broken"); err == nil {
+		t.Error("bad certify accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, s string) [][]float64 {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if lines[0] != "t,vmin,vmax,vexact" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	var rows [][]float64
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 4 {
+			t.Fatalf("bad row %q", line)
+		}
+		row := make([]float64, 4)
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				t.Fatalf("non-numeric %q", line)
+			}
+			row[i] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func TestRunDemoBracketsExact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", "", 600, 60, 16); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.String())
+	if len(rows) != 61 {
+		t.Fatalf("rows = %d, want 61", len(rows))
+	}
+	for _, r := range rows {
+		tt, lo, hi, exact := r[0], r[1], r[2], r[3]
+		if exact < lo-1e-9 || exact > hi+1e-9 {
+			t.Errorf("t=%g: exact %g outside [%g, %g]", tt, exact, lo, hi)
+		}
+	}
+}
+
+func TestRunNetlistAndOutputSelection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.ckt")
+	deck := ".input in\nR1 in a 100\nC1 a 0 0.5\nR2 a b 50\nC2 b 0 0.2\n.output a b\n"
+	if err := os.WriteFile(path, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, path, "b", 500, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseCSV(t, buf.String())) != 11 {
+		t.Error("wrong row count")
+	}
+	if err := run(&buf, path, "ghost", 500, 10, 4); err == nil {
+		t.Error("unknown output accepted")
+	}
+	if err := run(&buf, filepath.Join(dir, "missing.ckt"), "", 500, 10, 4); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "", "", 600, 1, 16); err == nil {
+		t.Error("points < 2 accepted")
+	}
+	if err := run(&buf, "", "", -1, 10, 16); err == nil {
+		t.Error("negative tend accepted")
+	}
+	if err := run(&buf, "", "", 600, 10, 0); err == nil {
+		t.Error("zero segments accepted")
+	}
+}

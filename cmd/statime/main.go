@@ -1,0 +1,85 @@
+// Command statime runs bound-based static timing analysis over one or more
+// netlist files and emits the report as text, CSV or JSON — the downstream
+// tool a design flow would actually call.
+//
+// Usage:
+//
+//	statime -threshold 0.7 -deadline 500 net1.ckt net2.ckt
+//	statime -threshold 0.5 -deadline 2n -format json bus.ckt
+//
+// The deadline accepts SPICE suffixes (2n = 2e-9) and is interpreted in the
+// same units as the netlists' element products.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	rcdelay "repro"
+	"repro/internal/netlist"
+	"repro/internal/sta"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.7, "switching threshold as a fraction of the step")
+		deadline  = flag.String("deadline", "", "required arrival time (SPICE suffixes allowed)")
+		format    = flag.String("format", "text", "output format: text, csv or json")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, flag.Args(), *threshold, *deadline, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "statime:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, paths []string, threshold float64, deadlineStr, format string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("no netlist files given")
+	}
+	if deadlineStr == "" {
+		return fmt.Errorf("-deadline is required")
+	}
+	deadline, err := netlist.ParseValue(deadlineStr)
+	if err != nil {
+		return fmt.Errorf("bad -deadline: %w", err)
+	}
+	nets, err := loadNets(paths, threshold, deadline)
+	if err != nil {
+		return err
+	}
+	report, err := sta.Analyze(nets)
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(format) {
+	case "text":
+		_, err = fmt.Fprint(w, report.Summary())
+		return err
+	case "csv":
+		return report.WriteCSV(w)
+	case "json":
+		return report.WriteJSON(w)
+	}
+	return fmt.Errorf("unknown -format %q (want text, csv or json)", format)
+}
+
+func loadNets(paths []string, threshold, deadline float64) ([]sta.Net, error) {
+	nets := make([]sta.Net, 0, len(paths))
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := rcdelay.ParseNetlist(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		nets = append(nets, sta.Net{Name: name, Tree: tree, Threshold: threshold, Deadline: deadline})
+	}
+	return nets, nil
+}

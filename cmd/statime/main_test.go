@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeNet(t *testing.T, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	deck := `
+.input in
+R1 in n1 380
+C1 n1 0 0.04
+U1 n1 far 1800 0.11
+C2 far 0 0.013
+.output far
+`
+	if err := os.WriteFile(path, []byte(deck), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadNets(t *testing.T) {
+	dir := t.TempDir()
+	p1 := writeNet(t, dir, "bus_a.ckt")
+	p2 := writeNet(t, dir, "bus_b.ckt")
+	nets, err := loadNets([]string{p1, p2}, 0.7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) != 2 {
+		t.Fatalf("nets = %d", len(nets))
+	}
+	if nets[0].Name != "bus_a" || nets[1].Name != "bus_b" {
+		t.Errorf("names = %q, %q", nets[0].Name, nets[1].Name)
+	}
+	if _, err := loadNets([]string{filepath.Join(dir, "missing.ckt")}, 0.7, 500); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.ckt")
+	os.WriteFile(bad, []byte("garbage"), 0o644)
+	if _, err := loadNets([]string{bad}, 0.7, 500); err == nil {
+		t.Error("bad deck accepted")
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	dir := t.TempDir()
+	p := writeNet(t, dir, "net.ckt")
+	for _, format := range []string{"text", "csv", "json"} {
+		out := filepath.Join(dir, "out."+format)
+		f, err := os.Create(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := run(f, []string{p}, 0.7, "5000", format); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+		f.Close()
+		data, _ := os.ReadFile(out)
+		if !strings.Contains(string(data), "net") {
+			t.Errorf("format %s output missing net name:\n%s", format, data)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	p := writeNet(t, dir, "net.ckt")
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run(devnull, nil, 0.7, "500", "text"); err == nil {
+		t.Error("no files accepted")
+	}
+	if err := run(devnull, []string{p}, 0.7, "", "text"); err == nil {
+		t.Error("missing deadline accepted")
+	}
+	if err := run(devnull, []string{p}, 0.7, "zzz", "text"); err == nil {
+		t.Error("bad deadline accepted")
+	}
+	if err := run(devnull, []string{p}, 0.7, "500", "xml"); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := run(devnull, []string{p}, 0, "500", "text"); err == nil {
+		t.Error("bad threshold accepted")
+	}
+}
+
+func TestDeadlineSuffix(t *testing.T) {
+	dir := t.TempDir()
+	p := writeNet(t, dir, "net.ckt")
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	// 5k ps deadline via suffix.
+	if err := run(devnull, []string{p}, 0.7, "5k", "csv"); err != nil {
+		t.Errorf("suffix deadline rejected: %v", err)
+	}
+}

@@ -1,0 +1,77 @@
+package rcdelay_test
+
+import (
+	"fmt"
+
+	rcdelay "repro"
+)
+
+// The paper's Figure 7 network in its own algebraic notation (eq. 18),
+// reproducing the Figure 10 session.
+func Example_paperFigure10() {
+	tree, out, err := rcdelay.ParseExpression(
+		`(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9`)
+	if err != nil {
+		panic(err)
+	}
+	tm, err := rcdelay.CharacteristicTimes(tree, out)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("TP=%.0f TD=%.0f TR=%.2f\n", tm.TP, tm.TD, tm.TR)
+
+	b, err := rcdelay.NewBounds(tm)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("TMIN(0.5)=%.2f TMAX(0.5)=%.2f\n", b.TMin(0.5), b.TMax(0.5))
+	fmt.Printf("VMIN(100)=%.5f VMAX(100)=%.5f\n", b.VMin(100), b.VMax(100))
+	// Output:
+	// TP=419 TD=363 TR=335.17
+	// TMIN(0.5)=184.23 TMAX(0.5)=314.15
+	// VMIN(100)=0.16644 VMAX(100)=0.35714
+}
+
+// Certifying a deadline with the OK predicate (Figure 9).
+func ExampleBounds_oK() {
+	tree, out, _ := rcdelay.ParseExpression(`(URC 380 0) WC (URC 0 0.04) WC URC 180 0.01`)
+	b, err := rcdelay.BoundsFor(tree, out)
+	if err != nil {
+		panic(err)
+	}
+	for _, deadline := range []float64{10, 20, 60} {
+		fmt.Printf("reach 0.7 by %g ps: %s\n", deadline, b.OK(0.7, deadline))
+	}
+	// Output:
+	// reach 0.7 by 10 ps: fails
+	// reach 0.7 by 20 ps: unknown
+	// reach 0.7 by 60 ps: passes
+}
+
+// Building a fanout net programmatically and ranking its outputs.
+func ExampleAnalyze() {
+	b := rcdelay.NewBuilder("in")
+	drv := b.Resistor(rcdelay.Root, "drv", 380)
+	b.Capacitor(drv, 0.04)
+	near := b.Line(drv, "near", 180, 0.01)
+	b.Capacitor(near, 0.013)
+	far := b.Line(drv, "far", 1440, 0.08)
+	b.Capacitor(far, 0.013)
+	b.Output(near)
+	b.Output(far)
+	tree, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	results, err := rcdelay.Analyze(tree)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rcdelay.CriticalOutputs(results, 0.7) {
+		fmt.Printf("%s: TD=%.1f ps, certified by %.1f ps\n",
+			r.Name, r.Times.TD, r.Bounds.TMax(0.7))
+	}
+	// Output:
+	// far: TD=135.6 ps, certified by 213.3 ps
+	// near: TD=62.5 ps, certified by 149.7 ps
+}

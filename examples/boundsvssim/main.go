@@ -1,0 +1,71 @@
+// Bounds vs simulation: reproduces Figure 11 — the upper and lower voltage
+// bounds of the Figure 7 network plotted against the exact response from
+// circuit simulation — as an ASCII chart, and verifies the bracket.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	rcdelay "repro"
+)
+
+const fig7 = `(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9`
+
+func main() {
+	tree, out, err := rcdelay.ParseExpression(fig7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bounds, err := rcdelay.BoundsFor(tree, out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := rcdelay.SimulateStep(tree, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const width = 60
+	fmt.Println("Figure 11: bounds (-) and exact response (*), t in [0, 600]")
+	fmt.Println("v=0" + strings.Repeat(" ", width-7) + "v=1")
+	for t := 0.0; t <= 600; t += 25 {
+		lo, hi := bounds.VMin(t), bounds.VMax(t)
+		exact, err := sim.Voltage(out, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if exact < lo-1e-9 || exact > hi+1e-9 {
+			log.Fatalf("bracket violated at t=%g: %g outside [%g, %g]", t, exact, lo, hi)
+		}
+		row := make([]byte, width+1)
+		for i := range row {
+			row[i] = ' '
+		}
+		row[pos(lo, width)] = '-'
+		row[pos(hi, width)] = '-'
+		row[pos(exact, width)] = '*'
+		fmt.Printf("t=%4.0f |%s|\n", t, string(row))
+	}
+
+	for _, v := range []float64{0.3, 0.5, 0.7, 0.9} {
+		cross, err := sim.CrossingTime(out, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("v=%.1f: exact crossing %7.2f inside [%7.2f, %7.2f]\n",
+			v, cross, bounds.TMin(v), bounds.TMax(v))
+	}
+}
+
+func pos(v float64, width int) int {
+	i := int(v * float64(width))
+	if i < 0 {
+		i = 0
+	}
+	if i > width {
+		i = width
+	}
+	return i
+}

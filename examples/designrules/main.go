@@ -1,0 +1,92 @@
+// Design rules: derive certified interconnect design rules from the bounds,
+// the way the paper's bounds were actually used in the VLSI design flows
+// they enabled — without running a single simulation:
+//
+//  1. the longest §V polysilicon run a superbuffer may drive for a given
+//     clock budget (safe because TMax is a guaranteed upper bound);
+//  2. the cheapest (highest-resistance) driver that still meets timing on a
+//     fixed route;
+//  3. certified repeater insertion for a long line (quadratic → linear).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rcdelay "repro"
+	"repro/internal/mos"
+	"repro/internal/opt"
+	"repro/internal/rctree"
+)
+
+func main() {
+	// §V polysilicon: 30 Ω/□ at 4 µm width → 7.5 Ω/µm; ~0.46 fF/µm.
+	poly := opt.Line{RPerLen: 7.5, CPerLen: 4.6e-4} // ohms, pF per µm; times in ps
+	driver := mos.Superbuffer()
+	const gateLoad = 0.013 // pF
+
+	fmt.Println("1. Maximum certified poly run (superbuffer driver, one gate load):")
+	fmt.Printf("%12s %16s\n", "budget (ns)", "max length (µm)")
+	for _, ns := range []float64{0.5, 1, 2, 5, 10} {
+		maxLen, err := opt.MaxWireLength(driver, poly, gateLoad,
+			opt.Budget{V: 0.7, Deadline: ns * 1000}, 1e6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%12.1f %16.0f\n", ns, maxLen)
+	}
+
+	fmt.Println("\n2. Cheapest driver for a fixed 240 µm route (0.7 VDD by 2 ns):")
+	build := func(rEff float64) (*rctree.Tree, rctree.NodeID, error) {
+		b := rctree.NewBuilder("in")
+		drv, err := mos.AttachDriver(b, mos.Driver{Name: "drv", REff: rEff, COut: 0.04})
+		if err != nil {
+			return nil, 0, err
+		}
+		far := b.Line(drv, "far", 7.5*240, 4.6e-4*240)
+		b.Capacitor(far, gateLoad)
+		b.Output(far)
+		t, err := b.Build()
+		if err != nil {
+			return nil, 0, err
+		}
+		return t, far, nil
+	}
+	rMax, err := opt.SizeDriver(build, opt.Budget{V: 0.7, Deadline: 2000}, 10, 1e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   any pullup with REff <= %.0f Ω is certified\n", rMax)
+
+	fmt.Println("\n3. Certified repeater insertion for long lines (threshold 0.5):")
+	fmt.Printf("%14s %8s %18s %18s\n", "length (µm)", "stages", "repeatered (ns)", "unbuffered (ns)")
+	for _, um := range []float64{1000, 5000, 20000} {
+		plan, err := opt.InsertRepeaters(driver, poly, um, 0.05, gateLoad, 0.5, 400)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Unbuffered comparison.
+		b := rctree.NewBuilder("in")
+		drv, err := mos.AttachDriver(b, driver)
+		if err != nil {
+			log.Fatal(err)
+		}
+		far := b.Line(drv, "far", poly.RPerLen*um, poly.CPerLen*um)
+		b.Capacitor(far, gateLoad)
+		b.Output(far)
+		tr, err := b.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tm, err := tr.CharacteristicTimes(far)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bounds, err := rcdelay.NewBounds(tm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%14.0f %8d %18.3f %18.3f\n",
+			um, plan.Stages, plan.TotalTMax/1000, bounds.TMax(0.5)/1000)
+	}
+}

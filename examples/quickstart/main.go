@@ -1,0 +1,77 @@
+// Quickstart: build the paper's Figure 7 network three ways (builder,
+// netlist, algebra), compute its characteristic times, and answer the
+// paper's three headline questions — bound the delay given a threshold,
+// bound the voltage given a time, and certify a deadline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rcdelay "repro"
+)
+
+func main() {
+	// Way 1: the programmatic builder.
+	b := rcdelay.NewBuilder("in")
+	n1 := b.Resistor(rcdelay.Root, "n1", 15)
+	b.Capacitor(n1, 2)
+	branch := b.Resistor(n1, "branch", 8)
+	b.Capacitor(branch, 7)
+	n2 := b.Line(n1, "n2", 3, 4) // distributed uniform RC line
+	b.Capacitor(n2, 9)
+	b.Output(n2)
+	tree, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("The network (Figure 7 of the paper):\n\n", tree, "\n")
+
+	// Way 2: the paper's own algebraic notation (eq. 18).
+	exprTree, exprOut, err := rcdelay.ParseExpression(
+		`(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Way 3: a SPICE-like netlist.
+	deckTree, err := rcdelay.ParseNetlist(`
+.input in
+R1 in n1 15
+C1 n1 0 2
+R2 n1 b 8
+C2 b  0 7
+U1 n1 n2 3 4
+C3 n2 0 9
+.output n2
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// All three agree on the characteristic times.
+	tm1, _ := rcdelay.CharacteristicTimes(tree, n2)
+	tm2, _ := rcdelay.CharacteristicTimes(exprTree, exprOut)
+	deckOut, _ := deckTree.Lookup("n2")
+	tm3, _ := rcdelay.CharacteristicTimes(deckTree, deckOut)
+	fmt.Printf("builder: TP=%g TD=%g TR=%.4g\n", tm1.TP, tm1.TD, tm1.TR)
+	fmt.Printf("algebra: TP=%g TD=%g TR=%.4g\n", tm2.TP, tm2.TD, tm2.TR)
+	fmt.Printf("netlist: TP=%g TD=%g TR=%.4g\n\n", tm3.TP, tm3.TD, tm3.TR)
+
+	bounds, err := rcdelay.NewBounds(tm1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Question 1: bound the delay, given the signal threshold.
+	fmt.Printf("50%% threshold is crossed between t=%.2f and t=%.2f\n",
+		bounds.TMin(0.5), bounds.TMax(0.5))
+
+	// Question 2: bound the signal voltage, given a delay time.
+	fmt.Printf("at t=200 the output voltage is between %.4f and %.4f\n",
+		bounds.VMin(200), bounds.VMax(200))
+
+	// Question 3: certify that the circuit is fast enough.
+	for _, deadline := range []float64{100.0, 250, 350} {
+		fmt.Printf("reaches 0.5 by t=%-4g? %s\n", deadline, bounds.OK(0.5, deadline))
+	}
+}

@@ -1,0 +1,69 @@
+// Variation: process-variation analysis of the paper's Figure 7 network.
+// Monte Carlo sampling of element spread gives the distribution of the
+// certified delay (TMax), and the exact first-order sensitivities identify
+// which elements dominate that spread — the information a designer needs to
+// decide what to upsize.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	rcdelay "repro"
+	"repro/internal/mc"
+)
+
+func main() {
+	tree, out, err := rcdelay.ParseExpression(
+		`(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Monte Carlo spread of the certified 0.7-threshold delay")
+	fmt.Println("(Figure 7 network, 2000 samples per sigma):")
+	fmt.Printf("%8s %10s %10s %10s %10s %10s\n", "sigma", "nominal", "mean", "std", "p95", "p99")
+	for _, sigma := range []float64{0.02, 0.05, 0.10, 0.20} {
+		res, err := mc.Run(tree, out, mc.TMaxAt(0.7),
+			mc.Variation{RSigma: sigma, CSigma: sigma}, 2000, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.2f %10.2f %10.2f %10.2f %10.2f %10.2f\n",
+			sigma, res.Nominal, res.Mean, res.Std, res.P95, res.P99)
+	}
+
+	// Which element dominates? Exact gradients of the Elmore delay.
+	sens, err := tree.Sensitivities(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	type contrib struct {
+		name  string
+		value float64
+	}
+	var ranked []contrib
+	tree.Walk(func(id rcdelay.NodeID) {
+		if id == rcdelay.Root {
+			return
+		}
+		_, r, c := tree.Edge(id)
+		// Relative impact of a 1% change in each element on TD.
+		if r > 0 {
+			ranked = append(ranked, contrib{"R into " + tree.Name(id), sens.DTDdR[id] * r * 0.01})
+		}
+		total := c + tree.NodeCap(id)
+		if total > 0 {
+			ranked = append(ranked, contrib{"C at " + tree.Name(id), sens.DTDdC[id] * total * 0.01})
+		}
+	})
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].value > ranked[j].value })
+
+	fmt.Println("\nElmore-delay impact of a +1% change per element (exact gradients):")
+	for _, rc := range ranked {
+		fmt.Printf("  %-16s %+7.3f time units\n", rc.name, rc.value)
+	}
+	fmt.Println("\nThe driver resistance and the far capacitor dominate — exactly the")
+	fmt.Println("elements the paper's §I singles out (pullup resistance, load caps).")
+}

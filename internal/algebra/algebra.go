@@ -1,0 +1,113 @@
+// Package algebra implements the constructive RC-tree algebra of Penfield
+// and Rubinstein's §IV: every RC tree is an expression over one primitive,
+// the uniform RC line URC R C (R=0 degenerates to a lumped capacitor, C=0 to
+// a lumped resistor), combined by two wiring functions, WB (fold a subtree
+// into a side branch) and WC (cascade).
+//
+// Each subnetwork is summarized by the five-element quantity vector
+// (CT, TP, R22, TD2, TR2·R22); the wiring functions propagate it by eqs.
+// 19–28, so the characteristic times at the final port-2 output are obtained
+// in time linear in the number of elements.
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/rctree"
+)
+
+// Quantity is the paper's five-element summary of a partially constructed
+// two-port RC tree (input at port 1, working output at port 2):
+//
+//	CT      total capacitance                         (eq. 19 / 24)
+//	TP      Σ Rkk·Ck over the subnetwork              (eq. 20 / 25)
+//	R22     port-1 to port-2 resistance               (eq. 21 / 26)
+//	TD2     Σ Rk2·Ck — Elmore delay at port 2         (eq. 22 / 27)
+//	TR2R22  Σ Rk2²·Ck — TR2 times R22                 (eq. 23 / 28)
+//
+// The paper's APL code passes exactly this vector around.
+type Quantity struct {
+	CT     float64
+	TP     float64
+	R22    float64
+	TD2    float64
+	TR2R22 float64
+}
+
+// URC returns the quantity of a uniform RC line with total resistance r and
+// total capacitance c (the paper's Figure 8 URC function):
+//
+//	(C, RC/2, R, RC/2, R²C/3)
+func URC(r, c float64) Quantity {
+	return Quantity{
+		CT:     c,
+		TP:     r * c / 2,
+		R22:    r,
+		TD2:    r * c / 2,
+		TR2R22: r * r * c / 3,
+	}
+}
+
+// Capacitor returns the quantity of a lumped capacitor, URC 0 C.
+func Capacitor(c float64) Quantity { return URC(0, c) }
+
+// Resistor returns the quantity of a lumped resistor, URC R 0.
+func Resistor(r float64) Quantity { return URC(r, 0) }
+
+// WB converts a subtree into a side branch (eqs. 24–28): total capacitance
+// and TP survive; the port-2 quantities are zeroed because the branch no
+// longer carries the output.
+func WB(a Quantity) Quantity {
+	return Quantity{CT: a.CT, TP: a.TP}
+}
+
+// WC cascades two subnetworks, connecting A's port 2 to B's port 1
+// (eqs. 19–23).
+func WC(a, b Quantity) Quantity {
+	return Quantity{
+		CT:     a.CT + b.CT,
+		TP:     a.TP + b.TP + a.R22*b.CT,
+		R22:    a.R22 + b.R22,
+		TD2:    a.TD2 + b.TD2 + a.R22*b.CT,
+		TR2R22: a.TR2R22 + b.TR2R22 + 2*a.R22*b.TD2 + a.R22*a.R22*b.CT,
+	}
+}
+
+// TR2 returns the third characteristic time TR at port 2, dividing out R22.
+// It reports an error when R22 is zero with a nonzero numerator, which
+// happens only for malformed networks (an output separated from the input by
+// no resistance cannot have a defined TR bound).
+func (q Quantity) TR2() (float64, error) {
+	if q.R22 == 0 {
+		if q.TR2R22 == 0 {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("algebra: TR2 undefined: R22=0 with TR2·R22=%g", q.TR2R22)
+	}
+	return q.TR2R22 / q.R22, nil
+}
+
+// Times converts the quantity at port 2 into the characteristic-times record
+// used by the bounds engine.
+func (q Quantity) Times() (rctree.Times, error) {
+	tr, err := q.TR2()
+	if err != nil {
+		return rctree.Times{}, err
+	}
+	tm := rctree.Times{TP: q.TP, TD: q.TD2, TR: tr, Ree: q.R22}
+	if err := tm.Validate(); err != nil {
+		return rctree.Times{}, err
+	}
+	return tm, nil
+}
+
+// Vector returns the quantity as the 5-element slice in the paper's APL
+// ordering, convenient for table printing and comparisons.
+func (q Quantity) Vector() [5]float64 {
+	return [5]float64{q.CT, q.TP, q.R22, q.TD2, q.TR2R22}
+}
+
+func (q Quantity) String() string {
+	return fmt.Sprintf("(CT=%g TP=%g R22=%g TD2=%g TR2R22=%g)",
+		q.CT, q.TP, q.R22, q.TD2, q.TR2R22)
+}

@@ -1,0 +1,217 @@
+package algebra
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-30 {
+		return true
+	}
+	return math.Abs(a-b) <= relTol*scale
+}
+
+func quantEq(t *testing.T, got, want Quantity, relTol float64) {
+	t.Helper()
+	g, w := got.Vector(), want.Vector()
+	names := [5]string{"CT", "TP", "R22", "TD2", "TR2R22"}
+	for i := range g {
+		if !almostEq(g[i], w[i], relTol) {
+			t.Errorf("%s = %g, want %g", names[i], g[i], w[i])
+		}
+	}
+}
+
+// TestURCVector checks the Figure 8 primitive: URC R C -> (C, RC/2, R, RC/2, R²C/3).
+func TestURCVector(t *testing.T) {
+	quantEq(t, URC(6, 4), Quantity{CT: 4, TP: 12, R22: 6, TD2: 12, TR2R22: 48}, 0)
+	quantEq(t, Capacitor(5), Quantity{CT: 5}, 0)
+	quantEq(t, Resistor(9), Quantity{R22: 9}, 0)
+}
+
+// TestWBZeroesPortQuantities checks eqs. 24-28.
+func TestWBZeroesPortQuantities(t *testing.T) {
+	a := WC(URC(8, 0), URC(0, 7))
+	got := WB(a)
+	quantEq(t, got, Quantity{CT: 7, TP: 56}, 0)
+}
+
+// TestWCFormulas checks eqs. 19-23 against a hand computation.
+func TestWCFormulas(t *testing.T) {
+	a := Quantity{CT: 2, TP: 30, R22: 15, TD2: 30, TR2R22: 450}
+	b := Quantity{CT: 4, TP: 6, R22: 3, TD2: 6, TR2R22: 12}
+	got := WC(a, b)
+	want := Quantity{
+		CT:     6,
+		TP:     30 + 6 + 15*4,
+		R22:    18,
+		TD2:    30 + 6 + 15*4,
+		TR2R22: 450 + 12 + 2*15*6 + 15*15*4,
+	}
+	quantEq(t, got, want, 0)
+}
+
+// TestWCAssociative: cascade composition is associative, so either grouping
+// of a three-stage cascade agrees.
+func TestWCAssociative(t *testing.T) {
+	a, b, c := URC(15, 2), URC(3, 4), URC(7, 9)
+	left := WC(WC(a, b), c)
+	right := WC(a, WC(b, c))
+	quantEq(t, left, right, 1e-14)
+}
+
+// fig7Src is the paper's eq. 18 network (Figure 7).
+const fig7Src = `(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9`
+
+// fig7Want is the quantity vector of the Figure 7 network, computed by hand
+// from eqs. 19-28 and confirmed by every legible Figure 10 table entry.
+var fig7Want = Quantity{CT: 22, TP: 419, R22: 18, TD2: 363, TR2R22: 6033}
+
+func TestFig7Quantity(t *testing.T) {
+	e, err := Parse(fig7Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	quantEq(t, e.Eval(), fig7Want, 1e-12)
+	if got := Size(e); got != 6 {
+		t.Errorf("Size = %d, want 6 URC primitives", got)
+	}
+	tr2, err := e.Eval().TR2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 6033.0 / 18; !almostEq(tr2, want, 1e-12) {
+		t.Errorf("TR2 = %g, want %g", tr2, want)
+	}
+}
+
+// TestFig7BuiltProgrammatically mirrors the paper's Figure 10 session:
+// BRANCH <- WB (URC 8 0) WC URC 0 7; NET <- cascade(...).
+func TestFig7BuiltProgrammatically(t *testing.T) {
+	branch := WBExpr{X: WCExpr{A: URCExpr{R: 8}, B: URCExpr{C: 7}}}
+	net := Cascade(
+		URCExpr{R: 15},
+		URCExpr{C: 2},
+		branch,
+		URCExpr{R: 3, C: 4},
+		URCExpr{C: 9},
+	)
+	quantEq(t, net.Eval(), fig7Want, 1e-12)
+}
+
+func TestTimesConversion(t *testing.T) {
+	e := MustParse(fig7Src)
+	tm, err := e.Eval().Times()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(tm.TP, 419, 0) || !almostEq(tm.TD, 363, 0) ||
+		!almostEq(tm.TR, 6033.0/18, 1e-12) || !almostEq(tm.Ree, 18, 0) {
+		t.Errorf("Times = %+v", tm)
+	}
+	// Eq. 7 ordering must hold for the example network.
+	if !(tm.TR <= tm.TD && tm.TD <= tm.TP) {
+		t.Errorf("ordering violated: %+v", tm)
+	}
+}
+
+func TestTR2Undefined(t *testing.T) {
+	// A bare capacitor has R22 = 0 and zero numerator: TR2 = 0, no error.
+	if tr2, err := Capacitor(3).TR2(); err != nil || tr2 != 0 {
+		t.Errorf("capacitor TR2 = %g, %v", tr2, err)
+	}
+	// Forged quantity with impossible combination must error.
+	q := Quantity{TR2R22: 5}
+	if _, err := q.TR2(); err == nil {
+		t.Error("expected error for R22=0 with nonzero TR2R22")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"URC",
+		"URC 1",
+		"URC 1 2 WC",
+		"(URC 1 2",
+		"URC 1 2) ",
+		"URC -1 2",
+		"FOO 1 2",
+		"URC 1 2 XYZ 3",
+		"WC URC 1 2",
+		"URC 1 two",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseWhitespaceAndCase(t *testing.T) {
+	e, err := Parse("  ( urc 15 0 )\n wc\t urc 0 2 ")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	quantEq(t, e.Eval(), WC(URC(15, 0), URC(0, 2)), 0)
+}
+
+func TestParseScientificNotation(t *testing.T) {
+	e, err := Parse("URC 1.5e2 2.5e-1")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	quantEq(t, e.Eval(), URC(150, 0.25), 0)
+}
+
+// TestFormatRoundTrip: Format then Parse must preserve the value.
+func TestFormatRoundTrip(t *testing.T) {
+	exprs := []Expr{
+		URCExpr{R: 15},
+		WBExpr{X: URCExpr{R: 8, C: 2}},
+		MustParse(fig7Src),
+		Cascade(URCExpr{R: 1, C: 2}, WBExpr{X: URCExpr{C: 3}}, URCExpr{R: 4}),
+	}
+	for _, e := range exprs {
+		text := Format(e)
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(Format) of %q: %v", text, err)
+		}
+		quantEq(t, back.Eval(), e.Eval(), 1e-14)
+	}
+}
+
+// TestWBPrecedence: in the paper's notation WB extends to the end of the
+// enclosing group, so `WB A WC B` is WB(A WC B), not WB(A) WC B.
+func TestWBPrecedence(t *testing.T) {
+	e := MustParse("WB URC 8 0 WC URC 0 7")
+	want := WB(WC(URC(8, 0), URC(0, 7)))
+	quantEq(t, e.Eval(), want, 0)
+	// Inside parentheses the scope is limited to the group.
+	e2 := MustParse("(WB URC 8 0) WC URC 0 7")
+	want2 := WC(WB(URC(8, 0)), URC(0, 7))
+	quantEq(t, e2.Eval(), want2, 0)
+}
+
+// TestWCRightAssociativeParse: the parser may group rightward; since WC is
+// associative the value equals the left fold.
+func TestWCRightAssociativeParse(t *testing.T) {
+	e := MustParse("URC 1 2 WC URC 3 4 WC URC 5 6")
+	want := WC(WC(URC(1, 2), URC(3, 4)), URC(5, 6))
+	quantEq(t, e.Eval(), want, 1e-14)
+}
+
+func TestCascadePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Cascade() did not panic")
+		}
+	}()
+	Cascade()
+}

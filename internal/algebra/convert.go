@@ -1,0 +1,148 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/rctree"
+)
+
+// FromTree expresses an rctree as the paper's algebra, with port 2 at the
+// designated output e. Side branches (including everything downstream of the
+// output) are folded in with WB; the input→output path is cascaded with WC.
+// Evaluating the result therefore yields exactly the quantity vector whose
+// Times match Tree.CharacteristicTimes(e).
+func FromTree(t *rctree.Tree, e rctree.NodeID) (Expr, error) {
+	if int(e) < 0 || int(e) >= t.NumNodes() {
+		return nil, fmt.Errorf("algebra: output id %d out of range", e)
+	}
+	onPath := make(map[rctree.NodeID]bool)
+	for x := e; ; x = t.Parent(x) {
+		onPath[x] = true
+		if x == rctree.Root {
+			break
+		}
+	}
+
+	// branchExpr renders the whole subtree rooted at v (including v's lumped
+	// capacitor but excluding v's parent edge) as a pure side network.
+	var branchExpr func(v rctree.NodeID) Expr
+	branchExpr = func(v rctree.NodeID) Expr {
+		parts := []Expr{}
+		if c := t.NodeCap(v); c > 0 {
+			parts = append(parts, URCExpr{R: 0, C: c})
+		}
+		for _, ch := range t.Children(v) {
+			kind, r, c := t.Edge(ch)
+			edge := edgeExpr(kind, r, c)
+			sub := branchExpr(ch)
+			if sub == nil {
+				parts = append(parts, WBExpr{X: edge})
+			} else {
+				parts = append(parts, WBExpr{X: WCExpr{A: edge, B: sub}})
+			}
+		}
+		if len(parts) == 0 {
+			return nil
+		}
+		return Cascade(parts...)
+	}
+
+	// pathExpr walks from v toward the output, cascading the node capacitor,
+	// WB side branches, and then the next path edge.
+	var pathExpr func(v rctree.NodeID) Expr
+	pathExpr = func(v rctree.NodeID) Expr {
+		parts := []Expr{}
+		if c := t.NodeCap(v); c > 0 {
+			parts = append(parts, URCExpr{R: 0, C: c})
+		}
+		var next rctree.NodeID = -1
+		for _, ch := range t.Children(v) {
+			if onPath[ch] {
+				next = ch
+				continue
+			}
+			kind, r, c := t.Edge(ch)
+			edge := edgeExpr(kind, r, c)
+			if sub := branchExpr(ch); sub != nil {
+				parts = append(parts, WBExpr{X: WCExpr{A: edge, B: sub}})
+			} else {
+				parts = append(parts, WBExpr{X: edge})
+			}
+		}
+		if next >= 0 {
+			kind, r, c := t.Edge(next)
+			parts = append(parts, edgeExpr(kind, r, c))
+			if rest := pathExpr(next); rest != nil {
+				parts = append(parts, rest)
+			}
+		}
+		// When v == e there is no on-path child: everything strictly below
+		// the output was already folded in as a WB side branch above, which
+		// is exactly eqs. 19–28's treatment of capacitance beyond the output.
+		if len(parts) == 0 {
+			return nil
+		}
+		return Cascade(parts...)
+	}
+
+	expr := pathExpr(rctree.Root)
+	if expr == nil {
+		return nil, fmt.Errorf("algebra: tree has no elements")
+	}
+	return expr, nil
+}
+
+func edgeExpr(kind rctree.EdgeKind, r, c float64) Expr {
+	switch kind {
+	case rctree.EdgeResistor:
+		return URCExpr{R: r, C: 0}
+	case rctree.EdgeLine:
+		return URCExpr{R: r, C: c}
+	}
+	// Root edges never reach here; a zero URC keeps the expression total.
+	return URCExpr{}
+}
+
+// ToTree materializes an expression as an rctree, preserving the network
+// topology: URC R C with both values positive becomes a distributed line,
+// R-only a resistor, C-only a lumped capacitor; WB descends and returns;
+// WC advances the working node. The final working node is the output.
+//
+// Distributed lines survive the round trip, so ToTree∘FromTree preserves the
+// quantity vector exactly (up to floating-point association order).
+func ToTree(e Expr) (*rctree.Tree, rctree.NodeID, error) {
+	b := rctree.NewBuilder("in")
+	cur := build(b, e, rctree.Root)
+	b.Output(cur)
+	t, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, cur, nil
+}
+
+// build adds the network of e starting at node at, returning the node where
+// port 2 lands.
+func build(b *rctree.Builder, e Expr, at rctree.NodeID) rctree.NodeID {
+	switch v := e.(type) {
+	case URCExpr:
+		switch {
+		case v.R == 0 && v.C == 0:
+			return at
+		case v.R == 0:
+			b.Capacitor(at, v.C)
+			return at
+		case v.C == 0:
+			return b.Resistor(at, "", v.R)
+		default:
+			return b.Line(at, "", v.R, v.C)
+		}
+	case WBExpr:
+		build(b, v.X, at) // descend, then the working node snaps back
+		return at
+	case WCExpr:
+		mid := build(b, v.A, at)
+		return build(b, v.B, mid)
+	}
+	return at
+}

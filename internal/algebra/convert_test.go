@@ -1,0 +1,164 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randnet"
+	"repro/internal/rctree"
+)
+
+// fig7Tree builds the Figure 7 network directly with the tree builder:
+// in -R15- n1 [C2] ; n1 -R8- b [C7] ; n1 -URC(3,4)- n2 [C9] ; output n2.
+func fig7Tree(t *testing.T) (*rctree.Tree, rctree.NodeID) {
+	t.Helper()
+	b := rctree.NewBuilder("in")
+	n1 := b.Resistor(rctree.Root, "n1", 15)
+	b.Capacitor(n1, 2)
+	br := b.Resistor(n1, "b", 8)
+	b.Capacitor(br, 7)
+	n2 := b.Line(n1, "n2", 3, 4)
+	b.Capacitor(n2, 9)
+	b.Output(n2)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, n2
+}
+
+// TestFig7TreeMatchesExpression: the tree built structurally and the paper's
+// eq. 18 expression yield the same quantity vector and characteristic times.
+func TestFig7TreeMatchesExpression(t *testing.T) {
+	tr, out := fig7Tree(t)
+	expr, err := FromTree(tr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantEq(t, expr.Eval(), fig7Want, 1e-12)
+
+	tm, err := tr.CharacteristicTimes(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := expr.Eval().Times()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(tm.TP, want.TP, 1e-12) || !almostEq(tm.TD, want.TD, 1e-12) ||
+		!almostEq(tm.TR, want.TR, 1e-12) || !almostEq(tm.Ree, want.Ree, 1e-12) {
+		t.Errorf("tree times %+v != algebra times %+v", tm, want)
+	}
+}
+
+// TestToTreeRoundTrip: expression -> tree -> characteristic times agrees
+// with direct evaluation, including distributed lines.
+func TestToTreeRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		fig7Src,
+		"URC 100 3",
+		"URC 10 0 WC URC 0 5",
+		"(URC 5 1) WC (WB (URC 7 2) WC URC 0 3) WC URC 9 4",
+		"(WB URC 1 1) WC URC 2 2",
+	} {
+		expr := MustParse(src)
+		tr, out, err := ToTree(expr)
+		if err != nil {
+			t.Fatalf("ToTree(%q): %v", src, err)
+		}
+		tm, err := tr.CharacteristicTimes(out)
+		if err != nil {
+			t.Fatalf("CharacteristicTimes(%q): %v", src, err)
+		}
+		want, err := expr.Eval().Times()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEq(tm.TP, want.TP, 1e-12) || !almostEq(tm.TD, want.TD, 1e-12) ||
+			!almostEq(tm.TR, want.TR, 1e-12) || !almostEq(tm.Ree, want.Ree, 1e-12) {
+			t.Errorf("%q: tree times %+v != algebra %+v", src, tm, want)
+		}
+	}
+}
+
+// TestFromTreeMatchesDirectOnRandomTrees is the central cross-validation of
+// the paper's two algorithms: the O(n) constructive algebra (§IV) and the
+// direct summation of the definitions (§III) agree on arbitrary trees, at
+// every output.
+func TestFromTreeMatchesDirectOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 250; trial++ {
+		tr := randnet.Tree(rng, randnet.DefaultConfig(1+rng.Intn(35)))
+		for _, e := range tr.Outputs() {
+			expr, err := FromTree(tr, e)
+			if err != nil {
+				t.Fatalf("trial %d: FromTree: %v", trial, err)
+			}
+			alg, err := expr.Eval().Times()
+			if err != nil {
+				t.Fatalf("trial %d: Times: %v\n%s", trial, err, tr)
+			}
+			direct, err := tr.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatalf("trial %d: direct: %v", trial, err)
+			}
+			if !almostEq(alg.TP, direct.TP, 1e-9) || !almostEq(alg.TD, direct.TD, 1e-9) ||
+				!almostEq(alg.TR, direct.TR, 1e-9) || !almostEq(alg.Ree, direct.Ree, 1e-9) {
+				t.Fatalf("trial %d output %d: algebra %+v != direct %+v\n%s",
+					trial, e, alg, direct, tr)
+			}
+		}
+	}
+}
+
+// TestFromTreeOutputMidTree: outputs may be taken anywhere in the tree, not
+// only at leaves; capacitance downstream of the output must still count.
+func TestFromTreeOutputMidTree(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	mid := b.Resistor(rctree.Root, "mid", 10)
+	b.Capacitor(mid, 1)
+	deep := b.Resistor(mid, "deep", 20)
+	b.Capacitor(deep, 5)
+	b.Output(mid)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	expr, err := FromTree(tr, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := expr.Eval()
+	// TD2 = 10*1 (cap at mid) + 10*5 (downstream cap at common resistance 10).
+	if !almostEq(q.TD2, 60, 1e-12) {
+		t.Errorf("TD2 = %g, want 60", q.TD2)
+	}
+	// TP = 10*1 + 30*5 = 160.
+	if !almostEq(q.TP, 160, 1e-12) {
+		t.Errorf("TP = %g, want 160", q.TP)
+	}
+	if !almostEq(q.R22, 10, 0) {
+		t.Errorf("R22 = %g, want 10", q.R22)
+	}
+}
+
+func TestFromTreeErrors(t *testing.T) {
+	tr, _ := fig7Tree(t)
+	if _, err := FromTree(tr, rctree.NodeID(99)); err == nil {
+		t.Error("expected error for out-of-range output")
+	}
+}
+
+// TestFromTreeSize: the expression has one URC per element (edges plus
+// capacitor nodes), so the linear-time claim is about the same n.
+func TestFromTreeSize(t *testing.T) {
+	tr, out := fig7Tree(t)
+	expr, err := FromTree(tr, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 edges + 3 capacitors = 6 primitives, as in eq. 18.
+	if got := Size(expr); got != 6 {
+		t.Errorf("Size = %d, want 6", got)
+	}
+}

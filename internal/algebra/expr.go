@@ -1,0 +1,111 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Expr is a node in an RC-tree expression, the algebraic description of §IV.
+// Eval reduces the expression to its quantity vector in linear time.
+type Expr interface {
+	// Eval computes the quantity vector of the subnetwork.
+	Eval() Quantity
+	// appendText renders the expression in the paper's notation.
+	appendText(b *strings.Builder, parenthesize bool)
+}
+
+// URCExpr is the primitive: a uniform RC line `URC R C`.
+type URCExpr struct {
+	R, C float64
+}
+
+// WBExpr folds its operand into a side branch: `WB expr`.
+type WBExpr struct {
+	X Expr
+}
+
+// WCExpr cascades A's port 2 into B's port 1: `A WC B`.
+type WCExpr struct {
+	A, B Expr
+}
+
+// Eval implements Expr.
+func (e URCExpr) Eval() Quantity { return URC(e.R, e.C) }
+
+// Eval implements Expr.
+func (e WBExpr) Eval() Quantity { return WB(e.X.Eval()) }
+
+// Eval implements Expr.
+func (e WCExpr) Eval() Quantity { return WC(e.A.Eval(), e.B.Eval()) }
+
+func (e URCExpr) appendText(b *strings.Builder, paren bool) {
+	if paren {
+		b.WriteByte('(')
+	}
+	fmt.Fprintf(b, "URC %s %s", formatNum(e.R), formatNum(e.C))
+	if paren {
+		b.WriteByte(')')
+	}
+}
+
+func (e WBExpr) appendText(b *strings.Builder, paren bool) {
+	// WB extends to the end of the enclosing group in the paper's
+	// right-to-left notation, so parenthesizing keeps printing unambiguous.
+	b.WriteString("(WB ")
+	e.X.appendText(b, false)
+	b.WriteByte(')')
+}
+
+func (e WCExpr) appendText(b *strings.Builder, paren bool) {
+	if paren {
+		b.WriteByte('(')
+	}
+	e.A.appendText(b, true)
+	b.WriteString(" WC ")
+	e.B.appendText(b, false)
+	if paren {
+		b.WriteByte(')')
+	}
+}
+
+func formatNum(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Format renders an expression in the paper's notation, e.g. the eq. 18
+// network prints as
+//
+//	(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9
+func Format(e Expr) string {
+	var b strings.Builder
+	e.appendText(&b, false)
+	return b.String()
+}
+
+// Cascade folds a sequence of expressions left to right with WC. It panics
+// on an empty argument list, which is a programming error at the call site.
+func Cascade(exprs ...Expr) Expr {
+	if len(exprs) == 0 {
+		panic("algebra: Cascade of zero expressions")
+	}
+	e := exprs[0]
+	for _, x := range exprs[1:] {
+		e = WCExpr{A: e, B: x}
+	}
+	return e
+}
+
+// Size returns the number of URC primitives in the expression, the n of the
+// paper's linear-time claim.
+func Size(e Expr) int {
+	switch v := e.(type) {
+	case URCExpr:
+		return 1
+	case WBExpr:
+		return Size(v.X)
+	case WCExpr:
+		return Size(v.A) + Size(v.B)
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+package algebra
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse asserts the expression parser never panics, and that anything it
+// accepts evaluates to a finite quantity vector that survives Format→Parse
+// and ToTree round trips.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		fig7Src,
+		"URC 1 2",
+		"(URC 1 2) WC URC 3 4",
+		"WB URC 8 0 WC URC 0 7",
+		"((((URC 1 1))))",
+		"URC",
+		"WC",
+		")(",
+		"URC 1e308 1e308",
+		"urc 0 0",
+		"URC 1 2 WC WB URC 3 4",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		q := e.Eval()
+		for _, x := range q.Vector() {
+			if math.IsNaN(x) {
+				t.Fatalf("NaN in quantity for %q: %v", src, q)
+			}
+		}
+		// Format must reparse to the same value (infinities excepted —
+		// overflow on absurd inputs is not a round-trip bug).
+		for _, x := range q.Vector() {
+			if math.IsInf(x, 0) {
+				return
+			}
+		}
+		back, err := Parse(Format(e))
+		if err != nil {
+			t.Fatalf("Format of accepted input failed to reparse: %v (%q)", err, Format(e))
+		}
+		bq := back.Eval()
+		for i, x := range q.Vector() {
+			y := bq.Vector()[i]
+			if x != y && math.Abs(x-y) > 1e-9*math.Max(math.Abs(x), math.Abs(y)) {
+				t.Fatalf("round trip changed vector: %v -> %v", q, bq)
+			}
+		}
+		// Tree materialization must also succeed and stay consistent.
+		tr, out, err := ToTree(e)
+		if err != nil {
+			// Trees need some capacitance; pure-resistor expressions are
+			// legitimately rejected here.
+			return
+		}
+		tm, err := tr.CharacteristicTimes(out)
+		if err != nil {
+			t.Fatalf("ToTree produced uncomputable tree for %q: %v", src, err)
+		}
+		want, err := q.Times()
+		if err != nil {
+			return
+		}
+		if math.Abs(tm.TD-want.TD) > 1e-9*(1+math.Abs(want.TD)) {
+			t.Fatalf("tree TD %g != algebra TD %g for %q", tm.TD, want.TD, src)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads an RC-tree expression in the paper's notation, e.g.
+//
+//	(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9
+//
+// Following the paper's APL right-to-left convention, WB is a prefix
+// operator that extends to the end of the enclosing parenthesized group, and
+// WC associates to the right (cascade is associative, so grouping does not
+// affect the value).
+func Parse(src string) (Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errf("trailing input starting at %q", p.peek().text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse for statically known inputs; it panics on error.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokLParen tokKind = iota
+	tokRParen
+	tokURC
+	tokWB
+	tokWC
+	tokNumber
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  float64
+	pos  int // byte offset in the source, for error messages
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case isWordByte(c):
+			j := i
+			for j < len(src) && isWordByte(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			tk := token{text: word, pos: i}
+			switch strings.ToUpper(word) {
+			case "URC":
+				tk.kind = tokURC
+			case "WB":
+				tk.kind = tokWB
+			case "WC":
+				tk.kind = tokWC
+			default:
+				v, err := strconv.ParseFloat(word, 64)
+				if err != nil {
+					return nil, fmt.Errorf("algebra: offset %d: unknown token %q", i, word)
+				}
+				tk.kind = tokNumber
+				tk.val = v
+			}
+			toks = append(toks, tk)
+			i = j
+		default:
+			return nil, fmt.Errorf("algebra: offset %d: unexpected character %q", i, rune(c))
+		}
+	}
+	return toks, nil
+}
+
+func isWordByte(c byte) bool {
+	r := rune(c)
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) eof() bool      { return p.pos >= len(p.toks) }
+func (p *parser) peek() token    { return p.toks[p.pos] }
+func (p *parser) advance() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	where := len(p.src)
+	if !p.eof() {
+		where = p.peek().pos
+	}
+	return fmt.Errorf("algebra: offset %d: %s", where, fmt.Sprintf(format, args...))
+}
+
+// parseExpr handles:  expr := WB expr | term [WC expr]
+func (p *parser) parseExpr() (Expr, error) {
+	if p.eof() {
+		return nil, p.errf("unexpected end of expression")
+	}
+	if p.peek().kind == tokWB {
+		p.advance()
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return WBExpr{X: inner}, nil
+	}
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() && p.peek().kind == tokWC {
+		p.advance()
+		right, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return WCExpr{A: left, B: right}, nil
+	}
+	return left, nil
+}
+
+// parseTerm handles:  term := '(' expr ')' | URC number number
+func (p *parser) parseTerm() (Expr, error) {
+	if p.eof() {
+		return nil, p.errf("unexpected end of expression")
+	}
+	switch t := p.advance(); t.kind {
+	case tokLParen:
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.peek().kind != tokRParen {
+			return nil, p.errf("missing closing parenthesis for group at offset %d", t.pos)
+		}
+		p.advance()
+		return inner, nil
+	case tokURC:
+		r, err := p.parseNumber("URC resistance")
+		if err != nil {
+			return nil, err
+		}
+		c, err := p.parseNumber("URC capacitance")
+		if err != nil {
+			return nil, err
+		}
+		if r < 0 || c < 0 {
+			return nil, fmt.Errorf("algebra: offset %d: URC values must be nonnegative, got %g %g", t.pos, r, c)
+		}
+		return URCExpr{R: r, C: c}, nil
+	default:
+		return nil, fmt.Errorf("algebra: offset %d: expected '(' or URC, got %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) parseNumber(what string) (float64, error) {
+	if p.eof() {
+		return 0, p.errf("expected %s, got end of expression", what)
+	}
+	t := p.advance()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("algebra: offset %d: expected %s, got %q", t.pos, what, t.text)
+	}
+	return t.val, nil
+}

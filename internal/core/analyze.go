@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rctree"
+)
+
+// Result pairs an output node with its characteristic times and bounds.
+type Result struct {
+	Output rctree.NodeID
+	Name   string
+	Times  rctree.Times
+	Bounds *Bounds
+}
+
+// AnalyzeTree computes bounds for every designated output of the tree,
+// returned in output-declaration order.
+func AnalyzeTree(t *rctree.Tree) ([]Result, error) {
+	results := make([]Result, 0, len(t.Outputs()))
+	for _, e := range t.Outputs() {
+		tm, err := t.CharacteristicTimes(e)
+		if err != nil {
+			return nil, fmt.Errorf("core: output %q: %w", t.Name(e), err)
+		}
+		b, err := New(tm)
+		if err != nil {
+			return nil, fmt.Errorf("core: output %q: %w", t.Name(e), err)
+		}
+		results = append(results, Result{Output: e, Name: t.Name(e), Times: tm, Bounds: b})
+	}
+	return results, nil
+}
+
+// DelayRow is one line of the paper's Figure 10 delay table: a threshold and
+// its bracketed crossing time.
+type DelayRow struct {
+	V          float64
+	TMin, TMax float64
+}
+
+// DelayTable evaluates TMin/TMax at each threshold, reproducing the first
+// Figure 10 table.
+func (b *Bounds) DelayTable(thresholds []float64) []DelayRow {
+	rows := make([]DelayRow, len(thresholds))
+	for i, v := range thresholds {
+		rows[i] = DelayRow{V: v, TMin: b.TMin(v), TMax: b.TMax(v)}
+	}
+	return rows
+}
+
+// VoltageRow is one line of the paper's Figure 10 voltage table: a time and
+// its bracketed response voltage.
+type VoltageRow struct {
+	T          float64
+	VMin, VMax float64
+}
+
+// VoltageTable evaluates VMin/VMax at each time, reproducing the second
+// Figure 10 table.
+func (b *Bounds) VoltageTable(times []float64) []VoltageRow {
+	rows := make([]VoltageRow, len(times))
+	for i, t := range times {
+		rows[i] = VoltageRow{T: t, VMin: b.VMin(t), VMax: b.VMax(t)}
+	}
+	return rows
+}
+
+// CriticalOutputs sorts analysis results by descending TMax at the given
+// threshold, the ordering a designer cares about: the slowest-certifiable
+// output first. Ties break by name for determinism.
+func CriticalOutputs(results []Result, threshold float64) []Result {
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool {
+		ti, tj := sorted[i].Bounds.TMax(threshold), sorted[j].Bounds.TMax(threshold)
+		if ti != tj {
+			return ti > tj
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	return sorted
+}

@@ -1,0 +1,237 @@
+// Package core implements the primary contribution of Penfield and
+// Rubinstein's "Signal Delay in RC Tree Networks": computationally simple
+// upper and lower bounds on the unit-step response of an RC tree, expressed
+// through the three characteristic times TP, TDe and TRe.
+//
+// The package provides, per output:
+//
+//   - voltage bounds VMin(t) and VMax(t) (eqs. 8–12),
+//   - delay bounds TMin(v) and TMax(v) (eqs. 13–17),
+//   - the certification predicate OK (Figure 9), and
+//   - curve sampling used to regenerate Figures 5, 10 and 11.
+//
+// All of it follows directly from the paper's APL functions VMIN, VMAX,
+// TMIN, TMAX and OK, with explicit handling of the degenerate values the
+// paper excludes ("these fail for networks without any resistances or
+// capacitances, and for V = 0 or T = 0").
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rctree"
+)
+
+// Bounds evaluates the Penfield–Rubinstein bounds for one output of an RC
+// tree, characterized by its Times. Construct it with New, which validates
+// the eq. 7 ordering.
+type Bounds struct {
+	tm rctree.Times
+}
+
+// New returns a bound evaluator for the given characteristic times.
+func New(tm rctree.Times) (*Bounds, error) {
+	if err := tm.Validate(); err != nil {
+		return nil, err
+	}
+	if tm.TP < 0 {
+		return nil, fmt.Errorf("core: TP must be nonnegative, got %g", tm.TP)
+	}
+	return &Bounds{tm: tm}, nil
+}
+
+// MustNew is New for statically known times; it panics on error.
+func MustNew(tm rctree.Times) *Bounds {
+	b, err := New(tm)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Times returns the characteristic times behind the bounds.
+func (b *Bounds) Times() rctree.Times { return b.tm }
+
+// expDecay computes e^(-t/tau) with tau=0 treated as the limit: 1 at t<=0
+// and 0 for t>0.
+func expDecay(t, tau float64) float64 {
+	if tau == 0 {
+		if t > 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Exp(-t / tau)
+}
+
+// clamp01 restricts a voltage to the physically meaningful interval [0,1].
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+// VMax returns the upper bound on the unit-step response at time t,
+// the tighter of eq. 8 (linear, small t) and eq. 9 (exponential, large t):
+//
+//	v(t) <= min( (t + TP − TD)/TP , 1 − (TD/TP)·e^(−t/TR) )
+func (b *Bounds) VMax(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	tm := b.tm
+	if tm.TP == 0 {
+		// No resistance-capacitance product anywhere: the response is an
+		// immediate step.
+		return 1
+	}
+	linear := (t + tm.TP - tm.TD) / tm.TP
+	exp := 1 - (tm.TD/tm.TP)*expDecay(t, tm.TR)
+	return clamp01(math.Min(linear, exp))
+}
+
+// VMin returns the lower bound on the unit-step response at time t, the
+// tightest of eq. 10 (zero, small t), eq. 11 (rational, mid t) and eq. 12
+// (exponential, t >= TP − TR):
+//
+//	v(t) >= max( 0 , 1 − TD/(t + TR) , [t ≥ TP−TR]·(1 − (TD/TP)·e^(−(t−TP+TR)/TP)) )
+func (b *Bounds) VMin(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	tm := b.tm
+	if tm.TP == 0 {
+		return 1
+	}
+	v := 0.0
+	if t+tm.TR > 0 {
+		v = math.Max(v, 1-tm.TD/(t+tm.TR))
+	}
+	if t >= tm.TP-tm.TR {
+		v = math.Max(v, 1-(tm.TD/tm.TP)*expDecay(t-(tm.TP-tm.TR), tm.TP))
+	}
+	return clamp01(v)
+}
+
+// VMinElmore is the paper's introductory single-constant lower bound, eq. 4:
+// v(t) >= 1 − TD/t. It is weaker than VMin and exists for comparison
+// (EXPERIMENTS E7).
+func (b *Bounds) VMinElmore(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return clamp01(1 - b.tm.TD/t)
+}
+
+// TMin returns the lower bound on the time at which the response crosses
+// threshold v (0 < v < 1), per eqs. 13–15:
+//
+//	t >= max( 0 , TD − TP(1−v) , TR·ln( TD / (TP(1−v)) ) )
+//
+// TMin(v<=0) is 0; TMin(v>=1) is +Inf for any network with TD > 0.
+func (b *Bounds) TMin(v float64) float64 {
+	tm := b.tm
+	if v <= 0 || tm.TP == 0 || tm.TD == 0 {
+		return 0
+	}
+	if v >= 1 {
+		return math.Inf(1)
+	}
+	t := math.Max(0, tm.TD-tm.TP*(1-v))
+	if arg := tm.TD / (tm.TP * (1 - v)); arg > 0 {
+		t = math.Max(t, tm.TR*math.Log(arg))
+	}
+	return t
+}
+
+// TMax returns the upper bound on the threshold-crossing time, per
+// eqs. 16–17:
+//
+//	t <= min( TD/(1−v) − TR , TP − TR + TP·max(0, ln( TD / (TP(1−v)) )) )
+//
+// TMax(v<=0) is 0; TMax(v>=1) is +Inf.
+func (b *Bounds) TMax(v float64) float64 {
+	tm := b.tm
+	if v <= 0 || tm.TP == 0 || tm.TD == 0 {
+		return 0
+	}
+	if v >= 1 {
+		return math.Inf(1)
+	}
+	rational := tm.TD/(1-v) - tm.TR
+	logTerm := math.Max(0, math.Log(tm.TD/(tm.TP*(1-v))))
+	exp := tm.TP - tm.TR + tm.TP*logTerm
+	return math.Min(rational, exp)
+}
+
+// TMaxElmore inverts eq. 4: t <= TD/(1−v), the single-constant upper bound
+// implied by the Elmore delay alone (for comparison; looser than TMax by TR).
+func (b *Bounds) TMaxElmore(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return math.Inf(1)
+	}
+	return b.tm.TD / (1 - v)
+}
+
+// Verdict is the result of the certification predicate OK (Figure 9).
+type Verdict int
+
+const (
+	// Fails means the deadline is sooner than TMin: the output definitely
+	// has not reached the threshold by time T.
+	Fails Verdict = -1
+	// Unknown means TMin <= T < TMax: the bounds are not tight enough to
+	// decide.
+	Unknown Verdict = 0
+	// Passes means TMax <= T: the output is certainly past the threshold.
+	Passes Verdict = 1
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Fails:
+		return "fails"
+	case Unknown:
+		return "unknown"
+	case Passes:
+		return "passes"
+	}
+	return fmt.Sprintf("Verdict(%d)", int(v))
+}
+
+// OK certifies whether the output reaches threshold v by deadline t,
+// mirroring the paper's APL: Z <- (T >= TMAX) - (T < TMIN).
+func (b *Bounds) OK(v, t float64) Verdict {
+	switch {
+	case t >= b.TMax(v):
+		return Passes
+	case t < b.TMin(v):
+		return Fails
+	}
+	return Unknown
+}
+
+// UpperSwitch returns the time TD − TR below which the linear upper bound
+// (eq. 8) is the applicable tight bound per the paper's region statement.
+func (b *Bounds) UpperSwitch() float64 { return b.tm.TD - b.tm.TR }
+
+// LowerSwitch returns the time TP − TR at which the lower bound switches
+// from the rational piece (eq. 11) to the exponential piece (eq. 12).
+func (b *Bounds) LowerSwitch() float64 { return b.tm.TP - b.tm.TR }
+
+// ThresholdSwitch returns the voltage 1 − TD/TP at which the delay upper
+// bound switches from eq. 16 to eq. 17.
+func (b *Bounds) ThresholdSwitch() float64 {
+	if b.tm.TP == 0 {
+		return 0
+	}
+	return 1 - b.tm.TD/b.tm.TP
+}

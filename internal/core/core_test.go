@@ -1,0 +1,348 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rctree"
+)
+
+// fig7Times are the characteristic times of the paper's Figure 7 example
+// network at its output: TP=419, TD=363, TR=6033/18, Ree=18 (verified
+// against the algebra package and every legible Figure 10 entry).
+var fig7Times = rctree.Times{TP: 419, TD: 363, TR: 6033.0 / 18, Ree: 18}
+
+func fig7Bounds(t *testing.T) *Bounds {
+	t.Helper()
+	b, err := New(fig7Times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFigure10DelayTable reproduces the first table of Figure 10 — the
+// paper's own printed TMIN/TMAX values for thresholds 0.1..0.9 — to the
+// paper's printed precision.
+func TestFigure10DelayTable(t *testing.T) {
+	b := fig7Bounds(t)
+	rows := []struct{ v, tmin, tmax float64 }{
+		{0.1, 0, 68.167},
+		{0.2, 27.8, 117.22},
+		{0.3, 71.46, 173.17},
+		{0.4, 123.13, 237.76},
+		{0.5, 184.23, 314.15}, // TMIN partially illegible in the scan; 184.23 is our reading
+		{0.6, 259.02, 407.65},
+		{0.7, 355.45, 528.18},
+		{0.8, 491.34, 698.07},
+		{0.9, 723.66, 988.5},
+	}
+	for _, row := range rows {
+		gotMin, gotMax := b.TMin(row.v), b.TMax(row.v)
+		tolMin := math.Max(0.06, 1e-4*row.tmin)
+		tolMax := math.Max(0.06, 1e-4*row.tmax)
+		if math.Abs(gotMin-row.tmin) > tolMin {
+			t.Errorf("TMin(%.1f) = %.4f, paper prints %.4f", row.v, gotMin, row.tmin)
+		}
+		if math.Abs(gotMax-row.tmax) > tolMax {
+			t.Errorf("TMax(%.1f) = %.4f, paper prints %.4f", row.v, gotMax, row.tmax)
+		}
+	}
+}
+
+// TestFigure10VoltageTable reproduces the second table of Figure 10 — the
+// paper's VMIN/VMAX values for times 20..2000.
+func TestFigure10VoltageTable(t *testing.T) {
+	b := fig7Bounds(t)
+	rows := []struct{ tt, vmin, vmax float64 }{
+		{20, 0, 0.18138},
+		{40, 0.03243, 0.22912},
+		{60, 0.0814, 0.27565},
+		{80, 0.12565, 0.31761},
+		{100, 0.16644, 0.35714},
+		{200, 0.34342, 0.52297},
+		{300, 0.48283, 0.64603},
+		{400, 0.59263, 0.73734},
+		{500, 0.67913, 0.8051},
+		{1000, 0.90271, 0.95615},
+		{2000, 0.99105, 0.99778},
+	}
+	for _, row := range rows {
+		gotMin, gotMax := b.VMin(row.tt), b.VMax(row.tt)
+		if math.Abs(gotMin-row.vmin) > 6e-5 {
+			t.Errorf("VMin(%g) = %.6f, paper prints %.5f", row.tt, gotMin, row.vmin)
+		}
+		if math.Abs(gotMax-row.vmax) > 6e-5 {
+			t.Errorf("VMax(%g) = %.6f, paper prints %.5f", row.tt, gotMax, row.vmax)
+		}
+	}
+}
+
+// randTimes draws a random valid characteristic-time triple with the eq. 7
+// ordering TR <= TD <= TP.
+func randTimes(rng *rand.Rand) rctree.Times {
+	tp := rng.Float64()*1000 + 1e-3
+	td := tp * rng.Float64()
+	tr := td * rng.Float64()
+	return rctree.Times{TP: tp, TD: td, TR: tr, Ree: rng.Float64()*100 + 1e-3}
+}
+
+// TestEnvelopeInvariants property-tests DESIGN invariant 3: at every time,
+// 0 <= VMinElmore(t) <= ... and VMin <= VMax, both within [0,1], both -> 1.
+func TestEnvelopeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		tm := randTimes(rng)
+		b := MustNew(tm)
+		for i := 0; i < 60; i++ {
+			tt := rng.Float64() * tm.TP * 10
+			lo, hi := b.VMin(tt), b.VMax(tt)
+			if lo < 0 || hi > 1 || lo > hi+1e-12 {
+				t.Fatalf("trial %d: envelope violated at t=%g: vmin=%g vmax=%g (times %+v)",
+					trial, tt, lo, hi, tm)
+			}
+			if el := b.VMinElmore(tt); el > lo+1e-12 {
+				t.Fatalf("trial %d: eq. 4 bound %g exceeds full lower bound %g at t=%g",
+					trial, el, lo, tt)
+			}
+		}
+		// Late-time convergence to 1.
+		late := tm.TP*20 + 100
+		if b.VMin(late) < 0.9 {
+			t.Errorf("trial %d: VMin(%g) = %g has not approached 1 (times %+v)",
+				trial, late, b.VMin(late), tm)
+		}
+	}
+}
+
+// TestDelayBoundInvariants property-tests DESIGN invariant 4: TMin <= TMax,
+// both nondecreasing in v.
+func TestDelayBoundInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 500; trial++ {
+		tm := randTimes(rng)
+		b := MustNew(tm)
+		prevMin, prevMax := 0.0, 0.0
+		for i := 1; i <= 99; i++ {
+			v := float64(i) / 100
+			lo, hi := b.TMin(v), b.TMax(v)
+			if lo > hi+1e-9 {
+				t.Fatalf("trial %d: TMin(%g)=%g > TMax(%g)=%g (times %+v)",
+					trial, v, lo, v, hi, tm)
+			}
+			if lo < prevMin-1e-9 || hi < prevMax-1e-9 {
+				t.Fatalf("trial %d: bounds not monotone at v=%g (times %+v)", trial, v, tm)
+			}
+			prevMin, prevMax = lo, hi
+		}
+	}
+}
+
+// TestVoltageDelayConsistency: the delay bounds are the inversions of the
+// voltage bounds, so VMax(TMin(v)) ~= v on the rising region and
+// VMin(TMax(v)) ~= v. (The paper derives 14-17 by inverting 8-12.)
+func TestVoltageDelayConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		tm := randTimes(rng)
+		if tm.TD < 1e-6 {
+			continue
+		}
+		b := MustNew(tm)
+		for _, v := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			if tmin := b.TMin(v); tmin > 0 {
+				got := b.VMax(tmin)
+				if math.Abs(got-v) > 1e-6 {
+					t.Fatalf("trial %d: VMax(TMin(%g)) = %g, want %g (times %+v)",
+						trial, v, got, v, tm)
+				}
+			}
+			tmax := b.TMax(v)
+			got := b.VMin(tmax)
+			if math.Abs(got-v) > 1e-6 {
+				t.Fatalf("trial %d: VMin(TMax(%g)) = %g, want %g (times %+v)",
+					trial, v, got, v, tm)
+			}
+		}
+	}
+}
+
+// TestLowerBoundContinuity checks DESIGN invariant 6: the lower-bound pieces
+// meet continuously at t = TD−TR (value 0) and t = TP−TR (value 1−TD/TP).
+func TestLowerBoundContinuity(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 300; trial++ {
+		tm := randTimes(rng)
+		b := MustNew(tm)
+		t1 := tm.TD - tm.TR
+		if t1 > 0 {
+			if got := b.VMin(t1); math.Abs(got-0) > 1e-9 && tm.TD > 1e-9 {
+				// At t1 the rational piece 1 − TD/(t1+TR) = 1 − TD/TD = 0
+				// unless the exponential piece already applies (t1 >= TP−TR
+				// requires TD >= TP, i.e. TD == TP).
+				if t1 < tm.TP-tm.TR-1e-12 {
+					t.Fatalf("trial %d: VMin(TD-TR)=%g, want 0 (times %+v)", trial, got, tm)
+				}
+			}
+		}
+		t2 := tm.TP - tm.TR
+		if t2 > 0 && tm.TP > 0 {
+			rational := 1 - tm.TD/(t2+tm.TR)
+			expPiece := 1 - tm.TD/tm.TP
+			if math.Abs(rational-expPiece) > 1e-9 {
+				t.Fatalf("trial %d: pieces disagree at TP-TR: %g vs %g", trial, rational, expPiece)
+			}
+		}
+	}
+}
+
+// TestOKVerdicts exercises the Figure 9 predicate on the Figure 7 network.
+func TestOKVerdicts(t *testing.T) {
+	b := fig7Bounds(t)
+	// TMin(0.5) ~ 184.23, TMax(0.5) ~ 314.15.
+	cases := []struct {
+		v, tt float64
+		want  Verdict
+	}{
+		{0.5, 100, Fails},
+		{0.5, 200, Unknown},
+		{0.5, 350, Passes},
+		{0.9, 700, Fails},
+		{0.9, 800, Unknown},
+		{0.9, 990, Passes},
+	}
+	for _, tc := range cases {
+		if got := b.OK(tc.v, tc.tt); got != tc.want {
+			t.Errorf("OK(%g, %g) = %v, want %v", tc.v, tc.tt, got, tc.want)
+		}
+	}
+}
+
+// TestOKConsistentWithBounds: quick-checks that OK never contradicts the
+// bound functions it is defined from.
+func TestOKConsistentWithBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tm := randTimes(r)
+		b := MustNew(tm)
+		v := 0.05 + 0.9*r.Float64()
+		tt := r.Float64() * tm.TP * 3
+		switch b.OK(v, tt) {
+		case Passes:
+			return tt >= b.TMax(v)
+		case Fails:
+			return tt < b.TMin(v)
+		default:
+			return tt >= b.TMin(v) && tt < b.TMax(v)
+		}
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{Passes: "passes", Fails: "fails", Unknown: "unknown", Verdict(7): "Verdict(7)"} {
+		if got := v.String(); got != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+// TestDegenerateInputs covers the edge values the paper's APL excludes.
+func TestDegenerateInputs(t *testing.T) {
+	b := fig7Bounds(t)
+	if got := b.VMax(-5); got != 0 {
+		t.Errorf("VMax(-5) = %g, want 0", got)
+	}
+	if got := b.VMin(-5); got != 0 {
+		t.Errorf("VMin(-5) = %g, want 0", got)
+	}
+	if got := b.TMin(0); got != 0 {
+		t.Errorf("TMin(0) = %g, want 0", got)
+	}
+	if got := b.TMax(0); got != 0 {
+		t.Errorf("TMax(0) = %g, want 0", got)
+	}
+	if got := b.TMin(1); !math.IsInf(got, 1) {
+		t.Errorf("TMin(1) = %g, want +Inf", got)
+	}
+	if got := b.TMax(1.5); !math.IsInf(got, 1) {
+		t.Errorf("TMax(1.5) = %g, want +Inf", got)
+	}
+	if got := b.TMaxElmore(0.5); math.Abs(got-726) > 1e-9 {
+		t.Errorf("TMaxElmore(0.5) = %g, want 726", got)
+	}
+
+	// Zero-TP network: instantaneous response.
+	zb := MustNew(rctree.Times{})
+	if zb.VMax(1) != 1 || zb.VMin(1) != 1 {
+		t.Errorf("zero network response = [%g,%g], want [1,1]", zb.VMin(1), zb.VMax(1))
+	}
+	if zb.TMin(0.5) != 0 || zb.TMax(0.5) != 0 {
+		t.Errorf("zero network delay = [%g,%g], want [0,0]", zb.TMin(0.5), zb.TMax(0.5))
+	}
+}
+
+func TestNewRejectsInvalidTimes(t *testing.T) {
+	if _, err := New(rctree.Times{TP: 1, TD: 2, TR: 0.5}); err == nil {
+		t.Error("New accepted TD > TP")
+	}
+	if _, err := New(rctree.Times{TP: 3, TD: 1, TR: 2}); err == nil {
+		t.Error("New accepted TR > TD")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on invalid times")
+		}
+	}()
+	MustNew(rctree.Times{TP: 1, TD: 2})
+}
+
+func TestSwitchPoints(t *testing.T) {
+	b := fig7Bounds(t)
+	if got, want := b.UpperSwitch(), 363-6033.0/18; math.Abs(got-want) > 1e-12 {
+		t.Errorf("UpperSwitch = %g, want %g", got, want)
+	}
+	if got, want := b.LowerSwitch(), 419-6033.0/18; math.Abs(got-want) > 1e-12 {
+		t.Errorf("LowerSwitch = %g, want %g", got, want)
+	}
+	if got, want := b.ThresholdSwitch(), 1-363.0/419; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ThresholdSwitch = %g, want %g", got, want)
+	}
+}
+
+// TestSinglePoleBoundsAreExact: for a one-pole network TP = TD = TR = RC,
+// and both delay bounds collapse to the exact crossing RC·ln(1/(1−v)) — the
+// bounds are tight exactly when the paper says they are (all resistance
+// common to all capacitance).
+func TestSinglePoleBoundsAreExact(t *testing.T) {
+	const rc = 250.0
+	b := MustNew(rctree.Times{TP: rc, TD: rc, TR: rc, Ree: 100})
+	for _, v := range []float64{0.01, 0.1, 0.5, 0.63, 0.9, 0.99} {
+		exact := rc * math.Log(1/(1-v))
+		if got := b.TMin(v); math.Abs(got-exact) > 1e-9*exact {
+			t.Errorf("TMin(%g) = %g, want exact %g", v, got, exact)
+		}
+		if got := b.TMax(v); math.Abs(got-exact) > 1e-9*exact {
+			t.Errorf("TMax(%g) = %g, want exact %g", v, got, exact)
+		}
+	}
+	// The voltage envelope likewise pinches onto 1 − e^(−t/RC).
+	for _, tt := range []float64{10, 100, 250, 1000} {
+		exact := 1 - math.Exp(-tt/rc)
+		if got := b.VMax(tt); math.Abs(got-exact) > 1e-12 {
+			t.Errorf("VMax(%g) = %g, want exact %g", tt, got, exact)
+		}
+		if got := b.VMin(tt); math.Abs(got-exact) > 1e-12 {
+			t.Errorf("VMin(%g) = %g, want exact %g", tt, got, exact)
+		}
+	}
+}

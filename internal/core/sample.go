@@ -1,0 +1,46 @@
+package core
+
+// CurvePoint is one sample of the bound envelope at time T, used to
+// regenerate Figures 5 and 11 (bounds vs. exact response).
+type CurvePoint struct {
+	T          float64
+	VMin, VMax float64
+	// VMinElmore is the weaker eq. 4 lower bound, for the Figure 5-style
+	// comparison of the single-constant bound against the full envelope.
+	VMinElmore float64
+}
+
+// SampleCurves evaluates the bound envelope on n+1 uniformly spaced times in
+// [0, tEnd]. n must be at least 1; tEnd must be positive.
+func (b *Bounds) SampleCurves(tEnd float64, n int) []CurvePoint {
+	if n < 1 {
+		n = 1
+	}
+	if tEnd <= 0 {
+		tEnd = 1
+	}
+	pts := make([]CurvePoint, n+1)
+	for i := 0; i <= n; i++ {
+		t := tEnd * float64(i) / float64(n)
+		pts[i] = CurvePoint{
+			T:          t,
+			VMin:       b.VMin(t),
+			VMax:       b.VMax(t),
+			VMinElmore: b.VMinElmore(t),
+		}
+	}
+	return pts
+}
+
+// EnvelopeWidth returns the maximum vertical gap VMax−VMin over the sampled
+// interval, a scalar measure of bound tightness (small when most of the
+// resistance is in the driver, per the paper's §I remark).
+func (b *Bounds) EnvelopeWidth(tEnd float64, n int) float64 {
+	var width float64
+	for _, p := range b.SampleCurves(tEnd, n) {
+		if gap := p.VMax - p.VMin; gap > width {
+			width = gap
+		}
+	}
+	return width
+}

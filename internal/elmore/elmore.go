@@ -1,0 +1,122 @@
+// Package elmore implements the baseline delay estimate the paper builds on
+// — Elmore's first moment of the impulse response (reference [2], Elmore
+// 1948) — plus, as an extension, higher-order response moments computed by
+// the classical linear-time path-tracing recursion, and the delay metrics
+// derived from them.
+//
+// The Penfield–Rubinstein TDe equals the (negated) first moment m1; the
+// higher moments sharpen single-number delay estimates and are used by the
+// test suite as an independent consistency check against the exact
+// simulator.
+package elmore
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rctree"
+)
+
+// Delays returns the Elmore delay TDe for every node of the tree (index by
+// NodeID), computed in O(n) by the classical two-pass algorithm. It is the
+// baseline the bounds are compared against throughout EXPERIMENTS.md.
+func Delays(t *rctree.Tree) []float64 {
+	return t.ElmoreAll()
+}
+
+// Moments computes the first `order` moments of the unit-step transfer
+// function H(s) = 1 + m1·s + m2·s² + … at every node of a lumped RC tree.
+// The returned slice is indexed moments[k][node] with k in 1..order
+// (moments[0] is the all-ones zeroth moment).
+//
+// The recursion is the standard one: with m0 = 1 everywhere,
+//
+//	m_{k+1}(e) = − Σ_{edges on path(in→e)} R_edge · Σ_{u downstream} C_u·m_k(u)
+//
+// which reduces to m1 = −TDe. Distributed lines must be discretized first
+// (sim.Discretize); Moments returns an error if any remain.
+func Moments(t *rctree.Tree, order int) ([][]float64, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("elmore: order must be >= 1, got %d", order)
+	}
+	n := t.NumNodes()
+	for id := 1; id < n; id++ {
+		if kind, _, _ := t.Edge(rctree.NodeID(id)); kind == rctree.EdgeLine {
+			return nil, fmt.Errorf("elmore: node %q has a distributed line; discretize first", t.Name(rctree.NodeID(id)))
+		}
+	}
+	moments := make([][]float64, order+1)
+	m0 := make([]float64, n)
+	for i := range m0 {
+		m0[i] = 1
+	}
+	moments[0] = m0
+
+	for k := 0; k < order; k++ {
+		prev := moments[k]
+		// Bottom-up: weighted downstream sums S(i) = Σ_{u at/below i} C_u·m_k(u).
+		sub := make([]float64, n)
+		for i := n - 1; i >= 0; i-- {
+			sub[i] += t.NodeCap(rctree.NodeID(i)) * prev[i]
+			if i > 0 {
+				sub[t.Parent(rctree.NodeID(i))] += sub[i]
+			}
+		}
+		// Top-down: prefix-accumulate −R_edge·S along every root path.
+		next := make([]float64, n)
+		for i := 1; i < n; i++ {
+			parent := t.Parent(rctree.NodeID(i))
+			_, r, _ := t.Edge(rctree.NodeID(i))
+			next[i] = next[parent] - r*sub[i]
+		}
+		moments[k+1] = next
+	}
+	return moments, nil
+}
+
+// DelayEstimate names a single-number delay metric derived from moments.
+type DelayEstimate int
+
+const (
+	// ElmoreTD is the raw first moment, the paper's TDe — an upper-bound
+	// flavored estimate of the 50% point.
+	ElmoreTD DelayEstimate = iota
+	// ElmoreLn2 scales TDe by ln 2, exact for a single pole at 50%.
+	ElmoreLn2
+	// D2M is the two-moment metric ln2·m1²/√m2, a post-paper refinement
+	// included as an extension baseline.
+	D2M
+)
+
+func (d DelayEstimate) String() string {
+	switch d {
+	case ElmoreTD:
+		return "elmore"
+	case ElmoreLn2:
+		return "elmore*ln2"
+	case D2M:
+		return "d2m"
+	}
+	return fmt.Sprintf("DelayEstimate(%d)", int(d))
+}
+
+// Estimate computes the chosen 50%-delay metric at node e of a lumped tree.
+func Estimate(t *rctree.Tree, e rctree.NodeID, metric DelayEstimate) (float64, error) {
+	switch metric {
+	case ElmoreTD:
+		return Delays(t)[e], nil
+	case ElmoreLn2:
+		return Delays(t)[e] * math.Ln2, nil
+	case D2M:
+		m, err := Moments(t, 2)
+		if err != nil {
+			return 0, err
+		}
+		m1, m2 := m[1][e], m[2][e]
+		if m2 <= 0 {
+			return 0, fmt.Errorf("elmore: nonpositive second moment %g at node %d", m2, e)
+		}
+		return math.Ln2 * m1 * m1 / math.Sqrt(m2), nil
+	}
+	return 0, fmt.Errorf("elmore: unknown metric %v", metric)
+}

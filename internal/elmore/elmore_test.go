@@ -1,0 +1,197 @@
+package elmore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randnet"
+	"repro/internal/rctree"
+	"repro/internal/sim"
+)
+
+func singlePole(t *testing.T, r, c float64) (*rctree.Tree, rctree.NodeID) {
+	t.Helper()
+	b := rctree.NewBuilder("in")
+	n := b.Resistor(rctree.Root, "out", r)
+	b.Capacitor(n, c)
+	b.Output(n)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, n
+}
+
+// TestSinglePoleMoments: H(s) = 1/(1+sRC) has m_k = (−RC)^k.
+func TestSinglePoleMoments(t *testing.T) {
+	const R, C = 50.0, 2.0
+	tr, out := singlePole(t, R, C)
+	m, err := Moments(tr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := R * C
+	for k := 1; k <= 3; k++ {
+		want := math.Pow(-rc, float64(k))
+		if got := m[k][out]; math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("m%d = %g, want %g", k, got, want)
+		}
+	}
+}
+
+// TestFirstMomentIsElmore: m1 = −TDe on random lumped trees, every node.
+func TestFirstMomentIsElmore(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		cfg := randnet.DefaultConfig(1 + rng.Intn(30))
+		cfg.LineProb = 0
+		tr := randnet.Tree(rng, cfg)
+		m, err := Moments(tr, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		td := Delays(tr)
+		for i := 1; i < tr.NumNodes(); i++ {
+			if math.Abs(m[1][i]+td[i]) > 1e-9*(1+td[i]) {
+				t.Fatalf("trial %d node %d: m1=%g, -TD=%g", trial, i, m[1][i], -td[i])
+			}
+		}
+	}
+}
+
+// TestMomentsMatchSimulator: the k-th response moment from the recursion
+// equals the analytic moment of the eigen-exact response,
+// ∫ t^{k-1}(1−v) dt · (−1)^k / (k−1)! relations aside, we check via the
+// modal form directly: m_k = Σ_m (−1)^k · A_m/λ_m^k … with v = 1 + Σ A e^{−λt},
+// H's moments satisfy m_k = (−1)^k Σ_m (−A_m)·(1/λ_m)^k · k!/k! — concretely
+// m_k = Σ_m A_m/λ_m^k · (−1)^{k+1}·… We avoid sign gymnastics by comparing
+// against numerically integrated moments of the simulated response.
+func TestMomentsMatchSimulator(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 25; trial++ {
+		cfg := randnet.DefaultConfig(1 + rng.Intn(12))
+		cfg.LineProb = 0
+		tr := randnet.Tree(rng, cfg)
+		ckt, err := sim.NewCircuit(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ckt.EigenResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Moments(tr, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range tr.Outputs() {
+			i, err := ckt.Index(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// |m1| = ∫(1−v)dt: compare to the modal first moment.
+			if got, want := resp.ElmoreDelay(i), -m[1][e]; math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: modal m1 %g != recursion %g", trial, got, want)
+			}
+			// Second moment: for v = 1 + Σ A e^{−λt}, H(s) = 1 + Σ A·s/(s+λ)
+			// so m2 = Σ −A/λ². The recursion must agree.
+			var m2 float64
+			for mi, lam := range resp.Lambda {
+				m2 -= resp.A[i][mi] / (lam * lam)
+			}
+			// The recursion's m2 coefficient of s² in H(s):
+			// H(s) = Σ_k m_k s^k with m2 as computed. For the modal form,
+			// expanding A·s/(s+λ) = A·(s/λ)·1/(1+s/λ) = A(s/λ − s²/λ² + …),
+			// the s² coefficient is −A/λ², matching m2 above.
+			if math.Abs(m2-m[2][e]) > 1e-6*(1+math.Abs(m2)) {
+				t.Fatalf("trial %d: modal m2 %g != recursion %g", trial, m2, m[2][e])
+			}
+		}
+	}
+}
+
+func TestMomentsRejectLines(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	far := b.Line(rctree.Root, "far", 10, 1)
+	b.Output(far)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Moments(tr, 2); err == nil {
+		t.Error("Moments accepted a distributed line")
+	}
+	if _, err := Moments(tr, 0); err == nil {
+		t.Error("Moments accepted order 0")
+	}
+}
+
+// TestEstimates: on a single pole, ElmoreLn2 and D2M are exact for the 50%
+// point; ElmoreTD overestimates it.
+func TestEstimates(t *testing.T) {
+	const R, C = 100.0, 0.5 // tau = 50, t50 = 50·ln2
+	tr, out := singlePole(t, R, C)
+	t50 := 50 * math.Ln2
+
+	est, err := Estimate(tr, out, ElmoreLn2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-t50) > 1e-9 {
+		t.Errorf("ElmoreLn2 = %g, want %g", est, t50)
+	}
+	est, err = Estimate(tr, out, D2M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-t50) > 1e-9 {
+		t.Errorf("D2M = %g, want %g", est, t50)
+	}
+	est, err = Estimate(tr, out, ElmoreTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= t50 {
+		t.Errorf("ElmoreTD = %g should exceed the true 50%% delay %g", est, t50)
+	}
+	if _, err := Estimate(tr, out, DelayEstimate(42)); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+// TestD2MBetweenBounds: on random trees the D2M estimate of the 50% point
+// stays close to the exact crossing, and always below ElmoreTD.
+func TestD2MOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 50; trial++ {
+		cfg := randnet.DefaultConfig(1 + rng.Intn(15))
+		cfg.LineProb = 0
+		tr := randnet.Tree(rng, cfg)
+		for _, e := range tr.Outputs() {
+			td, err := Estimate(tr, e, ElmoreTD)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2m, err := Estimate(tr, e, D2M)
+			if err != nil {
+				if td == 0 {
+					continue // D2M is legitimately undefined when TD = 0
+				}
+				t.Fatalf("trial %d: D2M failed with TD=%g: %v", trial, td, err)
+			}
+			if d2m > td+1e-9 {
+				t.Fatalf("trial %d: D2M %g exceeds Elmore %g", trial, d2m, td)
+			}
+		}
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	if ElmoreTD.String() != "elmore" || ElmoreLn2.String() != "elmore*ln2" || D2M.String() != "d2m" {
+		t.Error("DelayEstimate names wrong")
+	}
+	if DelayEstimate(42).String() == "" {
+		t.Error("unknown metric name empty")
+	}
+}

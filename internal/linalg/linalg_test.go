@@ -1,0 +1,358 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randSPD(rng *rand.Rand, n int) *Matrix {
+	a := randMatrix(rng, n)
+	spd := a.Mul(a.Transpose())
+	for i := 0; i < n; i++ {
+		spd.Add(i, i, float64(n)) // diagonal boost guarantees positive definiteness
+	}
+	return spd
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 1, 5)
+	m.Add(0, 1, 2)
+	if got := m.At(0, 1); got != 7 {
+		t.Errorf("At = %g, want 7", got)
+	}
+	c := m.Clone()
+	c.Set(0, 1, 0)
+	if m.At(0, 1) != 7 {
+		t.Error("Clone aliases the original")
+	}
+	id := Identity(3)
+	if !id.IsSymmetric(0) {
+		t.Error("identity not symmetric")
+	}
+	if id.MaxAbs() != 1 {
+		t.Errorf("MaxAbs = %g, want 1", id.MaxAbs())
+	}
+	if s := m.String(); s == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestMulAndMulVec(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := NewMatrix(2, 2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	p := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if p.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %g, want %g", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+	v := a.MulVec([]float64{1, -1})
+	if v[0] != -1 || v[1] != -1 {
+		t.Errorf("MulVec = %v, want [-1 -1]", v)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			m.Set(i, j, float64(i*3+j))
+		}
+	}
+	tt := m.Transpose()
+	if tt.Rows != 3 || tt.Cols != 2 {
+		t.Fatalf("Transpose dims %dx%d", tt.Rows, tt.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if tt.At(j, i) != m.At(i, j) {
+				t.Errorf("Transpose mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("AXPY = %v, want [7 9]", y)
+	}
+	if got := NormInf([]float64{-5, 3}); got != 5 {
+		t.Errorf("NormInf = %g, want 5", got)
+	}
+}
+
+// TestLUSolveRandom checks A·x = b residuals on random well-conditioned
+// systems of several sizes.
+func TestLUSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 5, 10, 30, 80} {
+		a := randSPD(rng, n) // SPD is comfortably nonsingular
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		f, err := FactorLU(a)
+		if err != nil {
+			t.Fatalf("n=%d: FactorLU: %v", n, err)
+		}
+		got, err := f.Solve(b)
+		if err != nil {
+			t.Fatalf("n=%d: Solve: %v", n, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d: x[%d] = %g, want %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := FactorLU(a); err == nil {
+		t.Error("FactorLU accepted a singular matrix")
+	}
+	if _, err := FactorLU(NewMatrix(2, 3)); err == nil {
+		t.Error("FactorLU accepted a non-square matrix")
+	}
+}
+
+func TestLUPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatalf("FactorLU: %v", err)
+	}
+	x, err := f.Solve([]float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 4 || x[1] != 3 {
+		t.Errorf("Solve = %v, want [4 3]", x)
+	}
+	if got := f.Det(); math.Abs(got+1) > 1e-12 {
+		t.Errorf("Det = %g, want -1", got)
+	}
+}
+
+func TestCholeskyMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 3, 8, 25} {
+		a := randSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		ch, err := FactorCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: FactorCholesky: %v", n, err)
+		}
+		lu, err := FactorLU(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x1, err := ch.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, err := lu.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-8*(1+math.Abs(x2[i])) {
+				t.Fatalf("n=%d: Cholesky %g != LU %g at %d", n, x1[i], x2[i], i)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if _, err := FactorCholesky(a); err == nil {
+		t.Error("FactorCholesky accepted an indefinite matrix")
+	}
+}
+
+func TestSolveTridiagonal(t *testing.T) {
+	// Build a random tridiagonal system, solve with Thomas and dense LU.
+	rng := rand.New(rand.NewSource(5))
+	n := 12
+	sub := make([]float64, n)
+	diag := make([]float64, n)
+	sup := make([]float64, n)
+	rhs := make([]float64, n)
+	dense := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		diag[i] = 4 + rng.Float64()
+		dense.Set(i, i, diag[i])
+		if i > 0 {
+			sub[i] = rng.NormFloat64()
+			dense.Set(i, i-1, sub[i])
+		}
+		if i < n-1 {
+			sup[i] = rng.NormFloat64()
+			dense.Set(i, i+1, sup[i])
+		}
+		rhs[i] = rng.NormFloat64()
+	}
+	x, err := SolveTridiagonal(sub, diag, sup, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FactorLU(dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := f.Solve(rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveTridiagonalErrors(t *testing.T) {
+	if _, err := SolveTridiagonal([]float64{0}, []float64{0}, []float64{0}, []float64{1}); err == nil {
+		t.Error("accepted zero pivot")
+	}
+	if _, err := SolveTridiagonal([]float64{0, 0}, []float64{1}, []float64{0}, []float64{1}); err == nil {
+		t.Error("accepted mismatched bands")
+	}
+}
+
+// TestJacobiEigenKnown diagonalizes a matrix with a known spectrum.
+func TestJacobiEigenKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 2)
+	e, err := JacobiEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-1) > 1e-12 || math.Abs(e.Values[1]-3) > 1e-12 {
+		t.Errorf("eigenvalues = %v, want [1 3]", e.Values)
+	}
+}
+
+// TestJacobiEigenReconstruct property-tests V·diag(λ)·Vᵀ == A and the
+// orthogonality of V on random symmetric matrices.
+func TestJacobiEigenReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{1, 2, 4, 9, 20} {
+		a := randMatrix(rng, n)
+		// Symmetrize.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				avg := (a.At(i, j) + a.At(j, i)) / 2
+				a.Set(i, j, avg)
+				a.Set(j, i, avg)
+			}
+		}
+		e, err := JacobiEigen(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		rec := e.Reconstruct()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(rec.At(i, j)-a.At(i, j)) > 1e-9*(1+a.MaxAbs()) {
+					t.Fatalf("n=%d: reconstruction off at %d,%d: %g vs %g",
+						n, i, j, rec.At(i, j), a.At(i, j))
+				}
+			}
+		}
+		vtv := e.Vectors.Transpose().Mul(e.Vectors)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(vtv.At(i, j)-want) > 1e-10 {
+					t.Fatalf("n=%d: eigenvectors not orthonormal at %d,%d: %g", n, i, j, vtv.At(i, j))
+				}
+			}
+		}
+		// Eigenvalues ascend.
+		for i := 1; i < n; i++ {
+			if e.Values[i] < e.Values[i-1] {
+				t.Fatalf("n=%d: eigenvalues not sorted: %v", n, e.Values)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenRejectsAsymmetric(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 1, 1)
+	if _, err := JacobiEigen(a); err == nil {
+		t.Error("JacobiEigen accepted an asymmetric matrix")
+	}
+}
+
+// TestSPDEigenvaluesPositive quick-checks that SPD constructions have an
+// all-positive spectrum — the property the simulator relies on for stable
+// exponentials.
+func TestSPDEigenvaluesPositive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		e, err := JacobiEigen(randSPD(rng, n))
+		if err != nil {
+			return false
+		}
+		for _, lam := range e.Values {
+			if lam <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// exact circuit simulator: dense matrices, LU and Cholesky factorizations,
+// a tridiagonal solver, and a Jacobi eigensolver for symmetric matrices.
+//
+// The implementation is deliberately simple, allocation-conscious and
+// dependency-free (stdlib only); RC networks of a few thousand nodes factor
+// in well under a second, which is all the reproduction needs.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i, j) by v — the natural operation for nodal
+// "stamping" of circuit elements.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Mul returns m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Add(i, j, a*b.At(k, j))
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·x for a vector x of length m.Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(x)))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest absolute element, a crude norm for tolerances.
+func (m *Matrix) MaxAbs() float64 {
+	var max float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%10.4g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: AXPY length mismatch")
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// NormInf returns the max-abs element of a vector.
+func NormInf(x []float64) float64 {
+	var max float64
+	for _, v := range x {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}

@@ -1,0 +1,187 @@
+// Package mc estimates the effect of process variation on RC-tree timing by
+// Monte Carlo: element values are perturbed with independent relative
+// Gaussian variations (sheet-resistance and oxide-thickness spread), the
+// characteristic times recomputed per sample, and any scalar timing metric
+// summarized with moments and quantiles.
+//
+// Because the Penfield–Rubinstein TMax is itself a guaranteed bound, the
+// high quantiles of TMax under variation give a *certified-under-variation*
+// delay figure — the corner-analysis workflow of the era, with statistics.
+package mc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rctree"
+)
+
+// Variation describes independent relative 1-sigma spreads of every
+// resistance and capacitance. Values are clipped to stay positive (at 1% of
+// nominal), which matters only for sigmas far beyond fabrication reality.
+type Variation struct {
+	RSigma, CSigma float64
+}
+
+// Metric maps an output's characteristic times to the scalar under study.
+type Metric func(tm rctree.Times) (float64, error)
+
+// TMaxAt returns the metric "certified delay at threshold v".
+func TMaxAt(v float64) Metric {
+	return func(tm rctree.Times) (float64, error) {
+		b, err := core.New(tm)
+		if err != nil {
+			return 0, err
+		}
+		return b.TMax(v), nil
+	}
+}
+
+// ElmoreTD is the baseline metric: the Elmore delay itself.
+func ElmoreTD() Metric {
+	return func(tm rctree.Times) (float64, error) { return tm.TD, nil }
+}
+
+// Result summarizes the sampled metric.
+type Result struct {
+	Samples       int
+	Nominal       float64
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// Run draws samples perturbed trees, evaluates the metric at output e of
+// each, and summarizes. Sampling is deterministic for a given seed.
+func Run(t *rctree.Tree, e rctree.NodeID, metric Metric, v Variation, samples int, seed int64) (Result, error) {
+	if samples < 1 {
+		return Result{}, fmt.Errorf("mc: samples must be >= 1, got %d", samples)
+	}
+	if v.RSigma < 0 || v.CSigma < 0 {
+		return Result{}, fmt.Errorf("mc: negative sigma in %+v", v)
+	}
+	nomTimes, err := t.CharacteristicTimes(e)
+	if err != nil {
+		return Result{}, err
+	}
+	nominal, err := metric(nomTimes)
+	if err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	values := make([]float64, 0, samples)
+	var sum, sumSq float64
+	min, max := math.Inf(1), math.Inf(-1)
+	for s := 0; s < samples; s++ {
+		pt, outID, err := perturb(t, e, v, rng)
+		if err != nil {
+			return Result{}, err
+		}
+		tm, err := pt.CharacteristicTimes(outID)
+		if err != nil {
+			return Result{}, err
+		}
+		val, err := metric(tm)
+		if err != nil {
+			return Result{}, err
+		}
+		values = append(values, val)
+		sum += val
+		sumSq += val * val
+		if val < min {
+			min = val
+		}
+		if val > max {
+			max = val
+		}
+	}
+	n := float64(samples)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	sort.Float64s(values)
+	return Result{
+		Samples: samples,
+		Nominal: nominal,
+		Mean:    mean,
+		Std:     math.Sqrt(variance),
+		Min:     min,
+		Max:     max,
+		P50:     quantile(values, 0.50),
+		P95:     quantile(values, 0.95),
+		P99:     quantile(values, 0.99),
+	}, nil
+}
+
+// quantile interpolates the q-th quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// perturb rebuilds the tree with every element value multiplied by an
+// independent Gaussian factor, and maps the output node through.
+func perturb(t *rctree.Tree, e rctree.NodeID, v Variation, rng *rand.Rand) (*rctree.Tree, rctree.NodeID, error) {
+	draw := func(nominal, sigma float64) float64 {
+		if nominal == 0 || sigma == 0 {
+			return nominal
+		}
+		f := 1 + sigma*rng.NormFloat64()
+		if f < 0.01 {
+			f = 0.01
+		}
+		return nominal * f
+	}
+	b := rctree.NewBuilder(t.Name(rctree.Root))
+	ids := map[rctree.NodeID]rctree.NodeID{rctree.Root: rctree.Root}
+	var buildErr error
+	t.Walk(func(id rctree.NodeID) {
+		if buildErr != nil {
+			return
+		}
+		if id == rctree.Root {
+			if c := t.NodeCap(id); c > 0 {
+				b.Capacitor(rctree.Root, draw(c, v.CSigma))
+			}
+			return
+		}
+		kind, r, c := t.Edge(id)
+		var nid rctree.NodeID
+		switch kind {
+		case rctree.EdgeResistor:
+			nid = b.Resistor(ids[t.Parent(id)], t.Name(id), draw(r, v.RSigma))
+		case rctree.EdgeLine:
+			nid = b.Line(ids[t.Parent(id)], t.Name(id), draw(r, v.RSigma), draw(c, v.CSigma))
+		default:
+			buildErr = fmt.Errorf("mc: unexpected edge kind at node %q", t.Name(id))
+			return
+		}
+		ids[id] = nid
+		if nc := t.NodeCap(id); nc > 0 {
+			b.Capacitor(nid, draw(nc, v.CSigma))
+		}
+	})
+	if buildErr != nil {
+		return nil, 0, buildErr
+	}
+	b.Output(ids[e])
+	pt, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return pt, ids[e], nil
+}

@@ -1,0 +1,150 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rctree"
+)
+
+func fig7(t *testing.T) (*rctree.Tree, rctree.NodeID) {
+	t.Helper()
+	b := rctree.NewBuilder("in")
+	n1 := b.Resistor(rctree.Root, "n1", 15)
+	b.Capacitor(n1, 2)
+	br := b.Resistor(n1, "b", 8)
+	b.Capacitor(br, 7)
+	n2 := b.Line(n1, "n2", 3, 4)
+	b.Capacitor(n2, 9)
+	b.Output(n2)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, n2
+}
+
+func TestZeroVariationIsNominal(t *testing.T) {
+	tr, out := fig7(t)
+	res, err := Run(tr, out, ElmoreTD(), Variation{}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Std != 0 {
+		t.Errorf("zero variation has Std = %g", res.Std)
+	}
+	if math.Abs(res.Mean-363) > 1e-9 || math.Abs(res.Nominal-363) > 1e-9 {
+		t.Errorf("mean/nominal = %g/%g, want 363", res.Mean, res.Nominal)
+	}
+	if res.Min != res.Max || res.P50 != res.Mean {
+		t.Errorf("degenerate distribution expected: %+v", res)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	tr, out := fig7(t)
+	v := Variation{RSigma: 0.1, CSigma: 0.1}
+	a, err := Run(tr, out, TMaxAt(0.5), v, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, out, TMaxAt(0.5), v, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed gave different results:\n%+v\n%+v", a, b)
+	}
+	c, err := Run(tr, out, TMaxAt(0.5), v, 200, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds gave identical results")
+	}
+}
+
+func TestSpreadGrowsWithSigma(t *testing.T) {
+	tr, out := fig7(t)
+	narrow, err := Run(tr, out, TMaxAt(0.7), Variation{RSigma: 0.02, CSigma: 0.02}, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Run(tr, out, TMaxAt(0.7), Variation{RSigma: 0.15, CSigma: 0.15}, 400, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Std >= wide.Std {
+		t.Errorf("std did not grow with sigma: %g vs %g", narrow.Std, wide.Std)
+	}
+	// Small variation keeps the mean near nominal (TD is linear in the
+	// elements, so the metric mean shifts only through TMax curvature).
+	if math.Abs(narrow.Mean-narrow.Nominal) > 0.02*narrow.Nominal {
+		t.Errorf("narrow mean %g drifted from nominal %g", narrow.Mean, narrow.Nominal)
+	}
+}
+
+func TestQuantileOrdering(t *testing.T) {
+	tr, out := fig7(t)
+	res, err := Run(tr, out, TMaxAt(0.9), Variation{RSigma: 0.1, CSigma: 0.1}, 500, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Min <= res.P50 && res.P50 <= res.P95 && res.P95 <= res.P99 && res.P99 <= res.Max) {
+		t.Errorf("quantiles out of order: %+v", res)
+	}
+	if res.Samples != 500 {
+		t.Errorf("Samples = %d", res.Samples)
+	}
+}
+
+// TestCertifiedUnderVariation: the P99 of TMax exceeds the nominal TMax —
+// the margin a corner-aware design must budget.
+func TestCertifiedUnderVariation(t *testing.T) {
+	tr, out := fig7(t)
+	res, err := Run(tr, out, TMaxAt(0.7), Variation{RSigma: 0.1, CSigma: 0.1}, 600, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P99 <= res.Nominal {
+		t.Errorf("P99 %g should exceed nominal %g under symmetric variation", res.P99, res.Nominal)
+	}
+	// And the margin is commensurate with the sigma (not orders off).
+	margin := (res.P99 - res.Nominal) / res.Nominal
+	if margin < 0.05 || margin > 1.0 {
+		t.Errorf("P99 margin = %.1f%%, implausible for 10%% element sigma", margin*100)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tr, out := fig7(t)
+	if _, err := Run(tr, out, ElmoreTD(), Variation{}, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := Run(tr, out, ElmoreTD(), Variation{RSigma: -1}, 10, 1); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	if _, err := Run(tr, rctree.NodeID(99), ElmoreTD(), Variation{}, 10, 1); err == nil {
+		t.Error("bad output accepted")
+	}
+	if _, err := Run(tr, out, TMaxAt(2), Variation{}, 10, 1); err != nil {
+		// TMaxAt(2) is +Inf but not an error; ensure Run copes.
+		t.Errorf("TMaxAt(2): %v", err)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	if got := quantile(vals, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+	if got := quantile(vals, 0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := quantile(vals, 1); got != 4 {
+		t.Errorf("q1 = %g", got)
+	}
+	if got := quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("singleton quantile = %g", got)
+	}
+}

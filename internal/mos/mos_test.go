@@ -1,0 +1,145 @@
+package mos
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rctree"
+)
+
+func TestSuperbuffer(t *testing.T) {
+	d := Superbuffer()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.REff != 380 || d.COut != 0.04 {
+		t.Errorf("Superbuffer = %+v, want 380 ohm / 0.04 pF per §V", d)
+	}
+}
+
+func TestDriverValidate(t *testing.T) {
+	if err := (Driver{REff: 0}).Validate(); err == nil {
+		t.Error("zero REff validated")
+	}
+	if err := (Driver{REff: 100, COut: -1}).Validate(); err == nil {
+		t.Error("negative COut validated")
+	}
+}
+
+// TestEffectiveResistancePlausible: 4 µm-era depletion pullup parameters
+// land within a factor of ~2 of the §V superbuffer's 380 Ω.
+func TestEffectiveResistancePlausible(t *testing.T) {
+	dev := Device{
+		KPrime: 20e-6,  // 20 µA/V², NMOS circa 1980
+		W:      200e-6, // superbuffers are wide: W/L = 50
+		L:      4e-6,
+		VDD:    5,
+		VT:     1,
+	}
+	r, err := dev.EffectiveResistance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 380/2.0 || r > 380*2.0 {
+		t.Errorf("EffectiveResistance = %g, want within 2x of 380", r)
+	}
+}
+
+func TestEffectiveResistanceErrors(t *testing.T) {
+	if _, err := (Device{}).EffectiveResistance(); err == nil {
+		t.Error("zero device accepted")
+	}
+	if _, err := (Device{KPrime: 1, W: 1, L: 1, VDD: 1, VT: 2}).EffectiveResistance(); err == nil {
+		t.Error("VDD <= VT accepted")
+	}
+}
+
+func TestAttachDriver(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	out, err := AttachDriver(b, Superbuffer())
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := b.Resistor(out, "far", 100)
+	b.Capacitor(far, 1)
+	b.Output(far)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, r, _ := tr.Edge(out)
+	if kind != rctree.EdgeResistor || r != 380 {
+		t.Errorf("driver edge = %v %g", kind, r)
+	}
+	if got := tr.NodeCap(out); got != 0.04 {
+		t.Errorf("driver output cap = %g, want 0.04", got)
+	}
+	if _, err := AttachDriver(rctree.NewBuilder("x"), Driver{}); err == nil {
+		t.Error("AttachDriver accepted invalid driver")
+	}
+}
+
+// TestFanoutNet builds the Figure 1 scenario — one inverter driving three
+// gates through poly lines — and checks the timing structure end to end.
+func TestFanoutNet(t *testing.T) {
+	d := Superbuffer()
+	// Three branches: short, medium, long poly runs (ohms / pF).
+	lineR := []float64{90, 180, 540}
+	lineC := []float64{0.005, 0.01, 0.03}
+	loads := []Load{{Name: "g1", C: 0.013}, {Name: "g2", C: 0.013}, {Name: "g3", C: 0.013}}
+	tr, err := FanoutNet(d, lineR, lineC, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Outputs()) != 3 {
+		t.Fatalf("outputs = %d, want 3", len(tr.Outputs()))
+	}
+	results, err := core.AnalyzeTree(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Longest branch must be the critical one at any threshold.
+	crit := core.CriticalOutputs(results, 0.7)
+	if crit[0].Name != "g3" {
+		t.Errorf("critical output = %q, want g3", crit[0].Name)
+	}
+	// All outputs share TP.
+	for _, r := range results[1:] {
+		if math.Abs(r.Times.TP-results[0].Times.TP) > 1e-12 {
+			t.Error("TP differs between outputs")
+		}
+	}
+	// Monotone: more interconnect means more TD.
+	if !(results[0].Times.TD < results[1].Times.TD && results[1].Times.TD < results[2].Times.TD) {
+		t.Errorf("TD not ordered by branch length: %g, %g, %g",
+			results[0].Times.TD, results[1].Times.TD, results[2].Times.TD)
+	}
+}
+
+func TestFanoutNetErrors(t *testing.T) {
+	d := Superbuffer()
+	cases := []struct {
+		name       string
+		r, c       []float64
+		loads      []Load
+		wantSubstr string
+	}{
+		{"length mismatch", []float64{1}, []float64{1, 2}, []Load{{}}, "equal-length"},
+		{"no loads", nil, nil, nil, "at least one"},
+		{"negative line", []float64{-1}, []float64{1}, []Load{{}}, "negative"},
+		{"zero branch", []float64{0}, []float64{0}, []Load{{}}, "nonzero interconnect"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FanoutNet(d, tc.r, tc.c, tc.loads)
+			if err == nil {
+				t.Fatal("FanoutNet succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSubstr) {
+				t.Errorf("error %q missing %q", err, tc.wantSubstr)
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+package netlist
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that any deck it accepts
+// survives a Write→Parse round trip with characteristic times intact.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		fig7Deck,
+		"",
+		"* comment only\n",
+		".input a\nR1 a b 1\nC1 b 0 2p\n.output b\n",
+		"U1 in far 3k 4u\nC9 far 0 1n\n",
+		"R1 in x 1\nR2 x y 2\nR3 y in 3", // loop
+		".input\n",
+		"C1 0 0 5",
+		"R1 in in 5",
+		"X? ???",
+		".output ghost\nR1 in a 1\nC1 a 0 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tree, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		deck := Write(tree)
+		back, err := Parse(deck)
+		if err != nil {
+			t.Fatalf("accepted deck failed round trip: %v\noriginal:\n%s\nwritten:\n%s", err, src, deck)
+		}
+		if back.NumNodes() != tree.NumNodes() {
+			t.Fatalf("round trip changed node count %d -> %d", tree.NumNodes(), back.NumNodes())
+		}
+		for _, e := range tree.Outputs() {
+			want, err := tree.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, ok := back.Lookup(tree.Name(e))
+			if !ok {
+				t.Fatalf("output %q lost", tree.Name(e))
+			}
+			got, err := back.CharacteristicTimes(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !floatsClose(got.TD, want.TD) || !floatsClose(got.TP, want.TP) {
+				t.Fatalf("times changed: %+v -> %+v", want, got)
+			}
+		}
+	})
+}
+
+func floatsClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// FuzzParseValue: no panics, and suffix math stays finite for finite input.
+func FuzzParseValue(f *testing.F) {
+	for _, s := range []string{"1", "1.5k", "2meg", "-3u", "4n", "x", "1e309", "0.1f", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseValue(s)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(v) {
+			t.Fatalf("ParseValue(%q) = NaN without error", s)
+		}
+	})
+}

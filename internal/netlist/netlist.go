@@ -1,0 +1,339 @@
+// Package netlist reads and writes RC trees in a small SPICE-like deck
+// format, so networks can live in files rather than code:
+//
+//   - Figure 7 of the paper
+//     .input in
+//     R1 in  n1 15
+//     C1 n1  0  2
+//     R2 n1  b  8
+//     C2 b   0  7
+//     U1 n1  n2 3 4    ; uniform RC line: R=3, C=4
+//     C3 n2  0  9
+//     .output n2
+//
+// Cards: Rxxx a b value — lumped resistor; Cxxx a 0 value — capacitor to
+// ground; Uxxx a b Rvalue Cvalue — distributed uniform RC line. Values
+// accept SPICE engineering suffixes (k, meg, m, u, n, p, f). Comments start
+// with '*' (whole line) or ';' (trailing). Elements may appear in any order;
+// the parser orients the tree from the input node.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/rctree"
+)
+
+// edge is a two-terminal element between tree nodes, pre-orientation.
+type edge struct {
+	name   string
+	a, b   string
+	r, c   float64
+	isLine bool
+	line   int
+}
+
+type deck struct {
+	edges   []edge
+	caps    map[string]float64 // node -> summed capacitance to ground
+	capLine map[string]int
+	input   string
+	outputs []string
+	seen    map[string]int // element name -> source line
+}
+
+// Parse reads a deck and returns the RC tree it describes.
+func Parse(src string) (*rctree.Tree, error) {
+	d := &deck{caps: map[string]float64{}, capLine: map[string]int{}, seen: map[string]int{}}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "*") {
+			continue
+		}
+		if err := d.card(line, lineNo+1); err != nil {
+			return nil, err
+		}
+	}
+	return d.build()
+}
+
+func (d *deck) card(line string, no int) error {
+	fields := strings.Fields(line)
+	head := strings.ToUpper(fields[0])
+	switch {
+	case head == ".INPUT":
+		if len(fields) != 2 {
+			return fmt.Errorf("netlist: line %d: .input takes exactly one node", no)
+		}
+		if d.input != "" {
+			return fmt.Errorf("netlist: line %d: duplicate .input (already %q)", no, d.input)
+		}
+		d.input = fields[1]
+		return nil
+	case head == ".OUTPUT":
+		if len(fields) < 2 {
+			return fmt.Errorf("netlist: line %d: .output needs at least one node", no)
+		}
+		d.outputs = append(d.outputs, fields[1:]...)
+		return nil
+	case head == ".END":
+		return nil
+	case strings.HasPrefix(head, "R"):
+		if len(fields) != 4 {
+			return fmt.Errorf("netlist: line %d: resistor card needs 'Rname a b value'", no)
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("netlist: line %d: %w", no, err)
+		}
+		return d.addEdge(edge{name: fields[0], a: fields[1], b: fields[2], r: v, line: no})
+	case strings.HasPrefix(head, "C"):
+		if len(fields) != 4 {
+			return fmt.Errorf("netlist: line %d: capacitor card needs 'Cname node 0 value'", no)
+		}
+		node, gnd := fields[1], fields[2]
+		if isGround(node) {
+			node, gnd = gnd, node
+		}
+		if !isGround(gnd) {
+			return fmt.Errorf("netlist: line %d: capacitor %s must connect to ground (node 0)", no, fields[0])
+		}
+		v, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("netlist: line %d: %w", no, err)
+		}
+		if v < 0 {
+			return fmt.Errorf("netlist: line %d: negative capacitance %g", no, v)
+		}
+		if prev, dup := d.seen[strings.ToUpper(fields[0])]; dup {
+			return fmt.Errorf("netlist: line %d: element %s already defined at line %d", no, fields[0], prev)
+		}
+		d.seen[strings.ToUpper(fields[0])] = no
+		d.caps[node] += v
+		if _, ok := d.capLine[node]; !ok {
+			d.capLine[node] = no
+		}
+		return nil
+	case strings.HasPrefix(head, "U"):
+		if len(fields) != 5 {
+			return fmt.Errorf("netlist: line %d: line card needs 'Uname a b Rvalue Cvalue'", no)
+		}
+		r, err := ParseValue(fields[3])
+		if err != nil {
+			return fmt.Errorf("netlist: line %d: %w", no, err)
+		}
+		c, err := ParseValue(fields[4])
+		if err != nil {
+			return fmt.Errorf("netlist: line %d: %w", no, err)
+		}
+		return d.addEdge(edge{name: fields[0], a: fields[1], b: fields[2], r: r, c: c, isLine: true, line: no})
+	}
+	return fmt.Errorf("netlist: line %d: unrecognized card %q", no, fields[0])
+}
+
+func (d *deck) addEdge(e edge) error {
+	key := strings.ToUpper(e.name)
+	if prev, dup := d.seen[key]; dup {
+		return fmt.Errorf("netlist: line %d: element %s already defined at line %d", e.line, e.name, prev)
+	}
+	d.seen[key] = e.line
+	if isGround(e.a) || isGround(e.b) {
+		return fmt.Errorf("netlist: line %d: element %s connects to ground; RC trees have no resistor to ground", e.line, e.name)
+	}
+	if e.a == e.b {
+		return fmt.Errorf("netlist: line %d: element %s is a self-loop on %q", e.line, e.name, e.a)
+	}
+	if e.r < 0 || e.c < 0 {
+		return fmt.Errorf("netlist: line %d: element %s has a negative value", e.line, e.name)
+	}
+	d.edges = append(d.edges, e)
+	return nil
+}
+
+func isGround(node string) bool {
+	return node == "0" || strings.EqualFold(node, "gnd")
+}
+
+// build orients the element graph from the input node and assembles the
+// tree in breadth-first order (the builder requires parent-before-child).
+func (d *deck) build() (*rctree.Tree, error) {
+	input := d.input
+	if input == "" {
+		input = "in"
+	}
+	if len(d.edges) == 0 {
+		// A deck can legitimately degenerate to capacitance at the driven
+		// input alone (e.g. a zero-resistance U card folded into its
+		// parent); the response is then an immediate step.
+		return d.buildCapacitorOnly(input)
+	}
+	adj := map[string][]int{}
+	nodes := map[string]bool{input: true}
+	for i, e := range d.edges {
+		adj[e.a] = append(adj[e.a], i)
+		adj[e.b] = append(adj[e.b], i)
+		nodes[e.a] = true
+		nodes[e.b] = true
+	}
+	if len(adj[input]) == 0 {
+		return nil, fmt.Errorf("netlist: input node %q touches no element", input)
+	}
+
+	b := rctree.NewBuilder(input)
+	ids := map[string]rctree.NodeID{input: rctree.Root}
+	usedEdge := make([]bool, len(d.edges))
+	queue := []string{input}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, ei := range adj[cur] {
+			if usedEdge[ei] {
+				continue
+			}
+			e := d.edges[ei]
+			usedEdge[ei] = true
+			far := e.b
+			if far == cur {
+				far = e.a
+			}
+			if _, visited := ids[far]; visited {
+				return nil, fmt.Errorf("netlist: line %d: element %s closes a resistive loop at node %q; the network is not a tree", e.line, e.name, far)
+			}
+			var id rctree.NodeID
+			if e.isLine {
+				id = b.Line(ids[cur], far, e.r, e.c)
+			} else {
+				id = b.Resistor(ids[cur], far, e.r)
+			}
+			ids[far] = id
+			queue = append(queue, far)
+		}
+	}
+	for i, used := range usedEdge {
+		if !used {
+			e := d.edges[i]
+			return nil, fmt.Errorf("netlist: line %d: element %s (%s-%s) is disconnected from the input", e.line, e.name, e.a, e.b)
+		}
+	}
+	for node, c := range d.caps {
+		id, ok := ids[node]
+		if !ok {
+			return nil, fmt.Errorf("netlist: line %d: capacitor node %q is not connected to the tree", d.capLine[node], node)
+		}
+		b.Capacitor(id, c)
+	}
+	for _, out := range d.outputs {
+		id, ok := ids[out]
+		if !ok {
+			return nil, fmt.Errorf("netlist: .output node %q does not exist", out)
+		}
+		b.Output(id)
+	}
+	return b.Build()
+}
+
+// buildCapacitorOnly handles decks whose only elements are capacitors: they
+// must all sit at the input node (anything else is floating), and the
+// result is the single-node tree.
+func (d *deck) buildCapacitorOnly(input string) (*rctree.Tree, error) {
+	if len(d.caps) == 0 {
+		return nil, fmt.Errorf("netlist: deck has no elements")
+	}
+	b := rctree.NewBuilder(input)
+	for node, c := range d.caps {
+		if node != input {
+			return nil, fmt.Errorf("netlist: line %d: capacitor node %q is not connected to the tree", d.capLine[node], node)
+		}
+		b.Capacitor(rctree.Root, c)
+	}
+	for _, out := range d.outputs {
+		if out != input {
+			return nil, fmt.Errorf("netlist: .output node %q does not exist", out)
+		}
+		b.Output(rctree.Root)
+	}
+	return b.Build()
+}
+
+// ParseValue parses a SPICE-style number with optional engineering suffix:
+// f=1e-15, p=1e-12, n=1e-9, u=1e-6, m=1e-3, k=1e3, meg=1e6, g=1e9.
+func ParseValue(s string) (float64, error) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(low, "meg"):
+		mult, low = 1e6, strings.TrimSuffix(low, "meg")
+	case strings.HasSuffix(low, "f"):
+		mult, low = 1e-15, strings.TrimSuffix(low, "f")
+	case strings.HasSuffix(low, "p"):
+		mult, low = 1e-12, strings.TrimSuffix(low, "p")
+	case strings.HasSuffix(low, "n"):
+		mult, low = 1e-9, strings.TrimSuffix(low, "n")
+	case strings.HasSuffix(low, "u"):
+		mult, low = 1e-6, strings.TrimSuffix(low, "u")
+	case strings.HasSuffix(low, "m"):
+		mult, low = 1e-3, strings.TrimSuffix(low, "m")
+	case strings.HasSuffix(low, "k"):
+		mult, low = 1e3, strings.TrimSuffix(low, "k")
+	case strings.HasSuffix(low, "g"):
+		mult, low = 1e9, strings.TrimSuffix(low, "g")
+	}
+	v, err := strconv.ParseFloat(low, 64)
+	if err != nil {
+		return 0, fmt.Errorf("netlist: bad value %q", s)
+	}
+	return v * mult, nil
+}
+
+// Write renders a tree back into deck form. Values print in plain notation;
+// the result round-trips through Parse.
+func Write(t *rctree.Tree) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "* RC tree: %d nodes\n", t.NumNodes())
+	fmt.Fprintf(&sb, ".input %s\n", t.Name(rctree.Root))
+	rCount, uCount, cCount := 0, 0, 0
+	t.Walk(func(id rctree.NodeID) {
+		if id == rctree.Root {
+			if c := t.NodeCap(id); c > 0 {
+				cCount++
+				fmt.Fprintf(&sb, "C%d %s 0 %s\n", cCount, t.Name(id), fmtVal(c))
+			}
+			return
+		}
+		kind, r, c := t.Edge(id)
+		parent := t.Name(t.Parent(id))
+		switch kind {
+		case rctree.EdgeResistor:
+			rCount++
+			fmt.Fprintf(&sb, "R%d %s %s %s\n", rCount, parent, t.Name(id), fmtVal(r))
+		case rctree.EdgeLine:
+			uCount++
+			fmt.Fprintf(&sb, "U%d %s %s %s %s\n", uCount, parent, t.Name(id), fmtVal(r), fmtVal(c))
+		}
+		if nc := t.NodeCap(id); nc > 0 {
+			cCount++
+			fmt.Fprintf(&sb, "C%d %s 0 %s\n", cCount, t.Name(id), fmtVal(nc))
+		}
+	})
+	outs := make([]string, 0, len(t.Outputs()))
+	for _, o := range t.Outputs() {
+		outs = append(outs, t.Name(o))
+	}
+	sort.Strings(outs)
+	for _, o := range outs {
+		fmt.Fprintf(&sb, ".output %s\n", o)
+	}
+	sb.WriteString(".end\n")
+	return sb.String()
+}
+
+func fmtVal(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,222 @@
+// Package opt applies the Penfield–Rubinstein bounds to the design questions
+// the paper's introduction motivates: because TMax is a *guaranteed* upper
+// bound on delay, any design choice certified with TMax is safe regardless
+// of where in the envelope the true response falls. The package provides
+// certified driver sizing, maximum-wire-length rules, and repeater insertion
+// for long lines — the classic interconnect-era design loop, driven entirely
+// by the paper's closed-form bounds (no simulation).
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/mos"
+	"repro/internal/rctree"
+)
+
+// Budget is a timing contract: the output must pass threshold V no later
+// than Deadline (certified via TMax).
+type Budget struct {
+	V        float64
+	Deadline float64
+}
+
+func (b Budget) validate() error {
+	if b.V <= 0 || b.V >= 1 {
+		return fmt.Errorf("opt: threshold %g outside (0,1)", b.V)
+	}
+	if b.Deadline <= 0 {
+		return fmt.Errorf("opt: deadline must be positive, got %g", b.Deadline)
+	}
+	return nil
+}
+
+// certified reports whether the tree's output meets the budget with
+// certainty (TMax <= deadline).
+func certified(t *rctree.Tree, out rctree.NodeID, b Budget) (bool, error) {
+	tm, err := t.CharacteristicTimes(out)
+	if err != nil {
+		return false, err
+	}
+	bounds, err := core.New(tm)
+	if err != nil {
+		return false, err
+	}
+	return bounds.TMax(b.V) <= b.Deadline, nil
+}
+
+// MaxParam finds, by bisection to relative tolerance tol, the largest p in
+// [lo, hi] for which ok(p) holds, assuming ok is monotone (true for small p,
+// false for large). It returns an error if ok(lo) is already false, and
+// returns hi if ok(hi) still holds.
+func MaxParam(lo, hi, tol float64, ok func(p float64) (bool, error)) (float64, error) {
+	if !(lo < hi) {
+		return 0, fmt.Errorf("opt: need lo < hi, got [%g, %g]", lo, hi)
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	okLo, err := ok(lo)
+	if err != nil {
+		return 0, err
+	}
+	if !okLo {
+		return 0, fmt.Errorf("opt: constraint unsatisfiable even at p=%g", lo)
+	}
+	okHi, err := ok(hi)
+	if err != nil {
+		return 0, err
+	}
+	if okHi {
+		return hi, nil
+	}
+	for hi-lo > tol*(1+math.Abs(hi)) {
+		mid := (lo + hi) / 2
+		good, err := ok(mid)
+		if err != nil {
+			return 0, err
+		}
+		if good {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// SizeDriver returns the largest driver effective resistance (i.e. the
+// smallest, cheapest driver) that still certifies the budget for the network
+// produced by build. build must return the tree and the timed output for a
+// given driver resistance; delay must be nondecreasing in the resistance
+// (true for every RC tree, since the driver resistance is common to all
+// paths).
+func SizeDriver(build func(rEff float64) (*rctree.Tree, rctree.NodeID, error),
+	budget Budget, rLo, rHi float64) (float64, error) {
+	if err := budget.validate(); err != nil {
+		return 0, err
+	}
+	return MaxParam(rLo, rHi, 1e-6, func(r float64) (bool, error) {
+		t, out, err := build(r)
+		if err != nil {
+			return false, err
+		}
+		return certified(t, out, budget)
+	})
+}
+
+// Line describes a uniform wire by per-unit-length resistance and
+// capacitance (ohms and farads per meter, or any consistent units).
+type Line struct {
+	RPerLen, CPerLen float64
+}
+
+func (l Line) validate() error {
+	if l.RPerLen <= 0 || l.CPerLen <= 0 {
+		return fmt.Errorf("opt: line needs positive per-unit R and C, got %+v", l)
+	}
+	return nil
+}
+
+// buildPointToPoint assembles driver -> line(length) -> load and returns the
+// load node as output.
+func buildPointToPoint(d mos.Driver, l Line, length, loadC float64) (*rctree.Tree, rctree.NodeID, error) {
+	b := rctree.NewBuilder("in")
+	drv, err := mos.AttachDriver(b, d)
+	if err != nil {
+		return nil, 0, err
+	}
+	far := b.Line(drv, "far", l.RPerLen*length, l.CPerLen*length)
+	if loadC > 0 {
+		b.Capacitor(far, loadC)
+	}
+	b.Output(far)
+	t, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, far, nil
+}
+
+// MaxWireLength returns the longest run of the given line, between the
+// driver and a lumped load, that is certified to meet the budget. maxLen
+// caps the search; if even maxLen passes, maxLen is returned.
+func MaxWireLength(d mos.Driver, l Line, loadC float64, budget Budget, maxLen float64) (float64, error) {
+	if err := budget.validate(); err != nil {
+		return 0, err
+	}
+	if err := l.validate(); err != nil {
+		return 0, err
+	}
+	if maxLen <= 0 {
+		return 0, fmt.Errorf("opt: maxLen must be positive")
+	}
+	const tiny = 1e-9
+	return MaxParam(tiny*maxLen, maxLen, 1e-9, func(length float64) (bool, error) {
+		t, out, err := buildPointToPoint(d, l, length, loadC)
+		if err != nil {
+			return false, err
+		}
+		return certified(t, out, budget)
+	})
+}
+
+// RepeaterPlan is the result of certified repeater insertion.
+type RepeaterPlan struct {
+	// Stages is the number of driver+segment stages (1 = no repeaters).
+	Stages int
+	// PerStageTMax is the certified worst-case delay of one stage at the
+	// budget threshold; TotalTMax = Stages · PerStageTMax.
+	PerStageTMax float64
+	TotalTMax    float64
+}
+
+// InsertRepeaters chooses the number of identical repeater stages that
+// minimizes the certified end-to-end delay of a long line: each stage is a
+// driver (the repeater) plus a line segment of length/stages plus the next
+// repeater's input capacitance. The total worst-case delay is the sum of the
+// per-stage TMax values — valid because each repeater restores the signal,
+// so stages time independently (the classical Bakoglu decomposition, here
+// with certified per-stage delays).
+//
+// repeaterIn is the input capacitance a stage presents as load; the final
+// stage drives loadC instead. maxStages caps the search.
+func InsertRepeaters(d mos.Driver, l Line, length, repeaterIn, loadC, v float64, maxStages int) (RepeaterPlan, error) {
+	if v <= 0 || v >= 1 {
+		return RepeaterPlan{}, fmt.Errorf("opt: threshold %g outside (0,1)", v)
+	}
+	if err := l.validate(); err != nil {
+		return RepeaterPlan{}, err
+	}
+	if length <= 0 || maxStages < 1 {
+		return RepeaterPlan{}, fmt.Errorf("opt: need positive length and maxStages >= 1")
+	}
+	best := RepeaterPlan{TotalTMax: math.Inf(1)}
+	for k := 1; k <= maxStages; k++ {
+		segLen := length / float64(k)
+		// A middle stage drives the next repeater; the last drives loadC.
+		// For identical stages, size with the heavier of the two loads so
+		// the certificate covers both.
+		load := math.Max(repeaterIn, loadC)
+		t, out, err := buildPointToPoint(d, l, segLen, load)
+		if err != nil {
+			return RepeaterPlan{}, err
+		}
+		tm, err := t.CharacteristicTimes(out)
+		if err != nil {
+			return RepeaterPlan{}, err
+		}
+		bounds, err := core.New(tm)
+		if err != nil {
+			return RepeaterPlan{}, err
+		}
+		per := bounds.TMax(v)
+		total := float64(k) * per
+		if total < best.TotalTMax {
+			best = RepeaterPlan{Stages: k, PerStageTMax: per, TotalTMax: total}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,229 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mos"
+	"repro/internal/rctree"
+	"repro/internal/sim"
+)
+
+// polyLine is the §V interconnect: 7.5 Ω and ~4.6e-4 pF per micron
+// (180 Ω / 0.011 pF per 24 µm). Units: ohms, pF, µm; times in ps.
+var polyLine = Line{RPerLen: 7.5, CPerLen: 4.6e-4}
+
+func TestMaxParamBisection(t *testing.T) {
+	// Largest p with p^2 <= 10.
+	got, err := MaxParam(0, 100, 1e-9, func(p float64) (bool, error) {
+		return p*p <= 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt(10)) > 1e-6 {
+		t.Errorf("MaxParam = %g, want sqrt(10)", got)
+	}
+	// Constraint true everywhere returns hi.
+	got, err = MaxParam(0, 5, 1e-9, func(float64) (bool, error) { return true, nil })
+	if err != nil || got != 5 {
+		t.Errorf("all-true MaxParam = %g, %v; want 5", got, err)
+	}
+	// Constraint false at lo errors.
+	if _, err := MaxParam(1, 5, 1e-9, func(float64) (bool, error) { return false, nil }); err == nil {
+		t.Error("unsatisfiable constraint accepted")
+	}
+	// lo >= hi errors.
+	if _, err := MaxParam(5, 5, 1e-9, func(float64) (bool, error) { return true, nil }); err == nil {
+		t.Error("empty interval accepted")
+	}
+	// Callback errors propagate.
+	boom := fmt.Errorf("boom")
+	if _, err := MaxParam(0, 1, 1e-9, func(float64) (bool, error) { return false, boom }); err == nil {
+		t.Error("callback error swallowed")
+	}
+}
+
+func buildNet(rEff float64) (*rctree.Tree, rctree.NodeID, error) {
+	b := rctree.NewBuilder("in")
+	drv, err := mos.AttachDriver(b, mos.Driver{Name: "drv", REff: rEff, COut: 0.04})
+	if err != nil {
+		return nil, 0, err
+	}
+	far := b.Line(drv, "far", 1800, 0.11) // 240 µm of §V poly
+	b.Capacitor(far, 0.013)
+	b.Output(far)
+	t, err := b.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, far, nil
+}
+
+// TestSizeDriver: the returned resistance certifies the budget, and a
+// slightly larger driver resistance does not — i.e. the answer is maximal.
+func TestSizeDriver(t *testing.T) {
+	budget := Budget{V: 0.7, Deadline: 2000} // 2 ns
+	r, err := SizeDriver(buildNet, budget, 1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(rr float64) bool {
+		tree, out, err := buildNet(rr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, _ := tree.CharacteristicTimes(out)
+		b := core.MustNew(tm)
+		return b.TMax(budget.V) <= budget.Deadline
+	}
+	if !check(r) {
+		t.Errorf("SizeDriver result %g does not certify", r)
+	}
+	if check(r * 1.01) {
+		t.Errorf("SizeDriver result %g is not maximal", r)
+	}
+	// The certified design also passes in exact simulation, with margin.
+	tree, out, _ := buildNet(r)
+	lumped, mapping, err := sim.Discretize(tree, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := sim.NewCircuit(lumped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ckt.EigenResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := ckt.Index(mapping[out])
+	if cross := resp.CrossingTime(i, budget.V, 1e-10); cross > budget.Deadline {
+		t.Errorf("certified design missed deadline in simulation: %g > %g", cross, budget.Deadline)
+	}
+}
+
+func TestSizeDriverValidation(t *testing.T) {
+	if _, err := SizeDriver(buildNet, Budget{V: 0, Deadline: 1}, 1, 10); err == nil {
+		t.Error("bad threshold accepted")
+	}
+	if _, err := SizeDriver(buildNet, Budget{V: 0.5, Deadline: 0}, 1, 10); err == nil {
+		t.Error("zero deadline accepted")
+	}
+}
+
+// TestMaxWireLength: monotone in the budget, and the returned length is
+// tight (1% longer fails certification).
+func TestMaxWireLength(t *testing.T) {
+	d := mos.Superbuffer()
+	budgetShort := Budget{V: 0.7, Deadline: 500}
+	budgetLong := Budget{V: 0.7, Deadline: 5000}
+	lShort, err := MaxWireLength(d, polyLine, 0.013, budgetShort, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lLong, err := MaxWireLength(d, polyLine, 0.013, budgetLong, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lShort >= lLong {
+		t.Errorf("more budget should allow more wire: %g vs %g", lShort, lLong)
+	}
+	// Tightness.
+	tree, out, err := buildPointToPoint(d, polyLine, lLong*1.01, 0.013)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := tree.CharacteristicTimes(out)
+	if core.MustNew(tm).TMax(0.7) <= budgetLong.Deadline {
+		t.Error("MaxWireLength not maximal")
+	}
+	// Cap respected.
+	capped, err := MaxWireLength(d, polyLine, 0.013, Budget{V: 0.7, Deadline: 1e12}, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped != 1234 {
+		t.Errorf("cap not honored: %g", capped)
+	}
+}
+
+func TestMaxWireLengthValidation(t *testing.T) {
+	d := mos.Superbuffer()
+	if _, err := MaxWireLength(d, Line{}, 0, Budget{V: 0.5, Deadline: 1}, 10); err == nil {
+		t.Error("zero line accepted")
+	}
+	if _, err := MaxWireLength(d, polyLine, 0, Budget{V: 0.5, Deadline: 1}, 0); err == nil {
+		t.Error("zero maxLen accepted")
+	}
+}
+
+// TestInsertRepeaters: on a long line, repeaters beat the unbuffered wire
+// (quadratic -> linear), and the chosen stage count scales roughly linearly
+// with length, the classical result.
+func TestInsertRepeaters(t *testing.T) {
+	d := mos.Superbuffer()
+	const repeaterIn, loadC = 0.05, 0.013
+	long, err := InsertRepeaters(d, polyLine, 20000, repeaterIn, loadC, 0.5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Stages < 2 {
+		t.Fatalf("a 20 mm line should want repeaters, got %d stages", long.Stages)
+	}
+	// Compare with the unbuffered certified delay.
+	tree, out, err := buildPointToPoint(d, polyLine, 20000, loadC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, _ := tree.CharacteristicTimes(out)
+	unbuffered := core.MustNew(tm).TMax(0.5)
+	if long.TotalTMax >= unbuffered {
+		t.Errorf("repeatered %g not faster than unbuffered %g", long.TotalTMax, unbuffered)
+	}
+	// Stage count grows with length (~linearly in the long-line limit).
+	short, err := InsertRepeaters(d, polyLine, 5000, repeaterIn, loadC, 0.5, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Stages >= long.Stages {
+		t.Errorf("stage count should grow with length: %d vs %d", short.Stages, long.Stages)
+	}
+	ratio := float64(long.Stages) / float64(short.Stages)
+	if ratio < 2 || ratio > 8 {
+		t.Errorf("stages ratio for 4x length = %g, want roughly 4", ratio)
+	}
+	// Consistency of the plan arithmetic.
+	if math.Abs(long.TotalTMax-float64(long.Stages)*long.PerStageTMax) > 1e-9 {
+		t.Error("TotalTMax != Stages * PerStageTMax")
+	}
+}
+
+func TestInsertRepeatersValidation(t *testing.T) {
+	d := mos.Superbuffer()
+	if _, err := InsertRepeaters(d, polyLine, 1000, 0.05, 0.013, 0, 8); err == nil {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := InsertRepeaters(d, polyLine, 0, 0.05, 0.013, 0.5, 8); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := InsertRepeaters(d, polyLine, 1000, 0.05, 0.013, 0.5, 0); err == nil {
+		t.Error("zero maxStages accepted")
+	}
+	if _, err := InsertRepeaters(d, Line{}, 1000, 0.05, 0.013, 0.5, 8); err == nil {
+		t.Error("zero line accepted")
+	}
+}
+
+// TestShortLineNoRepeaters: when the wire is short, one stage is optimal.
+func TestShortLineNoRepeaters(t *testing.T) {
+	plan, err := InsertRepeaters(mos.Superbuffer(), polyLine, 100, 0.05, 0.013, 0.5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Stages != 1 {
+		t.Errorf("100 µm line chose %d stages, want 1", plan.Stages)
+	}
+}

@@ -1,0 +1,103 @@
+// Package randnet generates pseudo-random RC trees for property-based tests
+// and benchmarks. Generation is deterministic for a given seed so failures
+// are reproducible.
+package randnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rctree"
+)
+
+// Config controls the shape and element values of generated trees.
+type Config struct {
+	// Nodes is the number of non-input nodes to create (>= 1).
+	Nodes int
+	// LineProb is the probability that an edge is a distributed RC line
+	// rather than a lumped resistor.
+	LineProb float64
+	// CapProb is the probability that a node carries a lumped capacitor.
+	// At least one capacitor is always placed so the tree is valid.
+	CapProb float64
+	// Chain biases the topology: 0 yields random attachment (bushy trees),
+	// 1 always extends the most recent node (a single RC ladder).
+	Chain float64
+	// RMax and CMax bound element values, drawn uniformly from (0, RMax]
+	// and (0, CMax].
+	RMax, CMax float64
+}
+
+// DefaultConfig is a reasonable mix of lines, branches and lumped elements.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, LineProb: 0.4, CapProb: 0.7, Chain: 0.5, RMax: 100, CMax: 10}
+}
+
+// Tree generates a random RC tree with all leaves designated as outputs.
+func Tree(rng *rand.Rand, cfg Config) *rctree.Tree {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.RMax <= 0 {
+		cfg.RMax = 100
+	}
+	if cfg.CMax <= 0 {
+		cfg.CMax = 10
+	}
+	b := rctree.NewBuilder("in")
+	ids := []rctree.NodeID{rctree.Root}
+	placedCap := false
+	for i := 0; i < cfg.Nodes; i++ {
+		var parent rctree.NodeID
+		if rng.Float64() < cfg.Chain {
+			parent = ids[len(ids)-1]
+		} else {
+			parent = ids[rng.Intn(len(ids))]
+		}
+		name := fmt.Sprintf("n%d", i+1)
+		r := rng.Float64()*cfg.RMax + 1e-3
+		var id rctree.NodeID
+		if rng.Float64() < cfg.LineProb {
+			c := rng.Float64()*cfg.CMax + 1e-6
+			id = b.Line(parent, name, r, c)
+			placedCap = true
+		} else {
+			id = b.Resistor(parent, name, r)
+		}
+		if rng.Float64() < cfg.CapProb {
+			b.Capacitor(id, rng.Float64()*cfg.CMax+1e-6)
+			placedCap = true
+		}
+		ids = append(ids, id)
+	}
+	if !placedCap {
+		b.Capacitor(ids[len(ids)-1], rng.Float64()*cfg.CMax+1e-6)
+	}
+	t, err := b.Build()
+	if err != nil {
+		// Generation obeys the builder's preconditions, so this is a bug.
+		panic(fmt.Sprintf("randnet: generated invalid tree: %v", err))
+	}
+	return t
+}
+
+// Ladder generates a uniform N-section RC ladder (the lumped approximation
+// of a single distributed line), with total resistance rTot and total
+// capacitance cTot. The far end is the single output.
+func Ladder(n int, rTot, cTot float64) *rctree.Tree {
+	if n < 1 {
+		n = 1
+	}
+	b := rctree.NewBuilder("in")
+	prev := rctree.Root
+	for i := 0; i < n; i++ {
+		prev = b.Resistor(prev, fmt.Sprintf("n%d", i+1), rTot/float64(n))
+		b.Capacitor(prev, cTot/float64(n))
+	}
+	b.Output(prev)
+	t, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("randnet: ladder: %v", err))
+	}
+	return t
+}

@@ -1,0 +1,110 @@
+package randnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rctree"
+)
+
+func TestTreeDeterministic(t *testing.T) {
+	a := Tree(rand.New(rand.NewSource(7)), DefaultConfig(20))
+	b := Tree(rand.New(rand.NewSource(7)), DefaultConfig(20))
+	if a.String() != b.String() {
+		t.Error("same seed produced different trees")
+	}
+	c := Tree(rand.New(rand.NewSource(8)), DefaultConfig(20))
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical trees")
+	}
+}
+
+func TestTreeAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 300; trial++ {
+		cfg := Config{
+			Nodes:    rng.Intn(50), // includes 0, which is clamped to 1
+			LineProb: rng.Float64(),
+			CapProb:  rng.Float64(),
+			Chain:    rng.Float64(),
+			RMax:     rng.Float64() * 1000,
+			CMax:     rng.Float64() * 100,
+		}
+		tr := Tree(rng, cfg)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid tree: %v", trial, err)
+		}
+		if tr.TotalCap() <= 0 {
+			t.Fatalf("trial %d: no capacitance", trial)
+		}
+		if len(tr.Outputs()) == 0 {
+			t.Fatalf("trial %d: no outputs", trial)
+		}
+	}
+}
+
+func TestChainBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cfg := DefaultConfig(40)
+	cfg.Chain = 1 // always extend the most recent node: a pure ladder
+	cfg.LineProb = 0
+	tr := Tree(rng, cfg)
+	if got := tr.Depth(); got != 40 {
+		t.Errorf("pure chain depth = %d, want 40", got)
+	}
+	cfg.Chain = 0 // random attachment: almost surely shallower
+	bushy := Tree(rng, cfg)
+	if bushy.Depth() >= 40 {
+		t.Errorf("bushy tree depth = %d, want < 40", bushy.Depth())
+	}
+}
+
+func TestLadder(t *testing.T) {
+	tr := Ladder(10, 100, 50)
+	if tr.NumNodes() != 11 {
+		t.Fatalf("nodes = %d, want 11", tr.NumNodes())
+	}
+	if math.Abs(tr.TotalRes()-100) > 1e-9 || math.Abs(tr.TotalCap()-50) > 1e-9 {
+		t.Errorf("totals = %g, %g; want 100, 50", tr.TotalRes(), tr.TotalCap())
+	}
+	if len(tr.Outputs()) != 1 {
+		t.Fatalf("outputs = %d", len(tr.Outputs()))
+	}
+	// The ladder is a chain: TD at the far end equals TP.
+	tm, err := tr.CharacteristicTimes(tr.Outputs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm.TD-tm.TP) > 1e-9 {
+		t.Errorf("ladder TD=%g != TP=%g", tm.TD, tm.TP)
+	}
+	// As the section count grows, TD approaches the distributed RC/2 from
+	// above: TD(N) = RC/2 · (1 + 1/N).
+	for _, n := range []int{1, 4, 16} {
+		lad := Ladder(n, 100, 50)
+		tmN, err := lad.CharacteristicTimes(lad.Outputs()[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 100.0 * 50 / 2 * (1 + 1/float64(n))
+		if math.Abs(tmN.TD-want) > 1e-9*want {
+			t.Errorf("Ladder(%d) TD = %g, want %g", n, tmN.TD, want)
+		}
+	}
+	// Degenerate count clamps to 1.
+	if Ladder(0, 1, 1).NumNodes() != 2 {
+		t.Error("Ladder(0) did not clamp")
+	}
+}
+
+func TestZeroValueConfigClamped(t *testing.T) {
+	tr := Tree(rand.New(rand.NewSource(11)), Config{})
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("zero config tree invalid: %v", err)
+	}
+	if tr.NumNodes() < 2 {
+		t.Error("zero config produced empty tree")
+	}
+	_ = rctree.Root
+}

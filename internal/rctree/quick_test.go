@@ -1,0 +1,255 @@
+package rctree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// scaleTree rebuilds a tree with every resistance multiplied by ra and
+// every capacitance by ca.
+func scaleTree(t *Tree, ra, ca float64) *Tree {
+	b := NewBuilder(t.Name(Root))
+	ids := map[NodeID]NodeID{Root: Root}
+	t.Walk(func(id NodeID) {
+		if id == Root {
+			if c := t.NodeCap(id); c > 0 {
+				b.Capacitor(Root, c*ca)
+			}
+			return
+		}
+		kind, r, c := t.Edge(id)
+		var nid NodeID
+		switch kind {
+		case EdgeResistor:
+			nid = b.Resistor(ids[t.Parent(id)], t.Name(id), r*ra)
+		case EdgeLine:
+			nid = b.Line(ids[t.Parent(id)], t.Name(id), r*ra, c*ca)
+		}
+		ids[id] = nid
+		if c := t.NodeCap(id); c > 0 {
+			b.Capacitor(nid, c*ca)
+		}
+	})
+	for _, o := range t.Outputs() {
+		b.Output(ids[o])
+	}
+	scaled, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return scaled
+}
+
+// TestQuickScalingLaw: scaling R by a and C by b scales every
+// characteristic time by a·b and Ree by a — dimensional analysis as a
+// property test.
+func TestQuickScalingLaw(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 1+rng.Intn(20))
+		ra := 0.1 + 10*rng.Float64()
+		ca := 0.1 + 10*rng.Float64()
+		scaled := scaleTree(tr, ra, ca)
+		for _, e := range tr.Outputs() {
+			orig, err := tr.CharacteristicTimes(e)
+			if err != nil {
+				return false
+			}
+			got, err := scaled.CharacteristicTimes(e)
+			if err != nil {
+				return false
+			}
+			k := ra * ca
+			if !almostEq(got.TP, orig.TP*k, 1e-9) ||
+				!almostEq(got.TD, orig.TD*k, 1e-9) ||
+				!almostEq(got.TR, orig.TR*k, 1e-9) ||
+				!almostEq(got.Ree, orig.Ree*ra, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddedCapacitanceMonotone: attaching extra capacitance anywhere
+// can only increase TP and TD (weakly), never decrease them.
+func TestQuickAddedCapacitanceMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 2+rng.Intn(20))
+		e := tr.Outputs()[rng.Intn(len(tr.Outputs()))]
+		before, err := tr.CharacteristicTimes(e)
+		if err != nil {
+			return false
+		}
+		// Rebuild with extra capacitance at a random non-root node.
+		extraAt := NodeID(1 + rng.Intn(tr.NumNodes()-1))
+		extra := rng.Float64() * 10
+		b := NewBuilder(tr.Name(Root))
+		ids := map[NodeID]NodeID{Root: Root}
+		tr.Walk(func(id NodeID) {
+			if id == Root {
+				return
+			}
+			kind, r, c := tr.Edge(id)
+			var nid NodeID
+			if kind == EdgeLine {
+				nid = b.Line(ids[tr.Parent(id)], tr.Name(id), r, c)
+			} else {
+				nid = b.Resistor(ids[tr.Parent(id)], tr.Name(id), r)
+			}
+			ids[id] = nid
+			if c := tr.NodeCap(id); c > 0 {
+				b.Capacitor(nid, c)
+			}
+			if id == extraAt {
+				b.Capacitor(nid, extra)
+			}
+		})
+		b.Output(ids[e])
+		bigger, err := b.Build()
+		if err != nil {
+			return false
+		}
+		after, err := bigger.CharacteristicTimes(ids[e])
+		if err != nil {
+			return false
+		}
+		return after.TP >= before.TP-1e-12 && after.TD >= before.TD-1e-12 &&
+			almostEq(after.Ree, before.Ree, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCommonResistanceBound: Rke <= min(Rkk, Ree) for every node pair,
+// the §III inequality the bounds rest on.
+func TestQuickCommonResistanceBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 2+rng.Intn(25))
+		n := tr.NumNodes()
+		for trial := 0; trial < 20; trial++ {
+			k := NodeID(rng.Intn(n))
+			e := NodeID(rng.Intn(n))
+			rke := tr.commonResistance(k, e)
+			if rke > tr.PathResistance(k)+1e-12 || rke > tr.PathResistance(e)+1e-12 {
+				return false
+			}
+			// Symmetry.
+			if !almostEq(rke, tr.commonResistance(e, k), 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSideBranchInvariance: grafting a new side branch off the
+// input→e path never changes Ree and never decreases TDe or TP.
+func TestQuickSideBranchInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 2+rng.Intn(15))
+		e := tr.Outputs()[0]
+		before, err := tr.CharacteristicTimes(e)
+		if err != nil {
+			return false
+		}
+		// Rebuild and graft a branch at a random path node.
+		path := tr.PathTo(e)
+		graftAt := path[rng.Intn(len(path))]
+		b := NewBuilder(tr.Name(Root))
+		ids := map[NodeID]NodeID{Root: Root}
+		tr.Walk(func(id NodeID) {
+			if id == Root {
+				return
+			}
+			kind, r, c := tr.Edge(id)
+			if kind == EdgeLine {
+				ids[id] = b.Line(ids[tr.Parent(id)], tr.Name(id), r, c)
+			} else {
+				ids[id] = b.Resistor(ids[tr.Parent(id)], tr.Name(id), r)
+			}
+			if nc := tr.NodeCap(id); nc > 0 {
+				b.Capacitor(ids[id], nc)
+			}
+		})
+		graft := b.Resistor(ids[graftAt], "graft", 1+rng.Float64()*50)
+		b.Capacitor(graft, rng.Float64()*5)
+		b.Output(ids[e])
+		grafted, err := b.Build()
+		if err != nil {
+			return false
+		}
+		after, err := grafted.CharacteristicTimes(ids[e])
+		if err != nil {
+			return false
+		}
+		return almostEq(after.Ree, before.Ree, 1e-12) &&
+			after.TD >= before.TD-1e-12 && after.TP >= before.TP-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDepthAndSize sanity-checks structural accessors against a naive
+// recount on random trees.
+func TestQuickDepthAndSize(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 1+rng.Intn(30))
+		count := 0
+		maxDepth := 0
+		var rec func(id NodeID, d int)
+		rec = func(id NodeID, d int) {
+			count++
+			if d > maxDepth {
+				maxDepth = d
+			}
+			for _, c := range tr.Children(id) {
+				rec(c, d+1)
+			}
+		}
+		rec(Root, 0)
+		return count == tr.NumNodes() && maxDepth == tr.Depth()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPathResistanceAdditive: Rkk equals the sum of edge resistances
+// along PathTo, for every node.
+func TestQuickPathResistanceAdditive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := randomTree(rng, 1+rng.Intn(30))
+		for id := 0; id < tr.NumNodes(); id++ {
+			var sum float64
+			for _, p := range tr.PathTo(NodeID(id)) {
+				_, r, _ := tr.Edge(p)
+				if p != Root {
+					sum += r
+				}
+			}
+			if math.Abs(sum-tr.PathResistance(NodeID(id))) > 1e-9*(1+sum) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

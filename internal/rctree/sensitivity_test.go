@@ -1,0 +1,149 @@
+package rctree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// rebuildPerturbed copies the tree with the element at node `at` perturbed:
+// dC added to its lumped (or line) capacitance, dR to its edge resistance.
+func rebuildPerturbed(t *Tree, at NodeID, dR, dC float64, lineC bool) *Tree {
+	b := NewBuilder(t.Name(Root))
+	ids := map[NodeID]NodeID{Root: Root}
+	t.Walk(func(id NodeID) {
+		if id == Root {
+			if c := t.NodeCap(id); c > 0 {
+				b.Capacitor(Root, c)
+			}
+			return
+		}
+		kind, r, c := t.Edge(id)
+		if id == at {
+			r += dR
+			if lineC {
+				c += dC
+			}
+		}
+		var nid NodeID
+		if kind == EdgeLine {
+			nid = b.Line(ids[t.Parent(id)], t.Name(id), r, c)
+		} else {
+			nid = b.Resistor(ids[t.Parent(id)], t.Name(id), r)
+		}
+		ids[id] = nid
+		nc := t.NodeCap(id)
+		if id == at && !lineC {
+			nc += dC
+		}
+		if nc > 0 {
+			b.Capacitor(nid, nc)
+		}
+	})
+	for _, o := range t.Outputs() {
+		b.Output(ids[o])
+	}
+	out, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// TestSensitivitiesFiniteDifference validates every gradient against exact
+// finite differences (the times are linear in each element, so differences
+// are exact, not approximate) on random trees.
+func TestSensitivitiesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		tr := randomTree(rng, 2+rng.Intn(20))
+		e := tr.Outputs()[rng.Intn(len(tr.Outputs()))]
+		sens, err := tr.Sensitivities(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := tr.CharacteristicTimes(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const h = 0.37 // linearity makes any step exact
+		for id := 1; id < tr.NumNodes(); id++ {
+			node := NodeID(id)
+			kind, _, _ := tr.Edge(node)
+			isLine := kind == EdgeLine
+
+			// Capacitance derivative (lumped node cap, or line total cap).
+			pert := rebuildPerturbed(tr, node, 0, h, isLine)
+			after, err := pert.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotTD := (after.TD - base.TD) / h
+			gotTP := (after.TP - base.TP) / h
+			if !almostEq(gotTD, sens.DTDdC[id], 1e-7) {
+				t.Fatalf("trial %d node %d (line=%v): dTD/dC fd=%g analytic=%g\n%s",
+					trial, id, isLine, gotTD, sens.DTDdC[id], tr)
+			}
+			if !almostEq(gotTP, sens.DTPdC[id], 1e-7) {
+				t.Fatalf("trial %d node %d: dTP/dC fd=%g analytic=%g", trial, id, gotTP, sens.DTPdC[id])
+			}
+
+			// Resistance derivative.
+			pert = rebuildPerturbed(tr, node, h, 0, isLine)
+			after, err = pert.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotTD = (after.TD - base.TD) / h
+			gotTP = (after.TP - base.TP) / h
+			if !almostEq(gotTD, sens.DTDdR[id], 1e-7) {
+				t.Fatalf("trial %d node %d (line=%v): dTD/dR fd=%g analytic=%g\n%s",
+					trial, id, isLine, gotTD, sens.DTDdR[id], tr)
+			}
+			if !almostEq(gotTP, sens.DTPdR[id], 1e-7) {
+				t.Fatalf("trial %d node %d: dTP/dR fd=%g analytic=%g", trial, id, gotTP, sens.DTPdR[id])
+			}
+		}
+	}
+}
+
+// TestSensitivityStructure: qualitative facts — off-path resistors have zero
+// TD sensitivity; capacitance sensitivity equals common-path resistance;
+// everything is nonnegative.
+func TestSensitivityStructure(t *testing.T) {
+	tr, k, e := fig3Tree(t)
+	sens, err := tr.Sensitivities(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k and leaf are off the input->e path.
+	leaf, _ := tr.Lookup("leaf")
+	for _, off := range []NodeID{k, leaf} {
+		if sens.DTDdR[off] != 0 {
+			t.Errorf("off-path node %q has dTD/dR = %g, want 0", tr.Name(off), sens.DTDdR[off])
+		}
+	}
+	// Capacitance sensitivity at k is Rke = 3.
+	if sens.DTDdC[k] != 3 {
+		t.Errorf("dTD/dC at k = %g, want 3", sens.DTDdC[k])
+	}
+	// At the output it is Ree = 19.
+	if sens.DTDdC[e] != 19 {
+		t.Errorf("dTD/dC at e = %g, want 19", sens.DTDdC[e])
+	}
+	for id := 1; id < tr.NumNodes(); id++ {
+		if sens.DTDdC[id] < 0 || sens.DTPdC[id] < 0 || sens.DTDdR[id] < 0 || sens.DTPdR[id] < 0 {
+			t.Errorf("negative sensitivity at node %d", id)
+		}
+		if sens.DTDdC[id] > sens.DTPdC[id] {
+			t.Errorf("node %d: dTD/dC %g exceeds dTP/dC %g (Rke > Rkk impossible)",
+				id, sens.DTDdC[id], sens.DTPdC[id])
+		}
+	}
+}
+
+func TestSensitivitiesOutOfRange(t *testing.T) {
+	tr, _, _ := fig3Tree(t)
+	if _, err := tr.Sensitivities(NodeID(99)); err == nil {
+		t.Error("out-of-range output accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package rctree
+
+import (
+	"math"
+	"testing"
+)
+
+// taperTimes builds a single tapered line and returns the far-end times.
+func taperTimes(t *testing.T, length float64, segments int, profile LineProfile) Times {
+	t.Helper()
+	b := NewBuilder("in")
+	far := b.TaperedLine(Root, "line", length, segments, profile)
+	b.Output(far)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := tr.CharacteristicTimes(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+// TestTaperedUniformMatchesURC: a constant profile must reproduce the
+// uniform line closed forms RC/2 and RC/3 regardless of segmentation.
+func TestTaperedUniformMatchesURC(t *testing.T) {
+	const R, C = 120.0, 7.0
+	uniform := func(float64) (float64, float64) { return R, C } // length 1
+	for _, segs := range []int{1, 3, 16} {
+		tm := taperTimes(t, 1, segs, uniform)
+		if !almostEq(tm.TP, R*C/2, 1e-12) || !almostEq(tm.TD, R*C/2, 1e-12) {
+			t.Errorf("segs=%d: TP=%g TD=%g, want %g", segs, tm.TP, tm.TD, R*C/2)
+		}
+		if !almostEq(tm.TR, R*C/3, 1e-12) {
+			t.Errorf("segs=%d: TR=%g, want %g", segs, tm.TR, R*C/3)
+		}
+		if !almostEq(tm.Ree, R, 1e-12) {
+			t.Errorf("segs=%d: Ree=%g, want %g", segs, tm.Ree, R)
+		}
+	}
+}
+
+// TestTaperedWedgeClosedForm: for r(x) = 2·Rtot·x (so total resistance is
+// Rtot) and constant c(x) = Ctot over unit length, the far-end Elmore delay
+// is ∫ c·R(x) dx with R(x) = Rtot·x², i.e. TD = Rtot·Ctot/3.
+func TestTaperedWedgeClosedForm(t *testing.T) {
+	const Rtot, Ctot = 90.0, 4.0
+	wedge := func(x float64) (float64, float64) { return 2 * Rtot * x, Ctot }
+	want := Rtot * Ctot / 3
+	var prevErr float64
+	for i, segs := range []int{8, 16, 32} {
+		tm := taperTimes(t, 1, segs, wedge)
+		errNow := math.Abs(tm.TD - want)
+		if i > 0 && errNow > prevErr/3 {
+			t.Errorf("segs=%d: error %g did not shrink ~4x from %g", segs, errNow, prevErr)
+		}
+		prevErr = errNow
+		// Chain network: TD = TP exactly at the far end.
+		if !almostEq(tm.TD, tm.TP, 1e-12) {
+			t.Errorf("segs=%d: TD=%g != TP=%g on a chain", segs, tm.TD, tm.TP)
+		}
+		// Total resistance integrates to Rtot (midpoint rule is exact for
+		// linear integrands).
+		if !almostEq(tm.Ree, Rtot, 1e-9) {
+			t.Errorf("segs=%d: Ree=%g, want %g", segs, tm.Ree, Rtot)
+		}
+	}
+	if prevErr > want*2e-3 {
+		t.Errorf("32-segment wedge TD error %g too large (want %g)", prevErr, want)
+	}
+}
+
+// TestTaperedOrderingAndValidation: eq. 7 holds for arbitrary smooth tapers,
+// and invalid arguments are rejected at Build.
+func TestTaperedOrderingAndValidation(t *testing.T) {
+	bump := func(x float64) (float64, float64) {
+		return 10 + 50*math.Sin(math.Pi*x), 1 + 3*x*x
+	}
+	tm := taperTimes(t, 2, 24, bump)
+	if err := tm.Validate(); err != nil {
+		t.Errorf("tapered line violates eq. 7: %v", err)
+	}
+
+	cases := []func(b *Builder){
+		func(b *Builder) { b.TaperedLine(Root, "x", 0, 4, bump) },
+		func(b *Builder) { b.TaperedLine(Root, "x", 1, 0, bump) },
+		func(b *Builder) { b.TaperedLine(Root, "x", 1, 4, nil) },
+		func(b *Builder) {
+			b.TaperedLine(Root, "x", 1, 4, func(float64) (float64, float64) { return -1, 1 })
+		},
+	}
+	for i, build := range cases {
+		b := NewBuilder("in")
+		build(b)
+		n := b.Resistor(Root, "ok", 1)
+		b.Capacitor(n, 1)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("case %d: invalid tapered line accepted", i)
+		}
+	}
+}
+
+// TestTaperedEmptyStretchSkipped: zero-profile spans are skipped rather than
+// erroring out.
+func TestTaperedEmptyStretchSkipped(t *testing.T) {
+	profile := func(x float64) (float64, float64) {
+		if x < 0.5 {
+			return 0, 0 // dead stretch
+		}
+		return 10, 2
+	}
+	b := NewBuilder("in")
+	far := b.TaperedLine(Root, "line", 1, 8, profile)
+	b.Output(far)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the live half contributes: Ree = 10 * 0.5.
+	tm, err := tr.CharacteristicTimes(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(tm.Ree, 5, 1e-12) {
+		t.Errorf("Ree = %g, want 5", tm.Ree)
+	}
+}
+
+// TestTaperedVsUniformAsymmetry: a line tapering from wide (low r, high c)
+// to narrow drives its far end slower than the reversed taper with the same
+// totals — the directionality effect designers exploit.
+func TestTaperedVsUniformAsymmetry(t *testing.T) {
+	wideToNarrow := func(x float64) (float64, float64) { return 5 + 10*x, 3 - 2*x }
+	narrowToWide := func(x float64) (float64, float64) { return 15 - 10*x, 1 + 2*x }
+	a := taperTimes(t, 1, 64, wideToNarrow)
+	bb := taperTimes(t, 1, 64, narrowToWide)
+	// Same totals.
+	if !almostEq(a.Ree, bb.Ree, 1e-9) {
+		t.Fatalf("total resistance differs: %g vs %g", a.Ree, bb.Ree)
+	}
+	// Narrow-to-wide places its capacitance downstream of more resistance:
+	// strictly larger Elmore delay.
+	if !(bb.TD > a.TD) {
+		t.Errorf("expected narrow->wide TD %g > wide->narrow TD %g", bb.TD, a.TD)
+	}
+}

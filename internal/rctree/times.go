@@ -1,0 +1,220 @@
+package rctree
+
+import "fmt"
+
+// Times holds the three characteristic times of an RC tree at one output,
+// plus the input-to-output resistance Ree. Units follow the element units:
+// with ohms and farads the times are seconds; with ohms and picofarads,
+// picoseconds.
+//
+//	TP  = Σk Rkk·Ck          (eq. 5; output independent)
+//	TD  = Σk Rke·Ck          (eq. 1; Elmore's first moment)
+//	TR  = Σk Rke²·Ck / Ree   (eq. 6)
+//
+// Sums over lumped capacitors become integrals over distributed lines; this
+// package evaluates those integrals in closed form.
+type Times struct {
+	TP  float64
+	TD  float64
+	TR  float64
+	Ree float64
+}
+
+// Validate checks the paper's eq. 7 ordering TR <= TD <= TP within a small
+// relative tolerance, plus positivity. A violation indicates a malformed
+// network or a bug upstream.
+func (tm Times) Validate() error {
+	const tol = 1e-9
+	scale := tm.TP
+	if scale < 1 {
+		scale = 1
+	}
+	switch {
+	case tm.TP < 0 || tm.TD < 0 || tm.TR < 0 || tm.Ree < 0:
+		return fmt.Errorf("rctree: negative characteristic time: %+v", tm)
+	case tm.TR > tm.TD+tol*scale:
+		return fmt.Errorf("rctree: TR=%g > TD=%g violates eq. 7", tm.TR, tm.TD)
+	case tm.TD > tm.TP+tol*scale:
+		return fmt.Errorf("rctree: TD=%g > TP=%g violates eq. 7", tm.TD, tm.TP)
+	}
+	return nil
+}
+
+// TPTotal computes TP = Σ Rkk·Ck for the whole tree in a single pass,
+// including the closed-form contribution of distributed lines: a line with
+// resistance R and capacitance C entered at upstream path resistance r0
+// contributes C·(r0 + R/2).
+func (t *Tree) TPTotal() float64 {
+	rkk := make([]float64, len(t.nodes))
+	var tp float64
+	for i := 1; i < len(t.nodes); i++ {
+		n := &t.nodes[i]
+		r0 := rkk[n.parent]
+		rkk[i] = r0 + n.edgeR
+		tp += n.nodeC * rkk[i]
+		if n.kind == EdgeLine {
+			tp += n.edgeC * (r0 + n.edgeR/2)
+		}
+	}
+	return tp
+}
+
+// CharacteristicTimes computes TP, TDe, TRe and Ree for output e in a single
+// depth-first pass over the tree (O(n) per output, the complexity the paper's
+// §IV constructive algorithm achieves).
+//
+// The pass maintains, for each node k, the common path resistance Rke: while
+// descending along the input→e path it grows with each element; the moment
+// the walk leaves that path it freezes at the branch point's value.
+func (t *Tree) CharacteristicTimes(e NodeID) (Times, error) {
+	if int(e) < 0 || int(e) >= len(t.nodes) {
+		return Times{}, fmt.Errorf("rctree: output id %d out of range", e)
+	}
+	onPath := make([]bool, len(t.nodes))
+	for x := e; ; x = t.nodes[x].parent {
+		onPath[x] = true
+		if x == Root {
+			break
+		}
+	}
+	var tp, td, trNum float64 // trNum = Σ Rke²·Ck
+	rkk := make([]float64, len(t.nodes))
+	rke := make([]float64, len(t.nodes))
+	for i := 1; i < len(t.nodes); i++ {
+		n := &t.nodes[i]
+		r0 := rkk[n.parent]
+		rkk[i] = r0 + n.edgeR
+		common0 := rke[n.parent]
+		if onPath[i] {
+			rke[i] = rkk[i] // still on the input→e path: common path grows
+		} else {
+			rke[i] = common0 // frozen at the branch point
+		}
+		// Lumped capacitance at node i.
+		tp += n.nodeC * rkk[i]
+		td += n.nodeC * rke[i]
+		trNum += n.nodeC * rke[i] * rke[i]
+		// Distributed line along the edge into node i.
+		if n.kind == EdgeLine {
+			r, c := n.edgeR, n.edgeC
+			tp += c * (r0 + r/2)
+			if onPath[i] {
+				// Points x∈[0,1] have Rke = common0 + r·x (and here
+				// common0 == r0 because the whole prefix is on the path).
+				td += c * (common0 + r/2)
+				trNum += c * (common0*common0 + common0*r + r*r/3)
+			} else {
+				// The entire line shares the frozen common resistance.
+				td += c * common0
+				trNum += c * common0 * common0
+			}
+		}
+	}
+	ree := rkk[e]
+	tm := Times{TP: tp, TD: td, Ree: ree}
+	if ree > 0 {
+		tm.TR = trNum / ree
+	} else if trNum != 0 {
+		return Times{}, fmt.Errorf("rctree: output %q has Ree=0 but nonzero TR numerator", t.nodes[e].name)
+	}
+	if err := tm.Validate(); err != nil {
+		return Times{}, err
+	}
+	return tm, nil
+}
+
+// CharacteristicTimesRef is a deliberately simple O(n·depth) reference
+// implementation used to cross-check CharacteristicTimes in tests: for every
+// capacitor it finds the common ancestor with the output explicitly and sums
+// the definitions term by term.
+func (t *Tree) CharacteristicTimesRef(e NodeID) (Times, error) {
+	if int(e) < 0 || int(e) >= len(t.nodes) {
+		return Times{}, fmt.Errorf("rctree: output id %d out of range", e)
+	}
+	var tp, td, trNum float64
+	for i := 1; i < len(t.nodes); i++ {
+		n := &t.nodes[i]
+		rkk := t.PathResistance(NodeID(i))
+		if n.nodeC > 0 {
+			rke := t.commonResistance(NodeID(i), e)
+			tp += n.nodeC * rkk
+			td += n.nodeC * rke
+			trNum += n.nodeC * rke * rke
+		}
+		if n.kind == EdgeLine && n.edgeC > 0 {
+			r0 := rkk - n.edgeR
+			r, c := n.edgeR, n.edgeC
+			tp += c * (r0 + r/2)
+			if t.IsAncestor(NodeID(i), e) {
+				td += c * (r0 + r/2)
+				trNum += c * (r0*r0 + r0*r + r*r/3)
+			} else {
+				// Common resistance with e is that of the deepest common
+				// ancestor of the line's downstream node and e; since the
+				// line is off the path, that ancestor is at or above the
+				// line's upstream node.
+				rke := t.commonResistance(NodeID(i), e)
+				td += c * rke
+				trNum += c * rke * rke
+			}
+		}
+	}
+	ree := t.PathResistance(e)
+	tm := Times{TP: tp, TD: td, Ree: ree}
+	if ree > 0 {
+		tm.TR = trNum / ree
+	}
+	if err := tm.Validate(); err != nil {
+		return Times{}, err
+	}
+	return tm, nil
+}
+
+// commonResistance returns Rke: the resistance of the common portion of the
+// root paths of k and e.
+func (t *Tree) commonResistance(k, e NodeID) float64 {
+	a := t.CommonAncestor(k, e)
+	return t.PathResistance(a)
+}
+
+// AllCharacteristicTimes computes Times for every designated output, keyed by
+// output node ID, in O(n · outputs).
+func (t *Tree) AllCharacteristicTimes() (map[NodeID]Times, error) {
+	out := make(map[NodeID]Times, len(t.outputs))
+	for _, e := range t.outputs {
+		tm, err := t.CharacteristicTimes(e)
+		if err != nil {
+			return nil, fmt.Errorf("rctree: output %q: %w", t.nodes[e].name, err)
+		}
+		out[e] = tm
+	}
+	return out, nil
+}
+
+// ElmoreAll computes the Elmore delay TDe for every node simultaneously in
+// two passes (O(n) total): a bottom-up accumulation of downstream
+// capacitance, then a top-down prefix walk adding R_edge · C_downstream along
+// every root path. It is the classical linear-time all-outputs algorithm and
+// serves as the baseline the paper references (Elmore, 1948).
+//
+// For a line edge the downstream capacitance seen by the edge's own
+// resistance is C_sub + C_line/2 (its distributed capacitance charges through
+// half its resistance on average), which matches the closed-form integrals in
+// CharacteristicTimes for on-path lines.
+func (t *Tree) ElmoreAll() []float64 {
+	n := len(t.nodes)
+	sub := make([]float64, n) // capacitance at-or-below each node, incl. line C
+	for i := n - 1; i >= 1; i-- {
+		sub[i] += t.nodes[i].nodeC + t.nodes[i].edgeC
+		sub[t.nodes[i].parent] += sub[i]
+	}
+	sub[0] += t.nodes[0].nodeC
+	td := make([]float64, n)
+	for i := 1; i < n; i++ {
+		nd := &t.nodes[i]
+		// Resistance nd.edgeR charges everything at or below node i, except
+		// that the line's own capacitance charges through half of it.
+		td[i] = td[nd.parent] + nd.edgeR*(sub[i]-nd.edgeC/2)
+	}
+	return td
+}

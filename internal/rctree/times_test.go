@@ -1,0 +1,313 @@
+package rctree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almostEq(a, b, relTol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1e-30 {
+		return true
+	}
+	return math.Abs(a-b) <= relTol*scale
+}
+
+// TestSingleRC checks the most basic network: one resistor, one capacitor.
+// All three characteristic times equal RC.
+func TestSingleRC(t *testing.T) {
+	b := NewBuilder("in")
+	n := b.Resistor(Root, "n", 100)
+	b.Capacitor(n, 0.5)
+	b.Output(n)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := tr.CharacteristicTimes(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rc = 50.0
+	if tm.TP != rc || tm.TD != rc || tm.TR != rc {
+		t.Errorf("Times = %+v, want all %g", tm, rc)
+	}
+	if tm.Ree != 100 {
+		t.Errorf("Ree = %g, want 100", tm.Ree)
+	}
+}
+
+// TestUniformLineClosedForm verifies the paper's §III closed forms for a
+// single uniform RC line: TP = TD = RC/2 and TR = RC/3.
+func TestUniformLineClosedForm(t *testing.T) {
+	const R, C = 120.0, 7.0
+	b := NewBuilder("in")
+	n := b.Line(Root, "n", R, C)
+	b.Output(n)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := tr.CharacteristicTimes(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(tm.TP, R*C/2, 1e-12) {
+		t.Errorf("TP = %g, want RC/2 = %g", tm.TP, R*C/2)
+	}
+	if !almostEq(tm.TD, R*C/2, 1e-12) {
+		t.Errorf("TD = %g, want RC/2 = %g", tm.TD, R*C/2)
+	}
+	if !almostEq(tm.TR, R*C/3, 1e-12) {
+		t.Errorf("TR = %g, want RC/3 = %g", tm.TR, R*C/3)
+	}
+}
+
+// TestLineWithoutSideBranchesTPEqualsTD: for RC trees without side branches
+// (nonuniform RC "lines"), TDe at the far output equals TP (§III).
+func TestLineWithoutSideBranchesTPEqualsTD(t *testing.T) {
+	b := NewBuilder("in")
+	n1 := b.Line(Root, "n1", 10, 2)
+	n2 := b.Resistor(n1, "n2", 5)
+	b.Capacitor(n2, 3)
+	n3 := b.Line(n2, "n3", 20, 1)
+	b.Output(n3)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := tr.CharacteristicTimes(n3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(tm.TP, tm.TD, 1e-12) {
+		t.Errorf("chain network: TD=%g != TP=%g", tm.TD, tm.TP)
+	}
+}
+
+// TestFig3Times computes the characteristic times of the Figure 3 network by
+// hand and compares.
+func TestFig3Times(t *testing.T) {
+	tr, _, e := fig3Tree(t)
+	tm, err := tr.CharacteristicTimes(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Caps: at k (Rkk=7, Rke=3), at leaf (Rkk=15, Rke=3), at e (Rkk=19, Rke=19).
+	wantTP := 7.0 + 15 + 19
+	wantTD := 3.0 + 3 + 19
+	wantTR := (9.0 + 9 + 361) / 19
+	if !almostEq(tm.TP, wantTP, 1e-12) {
+		t.Errorf("TP = %g, want %g", tm.TP, wantTP)
+	}
+	if !almostEq(tm.TD, wantTD, 1e-12) {
+		t.Errorf("TD = %g, want %g", tm.TD, wantTD)
+	}
+	if !almostEq(tm.TR, wantTR, 1e-12) {
+		t.Errorf("TR = %g, want %g", tm.TR, wantTR)
+	}
+}
+
+// TestSideBranchLineByHand exercises the off-path line integrals: a line in a
+// side branch contributes its whole capacitance at the branch resistance.
+func TestSideBranchLineByHand(t *testing.T) {
+	b := NewBuilder("in")
+	a := b.Resistor(Root, "a", 10)
+	e := b.Resistor(a, "e", 5)
+	b.Capacitor(e, 2)
+	br := b.Line(a, "br", 8, 3) // side branch off node a
+	_ = br
+	b.Output(e)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := tr.CharacteristicTimes(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line: Rkk varies 10..18 -> TP term 3*(10+8/2)=42. Cap at e: 15*2=30.
+	if want := 42.0 + 30; !almostEq(tm.TP, want, 1e-12) {
+		t.Errorf("TP = %g, want %g", tm.TP, want)
+	}
+	// Off-path line common resistance = 10: TD term 30; cap at e: 30.
+	if want := 30.0 + 30; !almostEq(tm.TD, want, 1e-12) {
+		t.Errorf("TD = %g, want %g", tm.TD, want)
+	}
+	// TR numerator: 3*100 + 2*225 = 750; Ree = 15.
+	if want := 750.0 / 15; !almostEq(tm.TR, want, 1e-12) {
+		t.Errorf("TR = %g, want %g", tm.TR, want)
+	}
+}
+
+// TestFastMatchesReference cross-checks the O(n) DFS implementation against
+// the explicit per-capacitor reference on randomized trees, at every output.
+func TestFastMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		tr := randomTree(rng, 1+rng.Intn(40))
+		for _, e := range tr.Outputs() {
+			fast, err := tr.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatalf("trial %d: fast: %v", trial, err)
+			}
+			ref, err := tr.CharacteristicTimesRef(e)
+			if err != nil {
+				t.Fatalf("trial %d: ref: %v", trial, err)
+			}
+			for _, f := range []struct {
+				name string
+				a, b float64
+			}{
+				{"TP", fast.TP, ref.TP},
+				{"TD", fast.TD, ref.TD},
+				{"TR", fast.TR, ref.TR},
+				{"Ree", fast.Ree, ref.Ree},
+			} {
+				if !almostEq(f.a, f.b, 1e-9) {
+					t.Fatalf("trial %d output %d: %s fast=%g ref=%g\n%s",
+						trial, e, f.name, f.a, f.b, tr)
+				}
+			}
+		}
+	}
+}
+
+// TestOrderingInvariant property-tests eq. 7 (TR <= TD <= TP) plus
+// positivity on random trees.
+func TestOrderingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		tr := randomTree(rng, 1+rng.Intn(60))
+		for _, e := range tr.Outputs() {
+			tm, err := tr.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if tm.TR < 0 || tm.TR > tm.TD*(1+1e-12) || tm.TD > tm.TP*(1+1e-12) {
+				t.Fatalf("trial %d: ordering violated: %+v", trial, tm)
+			}
+		}
+	}
+}
+
+// TestTPTotalMatchesCharacteristic verifies the standalone TP pass agrees
+// with the per-output computation (TP is output independent).
+func TestTPTotalMatchesCharacteristic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTree(rng, 1+rng.Intn(30))
+		tp := tr.TPTotal()
+		for _, e := range tr.Outputs() {
+			tm, err := tr.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEq(tp, tm.TP, 1e-9) {
+				t.Fatalf("trial %d: TPTotal=%g, per-output TP=%g", trial, tp, tm.TP)
+			}
+		}
+	}
+}
+
+// TestElmoreAllMatchesPerOutput checks the two-pass all-outputs Elmore
+// algorithm against the per-output DFS.
+func TestElmoreAllMatchesPerOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 150; trial++ {
+		tr := randomTree(rng, 1+rng.Intn(40))
+		td := tr.ElmoreAll()
+		for id := 1; id < tr.NumNodes(); id++ {
+			tm, err := tr.CharacteristicTimes(NodeID(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEq(td[id], tm.TD, 1e-9) {
+				t.Fatalf("trial %d node %d: ElmoreAll=%g, TD=%g\n%s",
+					trial, id, td[id], tm.TD, tr)
+			}
+		}
+	}
+}
+
+// TestAllCharacteristicTimes covers the multi-output convenience wrapper.
+func TestAllCharacteristicTimes(t *testing.T) {
+	tr, _, e := fig3Tree(t)
+	all, err := tr.AllCharacteristicTimes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("got %d outputs, want 1", len(all))
+	}
+	tm, ok := all[e]
+	if !ok {
+		t.Fatal("output e missing from result")
+	}
+	want, _ := tr.CharacteristicTimes(e)
+	if tm != want {
+		t.Errorf("AllCharacteristicTimes = %+v, want %+v", tm, want)
+	}
+}
+
+func TestCharacteristicTimesOutOfRange(t *testing.T) {
+	tr, _, _ := fig3Tree(t)
+	if _, err := tr.CharacteristicTimes(NodeID(999)); err == nil {
+		t.Error("expected error for out-of-range output")
+	}
+	if _, err := tr.CharacteristicTimesRef(NodeID(-1)); err == nil {
+		t.Error("expected error for negative output")
+	}
+}
+
+func TestTimesValidate(t *testing.T) {
+	good := Times{TP: 3, TD: 2, TR: 1, Ree: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid Times rejected: %v", err)
+	}
+	for _, bad := range []Times{
+		{TP: 1, TD: 2, TR: 0.5, Ree: 1},  // TD > TP
+		{TP: 3, TD: 1, TR: 2, Ree: 1},    // TR > TD
+		{TP: -1, TD: -2, TR: -3, Ree: 1}, // negative
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid Times %+v accepted", bad)
+		}
+	}
+}
+
+// randomTree builds a deterministic random tree directly (kept local to avoid
+// an import cycle with the randnet package, which itself imports rctree).
+func randomTree(rng *rand.Rand, n int) *Tree {
+	b := NewBuilder("in")
+	ids := []NodeID{Root}
+	placed := false
+	for i := 0; i < n; i++ {
+		parent := ids[rng.Intn(len(ids))]
+		r := rng.Float64()*100 + 0.001
+		var id NodeID
+		if rng.Float64() < 0.4 {
+			id = b.Line(parent, "", r, rng.Float64()*10+1e-6)
+			placed = true
+		} else {
+			id = b.Resistor(parent, "", r)
+		}
+		if rng.Float64() < 0.7 {
+			b.Capacitor(id, rng.Float64()*10+1e-6)
+			placed = true
+		}
+		ids = append(ids, id)
+	}
+	if !placed {
+		b.Capacitor(ids[len(ids)-1], 1)
+	}
+	tr, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/rctree"
+)
+
+// Circuit is the nodal formulation of a lumped RC tree driven by an ideal
+// step source at the input:
+//
+//	C·v̇ = −G·v + b·vin(t)
+//
+// where v collects the voltages of all non-input nodes, G is the conductance
+// Laplacian restricted to those nodes (its diagonal includes conductance to
+// the input), C is the diagonal of node capacitances, and b holds each
+// node's conductance to the input.
+type Circuit struct {
+	n     int
+	g     *linalg.Matrix
+	c     []float64
+	b     []float64
+	names []string
+	tree  *rctree.Tree
+}
+
+// NewCircuit assembles the nodal matrices for a lumped tree. Distributed
+// lines must be removed with Discretize first.
+func NewCircuit(t *rctree.Tree) (*Circuit, error) {
+	if !IsLumped(t) {
+		return nil, fmt.Errorf("sim: tree contains distributed lines; call Discretize first")
+	}
+	n := t.NumNodes() - 1
+	if n < 1 {
+		return nil, fmt.Errorf("sim: tree has no non-input nodes")
+	}
+	c := &Circuit{
+		n:     n,
+		g:     linalg.NewMatrix(n, n),
+		c:     make([]float64, n),
+		b:     make([]float64, n),
+		names: make([]string, n),
+		tree:  t,
+	}
+	for id := 1; id < t.NumNodes(); id++ {
+		node := rctree.NodeID(id)
+		i := id - 1
+		c.names[i] = t.Name(node)
+		c.c[i] = t.NodeCap(node)
+		kind, r, _ := t.Edge(node)
+		if kind != rctree.EdgeResistor {
+			return nil, fmt.Errorf("sim: node %q has non-resistor parent edge", t.Name(node))
+		}
+		if r <= 0 {
+			return nil, fmt.Errorf("sim: node %q has nonpositive resistance %g", t.Name(node), r)
+		}
+		gcond := 1 / r
+		parent := t.Parent(node)
+		c.g.Add(i, i, gcond)
+		if parent == rctree.Root {
+			c.b[i] += gcond
+		} else {
+			j := int(parent) - 1
+			c.g.Add(j, j, gcond)
+			c.g.Add(i, j, -gcond)
+			c.g.Add(j, i, -gcond)
+		}
+	}
+	return c, nil
+}
+
+// NumNodes returns the number of non-input nodes.
+func (c *Circuit) NumNodes() int { return c.n }
+
+// Index converts a tree node ID to the circuit's 0-based unknown index.
+func (c *Circuit) Index(id rctree.NodeID) (int, error) {
+	if id == rctree.Root {
+		return 0, fmt.Errorf("sim: the input node is driven, not solved")
+	}
+	i := int(id) - 1
+	if i < 0 || i >= c.n {
+		return 0, fmt.Errorf("sim: node id %d out of range", id)
+	}
+	return i, nil
+}
+
+// Name returns the name of unknown i.
+func (c *Circuit) Name(i int) string { return c.names[i] }
+
+// TotalSimCap returns the simulated (non-input) capacitance; used for
+// sanity checks against the tree's total.
+func (c *Circuit) TotalSimCap() float64 {
+	var sum float64
+	for _, v := range c.c {
+		sum += v
+	}
+	return sum
+}

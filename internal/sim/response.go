@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Response is the exact unit-step response of a circuit as a finite sum of
+// decaying exponentials:
+//
+//	v_i(t) = 1 + Σ_m A[i][m] · e^(−Lambda[m]·t)   for t >= 0
+//
+// obtained by eliminating zero-capacitance nodes exactly (Schur complement)
+// and diagonalizing the symmetrized state matrix. For an RC tree the
+// response of every node rises monotonically from 0 to 1 (proven in the
+// paper's reference [1]), which CrossingTime exploits.
+type Response struct {
+	Lambda []float64   // decay rates, ascending, all > 0
+	A      [][]float64 // per circuit unknown: modal coefficients
+}
+
+// EigenResponse computes the exact step response of the circuit.
+func (c *Circuit) EigenResponse() (*Response, error) {
+	// Partition unknowns into capacitive (S) and zero-capacitance (Z) sets.
+	var sIdx, zIdx []int
+	for i, cap := range c.c {
+		if cap > 0 {
+			sIdx = append(sIdx, i)
+		} else {
+			zIdx = append(zIdx, i)
+		}
+	}
+	if len(sIdx) == 0 {
+		return nil, fmt.Errorf("sim: circuit has no capacitive nodes; response is instantaneous")
+	}
+	ns, nz := len(sIdx), len(zIdx)
+
+	gss := submatrix(c.g, sIdx, sIdx)
+	bs := subvector(c.b, sIdx)
+
+	// Exact elimination of zero-cap nodes:
+	//   Geff = Gss − Gsz·Gzz⁻¹·Gzs,  beff = bs − Gsz·Gzz⁻¹·bz,
+	// and vZ(t) = Gzz⁻¹·(bz·vin − Gzs·vS(t)).
+	var gzzInvGzs *linalg.Matrix // nz×ns
+	var gzzInvBz []float64
+	if nz > 0 {
+		gzz := submatrix(c.g, zIdx, zIdx)
+		gzs := submatrix(c.g, zIdx, sIdx)
+		bz := subvector(c.b, zIdx)
+		chol, err := linalg.FactorCholesky(gzz)
+		if err != nil {
+			return nil, fmt.Errorf("sim: zero-cap block not SPD (disconnected node?): %w", err)
+		}
+		gzzInvGzs = linalg.NewMatrix(nz, ns)
+		for col := 0; col < ns; col++ {
+			rhs := make([]float64, nz)
+			for r := 0; r < nz; r++ {
+				rhs[r] = gzs.At(r, col)
+			}
+			x, err := chol.Solve(rhs)
+			if err != nil {
+				return nil, err
+			}
+			for r := 0; r < nz; r++ {
+				gzzInvGzs.Set(r, col, x[r])
+			}
+		}
+		gzzInvBz, err = chol.Solve(bz)
+		if err != nil {
+			return nil, err
+		}
+		// Geff = Gss − Gzsᵀ·(Gzz⁻¹·Gzs); beff = bs − Gzsᵀ·(Gzz⁻¹·bz).
+		for i := 0; i < ns; i++ {
+			for j := 0; j < ns; j++ {
+				var s float64
+				for k := 0; k < nz; k++ {
+					s += gzs.At(k, i) * gzzInvGzs.At(k, j)
+				}
+				gss.Add(i, j, -s)
+			}
+			var s float64
+			for k := 0; k < nz; k++ {
+				s += gzs.At(k, i) * gzzInvBz[k]
+			}
+			bs[i] -= s
+		}
+	}
+
+	// Symmetrize: A = C^(−1/2)·Geff·C^(−1/2) is SPD; y = C^(1/2)(v−1).
+	sqrtC := make([]float64, ns)
+	for i, si := range sIdx {
+		sqrtC[i] = math.Sqrt(c.c[si])
+	}
+	for i := 0; i < ns; i++ {
+		for j := 0; j < ns; j++ {
+			gss.Set(i, j, gss.At(i, j)/(sqrtC[i]*sqrtC[j]))
+		}
+	}
+	eig, err := linalg.JacobiEigen(gss)
+	if err != nil {
+		return nil, fmt.Errorf("sim: eigendecomposition failed: %w", err)
+	}
+	for _, lam := range eig.Values {
+		if lam <= 0 {
+			return nil, fmt.Errorf("sim: nonpositive eigenvalue %g; network is not a grounded RC tree", lam)
+		}
+	}
+
+	// Initial condition: v_S(0) = 0, steady state = 1, so y(0) = −C^(1/2)·1.
+	y0 := make([]float64, ns)
+	for i := 0; i < ns; i++ {
+		y0[i] = -sqrtC[i]
+	}
+	// Modal weights w_m = (Qᵀ·y0)_m; then
+	//   v_S,i(t) = 1 + (1/√C_i)·Σ_m Q_im·w_m·e^(−λ_m t).
+	q := eig.Vectors
+	w := make([]float64, ns)
+	for m := 0; m < ns; m++ {
+		var s float64
+		for i := 0; i < ns; i++ {
+			s += q.At(i, m) * y0[i]
+		}
+		w[m] = s
+	}
+
+	resp := &Response{Lambda: eig.Values, A: make([][]float64, c.n)}
+	aS := make([][]float64, ns) // coefficients for capacitive unknowns
+	for i := 0; i < ns; i++ {
+		coeff := make([]float64, ns)
+		for m := 0; m < ns; m++ {
+			coeff[m] = q.At(i, m) * w[m] / sqrtC[i]
+		}
+		aS[i] = coeff
+		resp.A[sIdx[i]] = coeff
+	}
+	// Zero-cap nodes: v_Z(t) = 1 − Gzz⁻¹·Gzs·(v_S(t) − 1), so their modal
+	// coefficients are −(Gzz⁻¹·Gzs)·aS.
+	for zi, z := range zIdx {
+		coeff := make([]float64, ns)
+		for m := 0; m < ns; m++ {
+			var s float64
+			for i := 0; i < ns; i++ {
+				s += gzzInvGzs.At(zi, i) * aS[i][m]
+			}
+			coeff[m] = -s
+		}
+		resp.A[z] = coeff
+	}
+	return resp, nil
+}
+
+func submatrix(m *linalg.Matrix, rows, cols []int) *linalg.Matrix {
+	out := linalg.NewMatrix(len(rows), len(cols))
+	for i, r := range rows {
+		for j, c := range cols {
+			out.Set(i, j, m.At(r, c))
+		}
+	}
+	return out
+}
+
+func subvector(v []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = v[j]
+	}
+	return out
+}
+
+// Voltage evaluates the step response of unknown i at time t.
+func (r *Response) Voltage(i int, t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	v := 1.0
+	for m, lam := range r.Lambda {
+		v += r.A[i][m] * math.Exp(-lam*t)
+	}
+	return v
+}
+
+// ElmoreDelay returns the first moment of the impulse response of unknown i,
+// ∫(1−v)dt = Σ_m −A_m/λ_m, which must equal TDe — a strong independent check
+// used by the test suite (DESIGN invariant 7).
+func (r *Response) ElmoreDelay(i int) float64 {
+	var s float64
+	for m, lam := range r.Lambda {
+		s -= r.A[i][m] / lam
+	}
+	return s
+}
+
+// CrossingTime returns the time at which the (monotone) response of unknown
+// i reaches threshold v in (0,1), by bracketed bisection to relative
+// precision eps. It returns +Inf if the threshold is never reached (v >= 1).
+func (r *Response) CrossingTime(i int, v, eps float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return math.Inf(1)
+	}
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	// Bracket: expand hi until v(hi) >= v.
+	slowest := r.Lambda[0]
+	hi := 1 / slowest
+	for r.Voltage(i, hi) < v {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return math.Inf(1)
+		}
+	}
+	lo := 0.0
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		if r.Voltage(i, mid) < v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo <= eps*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}

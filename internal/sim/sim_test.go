@@ -1,0 +1,465 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/randnet"
+	"repro/internal/rctree"
+)
+
+func singleRC(t *testing.T, r, c float64) (*rctree.Tree, rctree.NodeID) {
+	t.Helper()
+	b := rctree.NewBuilder("in")
+	n := b.Resistor(rctree.Root, "out", r)
+	b.Capacitor(n, c)
+	b.Output(n)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, n
+}
+
+// TestSingleRCAnalytic: v(t) = 1 − e^(−t/RC) for the canonical one-pole
+// circuit, from both the eigen path and the transient stepper.
+func TestSingleRCAnalytic(t *testing.T) {
+	const R, C = 1000.0, 1e-3 // tau = 1
+	tr, out := singleRC(t, R, C)
+	ckt, err := NewCircuit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ckt.EigenResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := ckt.Index(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0, 0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-tt)
+		if got := resp.Voltage(idx, tt); math.Abs(got-want) > 1e-12 {
+			t.Errorf("eigen v(%g) = %g, want %g", tt, got, want)
+		}
+	}
+	// Elmore delay = tau for one pole.
+	if got := resp.ElmoreDelay(idx); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ElmoreDelay = %g, want 1", got)
+	}
+	// Crossing at v = 1 − 1/e happens at t = tau.
+	if got := resp.CrossingTime(idx, 1-1/math.E, 1e-12); math.Abs(got-1) > 1e-9 {
+		t.Errorf("CrossingTime = %g, want 1", got)
+	}
+	// Trapezoidal stepping converges to the same curve.
+	wave, err := ckt.Transient(Trapezoidal, 1e-3, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < len(wave.Times); k += 500 {
+		want := 1 - math.Exp(-wave.Times[k])
+		if got := wave.At(k, idx); math.Abs(got-want) > 1e-6 {
+			t.Errorf("trap v(%g) = %g, want %g", wave.Times[k], got, want)
+		}
+	}
+}
+
+// TestZeroCapNodeElimination: a capacitor-less junction node is eliminated
+// exactly; the response must match a transient solve of the full system.
+func TestZeroCapNodeElimination(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	junction := b.Resistor(rctree.Root, "junction", 100) // no capacitor here
+	left := b.Resistor(junction, "left", 200)
+	b.Capacitor(left, 1e-3)
+	right := b.Resistor(junction, "right", 300)
+	b.Capacitor(right, 2e-3)
+	b.Output(left)
+	b.Output(right)
+	b.Output(junction)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := NewCircuit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ckt.EigenResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wave, err := ckt.Transient(Trapezoidal, 2e-4, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []rctree.NodeID{junction, left, right} {
+		i, err := ckt.Index(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 250; k < len(wave.Times); k += 1750 {
+			tt := wave.Times[k]
+			eig, trap := resp.Voltage(i, tt), wave.At(k, i)
+			// The step discontinuity at t=0 costs the stepper O(h) once;
+			// afterwards the curves track to a few parts in 1e4.
+			if math.Abs(eig-trap) > 5e-4 {
+				t.Errorf("node %q at t=%g: eigen %g vs trap %g", tr.Name(node), tt, eig, trap)
+			}
+		}
+	}
+	// A zero-capacitance junction is purely resistive, so at t=0+ it jumps
+	// to the divider voltage between the 1 V input (through 100 Ω) and the
+	// still-discharged capacitive nodes (through 200 Ω and 300 Ω):
+	// (1/100) / (1/100 + 1/200 + 1/300) = 6/11.
+	ji, _ := ckt.Index(junction)
+	if v0, want := resp.Voltage(ji, 0), 6.0/11; math.Abs(v0-want) > 1e-9 {
+		t.Errorf("junction v(0+) = %g, want %g", v0, want)
+	}
+}
+
+// TestElmoreDelayMatchesTree: DESIGN invariant 7 — the first moment of the
+// simulated response equals the tree's TDe, for every node of random lumped
+// trees.
+func TestElmoreDelayMatchesTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		cfg := randnet.DefaultConfig(1 + rng.Intn(25))
+		cfg.LineProb = 0 // lumped only
+		tr := randnet.Tree(rng, cfg)
+		ckt, err := NewCircuit(tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		resp, err := ckt.EigenResponse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for id := 1; id < tr.NumNodes(); id++ {
+			tm, err := tr.CharacteristicTimes(rctree.NodeID(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			i, _ := ckt.Index(rctree.NodeID(id))
+			got := resp.ElmoreDelay(i)
+			if math.Abs(got-tm.TD) > 1e-6*(1+tm.TD) {
+				t.Fatalf("trial %d node %d: moment %g != TD %g\n%s", trial, id, got, tm.TD, tr)
+			}
+		}
+	}
+}
+
+// TestBoundsBracketExactResponse is the heart of the reproduction (DESIGN
+// invariant 5): on random lumped trees, the Penfield–Rubinstein envelope
+// brackets the exact simulated response at every output, in both voltage
+// and time.
+func TestBoundsBracketExactResponse(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 80; trial++ {
+		cfg := randnet.DefaultConfig(1 + rng.Intn(20))
+		cfg.LineProb = 0
+		tr := randnet.Tree(rng, cfg)
+		ckt, err := NewCircuit(tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		resp, err := ckt.EigenResponse()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, e := range tr.Outputs() {
+			tm, err := tr.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bounds, err := core.New(tm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i, _ := ckt.Index(e)
+			// Voltage bracket across a wide time range.
+			for s := 0; s <= 40; s++ {
+				tt := tm.TP * 3 * float64(s) / 40
+				v := resp.Voltage(i, tt)
+				lo, hi := bounds.VMin(tt), bounds.VMax(tt)
+				if v < lo-1e-8 || v > hi+1e-8 {
+					t.Fatalf("trial %d output %q t=%g: v=%.9f outside [%.9f, %.9f]\n%s",
+						trial, tr.Name(e), tt, v, lo, hi, tr)
+				}
+			}
+			// Time bracket at several thresholds.
+			for _, v := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+				cross := resp.CrossingTime(i, v, 1e-12)
+				lo, hi := bounds.TMin(v), bounds.TMax(v)
+				if cross < lo-1e-6*(1+lo) || cross > hi+1e-6*(1+hi) {
+					t.Fatalf("trial %d output %q v=%g: cross=%g outside [%g, %g]",
+						trial, tr.Name(e), v, cross, lo, hi)
+				}
+				// OK must agree with reality (DESIGN invariant 9).
+				if bounds.OK(v, cross*0.99) == core.Passes && cross > cross*0.99 {
+					// Passes asserts crossing <= deadline.
+					if cross > cross*0.99+1e-9 {
+						t.Fatalf("trial %d: OK certified an unmet deadline", trial)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMonotoneResponse: RC tree step responses rise monotonically (the
+// property underlying all bound inversions).
+func TestMonotoneResponse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		cfg := randnet.DefaultConfig(1 + rng.Intn(15))
+		cfg.LineProb = 0
+		tr := randnet.Tree(rng, cfg)
+		ckt, err := NewCircuit(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ckt.EigenResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := tr.TPTotal()
+		for i := 0; i < ckt.NumNodes(); i++ {
+			prev := -1e-12
+			for s := 0; s <= 100; s++ {
+				v := resp.Voltage(i, tp*5*float64(s)/100)
+				if v < prev-1e-9 {
+					t.Fatalf("trial %d node %d: response not monotone (%g then %g)", trial, i, prev, v)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+// TestDiscretizeConvergence: the 50% crossing of a discretized line
+// converges as the section count grows, and pi sections converge fast.
+func TestDiscretizeConvergence(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	far := b.Line(rctree.Root, "far", 1000, 1e-3) // tau-ish = 1
+	b.Output(far)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := func(segs int) float64 {
+		lumped, mapping, err := Discretize(tr, segs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckt, err := NewCircuit(lumped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ckt.EigenResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		i, err := ckt.Index(mapping[far])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.CrossingTime(i, 0.5, 1e-12)
+	}
+	c16, c64 := cross(16), cross(64)
+	// The diffusion-equation 50% crossing for a unit-RC open-ended line.
+	if math.Abs(c16-c64) > 0.01*c64 {
+		t.Errorf("discretization not converged: t50(16)=%g t50(64)=%g", c16, c64)
+	}
+	// Against the distributed-line bounds: TD=RC/2=0.5, TR=RC/3.
+	tm, err := tr.CharacteristicTimes(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := core.MustNew(tm)
+	if c64 < bounds.TMin(0.5) || c64 > bounds.TMax(0.5) {
+		t.Errorf("distributed t50=%g outside bounds [%g, %g]",
+			c64, bounds.TMin(0.5), bounds.TMax(0.5))
+	}
+}
+
+// TestDiscretizePreservesTotals: discretization preserves total R and C and
+// keeps the Elmore delay of on-path outputs within O(1/segs²).
+func TestDiscretizePreservesTotals(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 30; trial++ {
+		tr := randnet.Tree(rng, randnet.DefaultConfig(1+rng.Intn(15)))
+		lumped, mapping, err := Discretize(tr, 8)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(lumped.TotalCap()-tr.TotalCap()) > 1e-9*(1+tr.TotalCap()) {
+			t.Fatalf("trial %d: capacitance changed: %g -> %g", trial, tr.TotalCap(), lumped.TotalCap())
+		}
+		if math.Abs(lumped.TotalRes()-tr.TotalRes()) > 1e-9*(1+tr.TotalRes()) {
+			t.Fatalf("trial %d: resistance changed: %g -> %g", trial, tr.TotalRes(), lumped.TotalRes())
+		}
+		for _, e := range tr.Outputs() {
+			orig, err := tr.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			disc, err := lumped.CharacteristicTimes(mapping[e])
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pi sections preserve the Elmore delay of a line exactly.
+			if math.Abs(orig.TD-disc.TD) > 1e-6*(1+orig.TD) {
+				t.Fatalf("trial %d: TD %g -> %g after discretization", trial, orig.TD, disc.TD)
+			}
+		}
+	}
+}
+
+func TestDiscretizeErrors(t *testing.T) {
+	tr, _ := singleRC(t, 10, 1)
+	if _, _, err := Discretize(tr, 0); err == nil {
+		t.Error("Discretize accepted 0 segments")
+	}
+}
+
+func TestNewCircuitRejectsLines(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	far := b.Line(rctree.Root, "far", 10, 1)
+	b.Output(far)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCircuit(tr); err == nil {
+		t.Error("NewCircuit accepted a tree with distributed lines")
+	}
+	if IsLumped(tr) {
+		t.Error("IsLumped(true) for a tree with lines")
+	}
+}
+
+func TestCircuitIndexErrors(t *testing.T) {
+	tr, out := singleRC(t, 10, 1)
+	ckt, err := NewCircuit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckt.Index(rctree.Root); err == nil {
+		t.Error("Index accepted the input node")
+	}
+	if _, err := ckt.Index(rctree.NodeID(99)); err == nil {
+		t.Error("Index accepted out-of-range id")
+	}
+	i, err := ckt.Index(out)
+	if err != nil || ckt.Name(i) != "out" {
+		t.Errorf("Index(out) = %d (%q), %v", i, ckt.Name(i), err)
+	}
+	if got := ckt.TotalSimCap(); got != 1 {
+		t.Errorf("TotalSimCap = %g, want 1", got)
+	}
+}
+
+func TestTransientArgumentsAndMethods(t *testing.T) {
+	tr, _ := singleRC(t, 10, 1)
+	ckt, err := NewCircuit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckt.Transient(BackwardEuler, 0, 10); err == nil {
+		t.Error("accepted zero step size")
+	}
+	if _, err := ckt.Transient(BackwardEuler, 1, 0); err == nil {
+		t.Error("accepted zero steps")
+	}
+	if _, err := ckt.Transient(Method(9), 1, 1); err == nil {
+		t.Error("accepted unknown method")
+	}
+	if BackwardEuler.String() != "backward-euler" || Trapezoidal.String() != "trapezoidal" {
+		t.Error("Method.String wrong")
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown Method.String empty")
+	}
+}
+
+// TestBackwardEulerFirstOrder: BE converges to the eigen solution as h
+// shrinks, from below in accuracy relative to trapezoidal.
+func TestBackwardEulerFirstOrder(t *testing.T) {
+	tr, out := singleRC(t, 1000, 1e-3) // tau = 1
+	ckt, err := NewCircuit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := ckt.Index(out)
+	errAt := func(m Method, h float64) float64 {
+		steps := int(2 / h)
+		w, err := ckt.Transient(m, h, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var worst float64
+		for k := range w.Times {
+			want := 1 - math.Exp(-w.Times[k])
+			if d := math.Abs(w.At(k, i) - want); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	beCoarse, beFine := errAt(BackwardEuler, 0.02), errAt(BackwardEuler, 0.01)
+	ratio := beCoarse / beFine
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("BE error ratio %g, want ~2 (first order)", ratio)
+	}
+	trCoarse, trFine := errAt(Trapezoidal, 0.02), errAt(Trapezoidal, 0.01)
+	trRatio := trCoarse / trFine
+	if trRatio < 3.4 || trRatio > 4.8 {
+		t.Errorf("trapezoidal error ratio %g, want ~4 (second order)", trRatio)
+	}
+}
+
+func TestWaveformCrossingTime(t *testing.T) {
+	tr, out := singleRC(t, 1000, 1e-3)
+	ckt, err := NewCircuit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, _ := ckt.Index(out)
+	w, err := ckt.Transient(Trapezoidal, 1e-3, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.CrossingTime(i, 0.5)
+	want := math.Log(2.0)
+	if math.Abs(got-want) > 1e-4 {
+		t.Errorf("CrossingTime = %g, want ln2 = %g", got, want)
+	}
+	if w.CrossingTime(i, 0) != 0 {
+		t.Error("CrossingTime(0) != 0")
+	}
+	if w.CrossingTime(i, 0.99999999) != -1 {
+		t.Error("unreachable threshold should return -1")
+	}
+}
+
+func TestEigenResponseNoCapacitance(t *testing.T) {
+	// All capacitance at the driven input: no capacitive unknowns.
+	b := rctree.NewBuilder("in")
+	b.Capacitor(rctree.Root, 1)
+	n := b.Resistor(rctree.Root, "n", 10)
+	b.Output(n)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := NewCircuit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckt.EigenResponse(); err == nil {
+		t.Error("EigenResponse accepted a circuit with no capacitive nodes")
+	}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rctree"
+)
+
+// TestTransientInputRamp: single-pole response to a finite ramp, against the
+// textbook closed form (tau = 1, rise time T):
+//
+//	v(t) = (t − (1 − e^(−t)))/T                    t <= T
+//	v(t) = 1 − (e^(−(t−T)) − e^(−t))/T             t > T
+func TestTransientInputRamp(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	n := b.Resistor(rctree.Root, "out", 1000)
+	b.Capacitor(n, 1e-3)
+	b.Output(n)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := NewCircuit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = 2.0
+	ramp := func(tt float64) float64 {
+		switch {
+		case tt <= 0:
+			return 0
+		case tt >= T:
+			return 1
+		}
+		return tt / T
+	}
+	i, _ := ckt.Index(n)
+	for _, m := range []Method{BackwardEuler, Trapezoidal} {
+		h := 1e-3
+		steps := 6000
+		w, err := ckt.TransientInput(m, h, steps, ramp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 5e-3 // BE first order at h=1e-3 over tau=1
+		if m == Trapezoidal {
+			tol = 5e-6
+		}
+		for k := 0; k < len(w.Times); k += 800 {
+			tt := w.Times[k]
+			var want float64
+			if tt <= T {
+				want = (tt - (1 - math.Exp(-tt))) / T
+			} else {
+				want = 1 - (math.Exp(-(tt-T))-math.Exp(-tt))/T
+			}
+			if got := w.At(k, i); math.Abs(got-want) > tol {
+				t.Errorf("%v: v(%g) = %.8f, want %.8f", m, tt, got, want)
+			}
+		}
+	}
+}
+
+// TestTransientMatchesTransientInputStep: the step-specialized path and the
+// general path agree exactly for a unit step.
+func TestTransientMatchesTransientInputStep(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	x := b.Resistor(rctree.Root, "x", 100)
+	b.Capacitor(x, 0.01)
+	y := b.Resistor(x, "y", 200)
+	b.Capacitor(y, 0.02)
+	b.Output(y)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := NewCircuit(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := ckt.Transient(Trapezoidal, 0.05, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ckt.TransientInput(Trapezoidal, 0.05, 200, func(float64) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range w1.Times {
+		for i := 0; i < ckt.NumNodes(); i++ {
+			if w1.At(k, i) != w2.At(k, i) {
+				t.Fatalf("paths diverge at step %d node %d", k, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package sta
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV emits the report as CSV (header plus one row per output, in
+// critical order), for spreadsheets and plotting scripts.
+func (r *DesignReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"net", "output", "tp", "td", "tr", "ree", "tmin", "tmax", "elmore", "slack", "optimistic_slack", "verdict"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("sta: csv: %w", err)
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, o := range r.Critical() {
+		row := []string{
+			o.Net, o.Output,
+			g(o.Times.TP), g(o.Times.TD), g(o.Times.TR), g(o.Times.Ree),
+			g(o.TMin), g(o.TMax), g(o.Elmore), g(o.Slack), g(o.OptimisticSlack),
+			o.Verdict.String(),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("sta: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonReport is the stable wire shape of a report.
+type jsonReport struct {
+	Outputs []jsonOutput `json:"outputs"`
+	Passes  int          `json:"passes"`
+	Unknown int          `json:"unknown"`
+	Fails   int          `json:"fails"`
+}
+
+type jsonOutput struct {
+	Net             string  `json:"net"`
+	Output          string  `json:"output"`
+	TP              float64 `json:"tp"`
+	TD              float64 `json:"td"`
+	TR              float64 `json:"tr"`
+	Ree             float64 `json:"ree"`
+	TMin            float64 `json:"tmin"`
+	TMax            float64 `json:"tmax"`
+	Elmore          float64 `json:"elmore"`
+	Slack           float64 `json:"slack"`
+	OptimisticSlack float64 `json:"optimistic_slack"`
+	Verdict         string  `json:"verdict"`
+}
+
+// WriteJSON emits the report as indented JSON with a stable schema.
+func (r *DesignReport) WriteJSON(w io.Writer) error {
+	p, u, f := r.CountByVerdict()
+	out := jsonReport{Passes: p, Unknown: u, Fails: f}
+	for _, o := range r.Critical() {
+		out.Outputs = append(out.Outputs, jsonOutput{
+			Net: o.Net, Output: o.Output,
+			TP: o.Times.TP, TD: o.Times.TD, TR: o.Times.TR, Ree: o.Times.Ree,
+			TMin: o.TMin, TMax: o.TMax, Elmore: o.Elmore,
+			Slack: o.Slack, OptimisticSlack: o.OptimisticSlack,
+			Verdict: o.Verdict.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("sta: json: %w", err)
+	}
+	return nil
+}

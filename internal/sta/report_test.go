@@ -1,0 +1,105 @@
+package sta
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleReport(t *testing.T) *DesignReport {
+	t.Helper()
+	tr := fanoutNet(t)
+	rep, err := Analyze([]Net{{Name: "net1", Tree: tr, Threshold: 0.7, Deadline: 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestWriteCSV(t *testing.T) {
+	rep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(records) != 4 { // header + 3 outputs
+		t.Fatalf("rows = %d, want 4", len(records))
+	}
+	if records[0][0] != "net" || records[0][11] != "verdict" {
+		t.Errorf("header = %v", records[0])
+	}
+	// Worst slack first: g3.
+	if records[1][1] != "g3" {
+		t.Errorf("first data row output = %q, want g3", records[1][1])
+	}
+	// Numeric columns parse back.
+	for _, row := range records[1:] {
+		for col := 2; col <= 10; col++ {
+			if _, err := strconv.ParseFloat(row[col], 64); err != nil {
+				t.Errorf("column %d value %q not numeric", col, row[col])
+			}
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Outputs []map[string]any `json:"outputs"`
+		Passes  int              `json:"passes"`
+		Unknown int              `json:"unknown"`
+		Fails   int              `json:"fails"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(decoded.Outputs) != 3 {
+		t.Fatalf("outputs = %d, want 3", len(decoded.Outputs))
+	}
+	if decoded.Passes+decoded.Unknown+decoded.Fails != 3 {
+		t.Errorf("verdict counts = %d+%d+%d", decoded.Passes, decoded.Unknown, decoded.Fails)
+	}
+	for _, o := range decoded.Outputs {
+		for _, key := range []string{"net", "output", "tp", "td", "tr", "tmin", "tmax", "slack", "verdict"} {
+			if _, ok := o[key]; !ok {
+				t.Errorf("output record missing %q: %v", key, o)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "\n  ") {
+		t.Error("JSON not indented")
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	rep := sampleReport(t)
+	// The csv writer buffers, so the error surfaces at Flush; a writer that
+	// always fails exercises both paths.
+	if err := rep.WriteCSV(&failWriter{}); err == nil {
+		t.Error("CSV write error swallowed")
+	}
+	if err := rep.WriteJSON(&failWriter{}); err == nil {
+		t.Error("JSON write error swallowed")
+	}
+}

@@ -1,0 +1,110 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestAnalyzeSlewBasics(t *testing.T) {
+	tr := fanoutNet(t)
+	nets := []SlewNet{{
+		Net:      Net{Name: "n", Tree: tr, Threshold: 0.7, Deadline: 1500},
+		RiseTime: 200,
+	}}
+	reports, err := AnalyzeSlew(nets, 64, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d, want 3", len(reports))
+	}
+	for _, r := range reports {
+		if r.TMin > r.TMax {
+			t.Errorf("%s: TMin %g > TMax %g", r.Output, r.TMin, r.TMax)
+		}
+		// A finite input slew can only delay the crossing versus a step.
+		if r.TMin < r.StepTMin-1e-6 || r.TMax < r.StepTMax-1e-6 {
+			t.Errorf("%s: ramp bounds [%g,%g] earlier than step bounds [%g,%g]",
+				r.Output, r.TMin, r.TMax, r.StepTMin, r.StepTMax)
+		}
+	}
+}
+
+func TestAnalyzeSlewZeroRiseMatchesStep(t *testing.T) {
+	tr := fanoutNet(t)
+	nets := []SlewNet{{Net: Net{Name: "n", Tree: tr, Threshold: 0.5, Deadline: 1000}}}
+	reports, err := AnalyzeSlew(nets, 64, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		// Bisection resolution vs closed form: allow 1e-4 relative.
+		if math.Abs(r.TMin-r.StepTMin) > 1e-4*(1+r.StepTMin) ||
+			math.Abs(r.TMax-r.StepTMax) > 1e-4*(1+r.StepTMax) {
+			t.Errorf("%s: zero-rise ramp [%g,%g] != step [%g,%g]",
+				r.Output, r.TMin, r.TMax, r.StepTMin, r.StepTMax)
+		}
+	}
+}
+
+func TestAnalyzeSlewInputDelayShifts(t *testing.T) {
+	tr := fanoutNet(t)
+	base := []SlewNet{{Net: Net{Name: "n", Tree: tr, Threshold: 0.5, Deadline: 1e6}, RiseTime: 100}}
+	shifted := []SlewNet{{Net: Net{Name: "n", Tree: tr, Threshold: 0.5, Deadline: 1e6}, RiseTime: 100, InputDelay: 250}}
+	a, err := AnalyzeSlew(base, 64, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AnalyzeSlew(shifted, 64, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs((b[i].TMin-a[i].TMin)-250) > 1e-6 || math.Abs((b[i].TMax-a[i].TMax)-250) > 1e-6 {
+			t.Errorf("%s: input delay did not shift bounds by 250", a[i].Output)
+		}
+	}
+}
+
+func TestAnalyzeSlewVerdicts(t *testing.T) {
+	tr := fanoutNet(t)
+	mk := func(deadline float64) []SlewNet {
+		return []SlewNet{{Net: Net{Name: "n", Tree: tr, Threshold: 0.7, Deadline: deadline}, RiseTime: 150}}
+	}
+	generous, err := AnalyzeSlew(mk(1e6), 64, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range generous {
+		if r.Verdict != core.Passes {
+			t.Errorf("%s: generous deadline verdict %v", r.Output, r.Verdict)
+		}
+	}
+	impossible, err := AnalyzeSlew(mk(1), 64, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range impossible {
+		if r.Verdict != core.Fails {
+			t.Errorf("%s: impossible deadline verdict %v", r.Output, r.Verdict)
+		}
+	}
+}
+
+func TestAnalyzeSlewValidation(t *testing.T) {
+	tr := fanoutNet(t)
+	if _, err := AnalyzeSlew(nil, 64, 100); err == nil {
+		t.Error("empty net list accepted")
+	}
+	if _, err := AnalyzeSlew([]SlewNet{{Net: Net{Name: "n", Tree: tr, Threshold: 0.5, Deadline: 1}}}, 64, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := AnalyzeSlew([]SlewNet{{Net: Net{Name: "n", Tree: tr, Threshold: 0.5, Deadline: 1}, RiseTime: -1}}, 64, 100); err == nil {
+		t.Error("negative rise accepted")
+	}
+	if _, err := AnalyzeSlew([]SlewNet{{Net: Net{Name: "n", Tree: tr, Threshold: 0, Deadline: 1}}}, 64, 100); err == nil {
+		t.Error("bad threshold accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package waveform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randnet"
+	"repro/internal/sim"
+)
+
+// TestExactResponseMatchesTransientInput cross-validates the closed-form
+// modal superposition against the time-stepping integrator fed the same PWL
+// input, on random lumped trees — two fully independent evaluation paths.
+func TestExactResponseMatchesTransientInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		cfg := randnet.DefaultConfig(1 + rng.Intn(10))
+		cfg.LineProb = 0
+		tr := randnet.Tree(rng, cfg)
+		ckt, err := sim.NewCircuit(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := ckt.EigenResponse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := tr.TPTotal()
+		in := PWL{
+			T: []float64{0, tp * 0.3, tp * 0.5, tp * 1.2},
+			V: []float64{0, 0.4, 0.6, 1},
+		}
+		h := tp / 4000
+		steps := 8000 // out to 2·TP
+		wave, err := ckt.TransientInput(sim.Trapezoidal, h, steps, in.At)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range tr.Outputs() {
+			i, _ := ckt.Index(e)
+			for k := 1000; k <= steps; k += 1750 {
+				tt := wave.Times[k]
+				closed, err := ExactResponse(resp, i, in, tt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				stepped := wave.At(k, i)
+				if math.Abs(closed-stepped) > 2e-4 {
+					t.Fatalf("trial %d output %q t=%g: closed-form %.8f vs stepped %.8f",
+						trial, tr.Name(e), tt, closed, stepped)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package wire converts interconnect geometry and MOS process parameters
+// into the lumped R and C values the RC-tree model consumes, reproducing the
+// §V technology numbers of the paper: 4-micron features, polysilicon at
+// 30 Ω/square, 400 Å gate oxide and 3000 Å field oxide, which yield 180 Ω
+// and ~0.01 pF per 24 µm inter-gate poly segment and 30 Ω and ~0.013 pF per
+// 4 µm × 4 µm gate.
+package wire
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants (SI).
+const (
+	// Epsilon0 is the vacuum permittivity in F/m.
+	Epsilon0 = 8.854187817e-12
+	// EpsilonSiO2 is the relative permittivity of silicon dioxide.
+	EpsilonSiO2 = 3.9
+)
+
+// Unit helpers: the package works in SI internally; these constants convert
+// from the datasheet-friendly units used in call sites.
+const (
+	Micron   = 1e-6  // m
+	Angstrom = 1e-10 // m
+)
+
+// Tech bundles the process parameters of §V. All lengths are SI meters and
+// sheet resistances Ω/square.
+type Tech struct {
+	// PolySheetRes is the polysilicon sheet resistance, Ω/square.
+	PolySheetRes float64
+	// MetalSheetRes is the metal sheet resistance, Ω/square; the paper
+	// neglects metal resistance, so the default is 0.
+	MetalSheetRes float64
+	// GateOxide is the gate (thin) oxide thickness in meters.
+	GateOxide float64
+	// FieldOxide is the field (thick) oxide thickness in meters.
+	FieldOxide float64
+}
+
+// PaperTech returns the §V parameters: 30 Ω/sq poly, 400 Å gate oxide,
+// 3000 Å field oxide.
+func PaperTech() Tech {
+	return Tech{
+		PolySheetRes: 30,
+		GateOxide:    400 * Angstrom,
+		FieldOxide:   3000 * Angstrom,
+	}
+}
+
+// Validate rejects non-physical parameter sets.
+func (t Tech) Validate() error {
+	if t.PolySheetRes < 0 || t.MetalSheetRes < 0 {
+		return fmt.Errorf("wire: negative sheet resistance")
+	}
+	if t.GateOxide <= 0 || t.FieldOxide <= 0 {
+		return fmt.Errorf("wire: oxide thickness must be positive")
+	}
+	return nil
+}
+
+// GateCapPerArea returns the thin-oxide capacitance per area, F/m².
+func (t Tech) GateCapPerArea() float64 {
+	return Epsilon0 * EpsilonSiO2 / t.GateOxide
+}
+
+// FieldCapPerArea returns the field-oxide (routing) capacitance per area,
+// F/m².
+func (t Tech) FieldCapPerArea() float64 {
+	return Epsilon0 * EpsilonSiO2 / t.FieldOxide
+}
+
+// Segment is a rectangular interconnect segment.
+type Segment struct {
+	// Layer selects the sheet resistance: "poly" or "metal".
+	Layer string
+	// Length is along the current direction; Width across it. Meters.
+	Length, Width float64
+}
+
+// Squares returns the segment's aspect ratio Length/Width, the "number of
+// squares" whose product with sheet resistance gives resistance.
+func (s Segment) Squares() float64 {
+	if s.Width <= 0 {
+		return math.Inf(1)
+	}
+	return s.Length / s.Width
+}
+
+// Resistance returns the segment's end-to-end resistance in ohms.
+func (t Tech) Resistance(s Segment) (float64, error) {
+	if s.Length < 0 || s.Width <= 0 {
+		return 0, fmt.Errorf("wire: segment needs Length >= 0 and Width > 0, got %gx%g", s.Length, s.Width)
+	}
+	switch s.Layer {
+	case "poly":
+		return t.PolySheetRes * s.Squares(), nil
+	case "metal":
+		return t.MetalSheetRes * s.Squares(), nil
+	}
+	return 0, fmt.Errorf("wire: unknown layer %q", s.Layer)
+}
+
+// Capacitance returns the segment's capacitance to substrate in farads,
+// using the field-oxide parallel-plate value (fringing neglected, as in the
+// paper).
+func (t Tech) Capacitance(s Segment) (float64, error) {
+	if s.Length < 0 || s.Width <= 0 {
+		return 0, fmt.Errorf("wire: segment needs Length >= 0 and Width > 0, got %gx%g", s.Length, s.Width)
+	}
+	return t.FieldCapPerArea() * s.Length * s.Width, nil
+}
+
+// LineRC returns both values for a segment, the (R, C) pair of a URC
+// element.
+func (t Tech) LineRC(s Segment) (r, c float64, err error) {
+	if r, err = t.Resistance(s); err != nil {
+		return 0, 0, err
+	}
+	if c, err = t.Capacitance(s); err != nil {
+		return 0, 0, err
+	}
+	return r, c, nil
+}
+
+// GateRC models a transistor gate crossed by a poly line of the given
+// square dimensions: its resistance is the poly squares across the gate and
+// its capacitance the thin-oxide plate.
+func (t Tech) GateRC(side float64) (r, c float64, err error) {
+	if side <= 0 {
+		return 0, 0, fmt.Errorf("wire: gate side must be positive, got %g", side)
+	}
+	return t.PolySheetRes, t.GateCapPerArea() * side * side, nil
+}

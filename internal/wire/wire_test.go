@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSectionVNumbers verifies that the §V process parameters reproduce the
+// paper's element values: "a capacitance of 0.01 pF and resistance 180 ohms
+// between gates, and a resistance of 30 ohms and capacitance of 0.013 pF for
+// each gate" (E9 in DESIGN.md).
+func TestSectionVNumbers(t *testing.T) {
+	tech := PaperTech()
+	if err := tech.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Inter-gate segment: 24 µm of 4 µm-wide poly over field oxide.
+	seg := Segment{Layer: "poly", Length: 24 * Micron, Width: 4 * Micron}
+	r, c, err := tech.LineRC(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-180) > 1e-9 {
+		t.Errorf("inter-gate resistance = %g, paper says 180", r)
+	}
+	// Parallel-plate field capacitance: ~0.011 pF vs the paper's rounded
+	// 0.01 pF; accept 15%.
+	if math.Abs(c-0.01e-12) > 0.15*0.01e-12 {
+		t.Errorf("inter-gate capacitance = %g pF, paper says ~0.01 pF", c/1e-12)
+	}
+
+	// Gate: 4 µm square of thin oxide crossed by the poly line.
+	gr, gc, err := tech.GateRC(4 * Micron)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gr-30) > 1e-9 {
+		t.Errorf("gate resistance = %g, paper says 30", gr)
+	}
+	if math.Abs(gc-0.013e-12) > 0.1*0.013e-12 {
+		t.Errorf("gate capacitance = %g pF, paper says ~0.013 pF", gc/1e-12)
+	}
+}
+
+func TestCapPerArea(t *testing.T) {
+	tech := PaperTech()
+	// Thin/thick oxide ratio is exactly the thickness ratio.
+	ratio := tech.GateCapPerArea() / tech.FieldCapPerArea()
+	if math.Abs(ratio-3000.0/400) > 1e-12 {
+		t.Errorf("cap-per-area ratio = %g, want 7.5", ratio)
+	}
+}
+
+func TestSquares(t *testing.T) {
+	s := Segment{Layer: "poly", Length: 24, Width: 4}
+	if got := s.Squares(); got != 6 {
+		t.Errorf("Squares = %g, want 6", got)
+	}
+	if got := (Segment{Width: 0}).Squares(); !math.IsInf(got, 1) {
+		t.Errorf("zero-width Squares = %g, want +Inf", got)
+	}
+}
+
+func TestMetalLayer(t *testing.T) {
+	tech := PaperTech() // MetalSheetRes = 0 — the paper neglects it
+	r, err := tech.Resistance(Segment{Layer: "metal", Length: 100 * Micron, Width: 4 * Micron})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Errorf("metal resistance = %g, want 0 (neglected)", r)
+	}
+	// Metal still has field capacitance.
+	c, err := tech.Capacitance(Segment{Layer: "metal", Length: 100 * Micron, Width: 4 * Micron})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Errorf("metal capacitance = %g, want > 0", c)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	tech := PaperTech()
+	if _, err := tech.Resistance(Segment{Layer: "copper", Length: 1, Width: 1}); err == nil {
+		t.Error("unknown layer accepted")
+	}
+	if _, err := tech.Resistance(Segment{Layer: "poly", Length: -1, Width: 1}); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := tech.Capacitance(Segment{Layer: "poly", Length: 1, Width: 0}); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, _, err := tech.LineRC(Segment{Layer: "nope", Length: 1, Width: 1}); err == nil {
+		t.Error("LineRC accepted unknown layer")
+	}
+	if _, _, err := tech.GateRC(0); err == nil {
+		t.Error("zero gate side accepted")
+	}
+	bad := Tech{PolySheetRes: -1, GateOxide: 1, FieldOxide: 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative sheet resistance validated")
+	}
+	bad2 := Tech{GateOxide: 0, FieldOxide: 1}
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero oxide validated")
+	}
+}

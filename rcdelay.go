@@ -1,0 +1,182 @@
+// Package rcdelay is a Go implementation of Penfield & Rubinstein's
+// "Signal Delay in RC Tree Networks" (1981): computationally simple upper
+// and lower bounds on signal delay through MOS interconnect with fanout,
+// computed from three characteristic times (TP, TDe, TRe) of the RC tree.
+//
+// The package is a façade over the internal implementation:
+//
+//   - build trees with NewBuilder (code), ParseNetlist (SPICE-like decks) or
+//     ParseExpression (the paper's URC/WB/WC algebra, eq. 18);
+//   - Analyze computes the characteristic times and bound evaluators for
+//     every output;
+//   - Bounds answers the paper's three headline questions: bound the delay
+//     given a threshold (TMin/TMax), bound the voltage given a time
+//     (VMin/VMax), or certify a deadline (OK);
+//   - SimulateStep provides the exact step response of the same network via
+//     eigendecomposition, for validation and for resolving Unknown verdicts.
+//
+// Element units are the caller's choice: ohms with farads give seconds,
+// ohms with picofarads give picoseconds (the paper's §V convention).
+package rcdelay
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+	"repro/internal/sim"
+)
+
+// Core re-exported types. These are aliases, so values flow freely between
+// the façade and the internal packages.
+type (
+	// Tree is an immutable RC tree network.
+	Tree = rctree.Tree
+	// NodeID identifies a node within a Tree.
+	NodeID = rctree.NodeID
+	// Builder constructs trees incrementally.
+	Builder = rctree.Builder
+	// Times holds the characteristic times (TP, TD, TR, Ree) of one output.
+	Times = rctree.Times
+	// Bounds evaluates the Penfield–Rubinstein bounds for one output.
+	Bounds = core.Bounds
+	// Result pairs an output with its Times and Bounds.
+	Result = core.Result
+	// Verdict is the OK certification result (Passes/Unknown/Fails).
+	Verdict = core.Verdict
+	// DelayRow is one threshold row of a Figure 10-style delay table.
+	DelayRow = core.DelayRow
+	// VoltageRow is one time row of a Figure 10-style voltage table.
+	VoltageRow = core.VoltageRow
+	// CurvePoint samples the bound envelope for plotting.
+	CurvePoint = core.CurvePoint
+)
+
+// Verdict values (Figure 9 of the paper).
+const (
+	Passes  = core.Passes
+	Unknown = core.Unknown
+	Fails   = core.Fails
+)
+
+// Root is the input node of every tree.
+const Root = rctree.Root
+
+// NewBuilder starts a new tree whose input node has the given name
+// ("" defaults to "in").
+func NewBuilder(inputName string) *Builder { return rctree.NewBuilder(inputName) }
+
+// ParseNetlist reads a SPICE-like deck (R/C/U cards with .input/.output
+// directives) and returns the tree it describes.
+func ParseNetlist(src string) (*Tree, error) { return netlist.Parse(src) }
+
+// WriteNetlist renders a tree as a deck that round-trips through
+// ParseNetlist.
+func WriteNetlist(t *Tree) string { return netlist.Write(t) }
+
+// ParseExpression reads the paper's algebraic notation, e.g.
+//
+//	(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9
+//
+// and returns the network as a tree plus the output node (the expression's
+// port 2).
+func ParseExpression(src string) (*Tree, NodeID, error) {
+	e, err := algebra.Parse(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	return algebra.ToTree(e)
+}
+
+// FormatExpression renders the subnetwork driving output e in the paper's
+// notation — the inverse of ParseExpression up to value-preserving
+// regrouping.
+func FormatExpression(t *Tree, e NodeID) (string, error) {
+	expr, err := algebra.FromTree(t, e)
+	if err != nil {
+		return "", err
+	}
+	return algebra.Format(expr), nil
+}
+
+// CharacteristicTimes computes TP, TDe, TRe and Ree for output e in one
+// O(n) pass.
+func CharacteristicTimes(t *Tree, e NodeID) (Times, error) {
+	return t.CharacteristicTimes(e)
+}
+
+// NewBounds returns a bound evaluator for precomputed characteristic times.
+func NewBounds(tm Times) (*Bounds, error) { return core.New(tm) }
+
+// BoundsFor computes the bounds of output e directly from the tree.
+func BoundsFor(t *Tree, e NodeID) (*Bounds, error) {
+	tm, err := t.CharacteristicTimes(e)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(tm)
+}
+
+// Analyze computes Times and Bounds for every designated output.
+func Analyze(t *Tree) ([]Result, error) { return core.AnalyzeTree(t) }
+
+// CriticalOutputs sorts analysis results by descending TMax at the given
+// threshold — the slowest-certifiable output first.
+func CriticalOutputs(results []Result, threshold float64) []Result {
+	return core.CriticalOutputs(results, threshold)
+}
+
+// StepSim wraps the exact simulator for a tree: distributed lines are
+// discretized, the nodal system diagonalized once, and responses queried per
+// original output node.
+type StepSim struct {
+	resp    *sim.Response
+	circuit *sim.Circuit
+	mapping map[NodeID]NodeID
+}
+
+// SimulateStep builds the exact unit-step solver for the tree. segments
+// controls the pi-ladder discretization of each distributed line (16 is
+// plenty for plotting; error falls as 1/segments²).
+func SimulateStep(t *Tree, segments int) (*StepSim, error) {
+	lumped, mapping, err := sim.Discretize(t, segments)
+	if err != nil {
+		return nil, err
+	}
+	ckt, err := sim.NewCircuit(lumped)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ckt.EigenResponse()
+	if err != nil {
+		return nil, err
+	}
+	return &StepSim{resp: resp, circuit: ckt, mapping: mapping}, nil
+}
+
+// Voltage returns the exact response of (original) node e at time t.
+func (s *StepSim) Voltage(e NodeID, t float64) (float64, error) {
+	i, err := s.circuit.Index(s.mapping[e])
+	if err != nil {
+		return 0, err
+	}
+	return s.resp.Voltage(i, t), nil
+}
+
+// CrossingTime returns the exact time node e reaches threshold v.
+func (s *StepSim) CrossingTime(e NodeID, v float64) (float64, error) {
+	i, err := s.circuit.Index(s.mapping[e])
+	if err != nil {
+		return 0, err
+	}
+	return s.resp.CrossingTime(i, v, 1e-12), nil
+}
+
+// Response exposes the underlying modal response for advanced use (e.g. the
+// waveform package's superposition).
+func (s *StepSim) Response() *sim.Response { return s.resp }
+
+// Index maps an original tree node to the simulator's unknown index.
+func (s *StepSim) Index(e NodeID) (int, error) {
+	return s.circuit.Index(s.mapping[e])
+}

@@ -1,0 +1,210 @@
+package rcdelay
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const fig7Expr = `(URC 15 0) WC (URC 0 2) WC (WB (URC 8 0) WC URC 0 7) WC (URC 3 4) WC URC 0 9`
+
+const fig7Deck = `
+.input in
+R1 in  n1 15
+C1 n1  0  2
+R2 n1  b  8
+C2 b   0  7
+U1 n1  n2 3 4
+C3 n2  0  9
+.output n2
+`
+
+// TestEndToEndFigure7 walks the full public API on the paper's example
+// network, from both entry points, and checks the Figure 10 numbers.
+func TestEndToEndFigure7(t *testing.T) {
+	// Entry 1: the paper's algebra.
+	exprTree, out1, err := ParseExpression(fig7Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm1, err := CharacteristicTimes(exprTree, out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry 2: the netlist.
+	deckTree, err := ParseNetlist(fig7Deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, ok := deckTree.Lookup("n2")
+	if !ok {
+		t.Fatal("n2 missing")
+	}
+	tm2, err := CharacteristicTimes(deckTree, out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"TP expr", tm1.TP, 419}, {"TD expr", tm1.TD, 363},
+		{"TR expr", tm1.TR, 6033.0 / 18}, {"Ree expr", tm1.Ree, 18},
+		{"TP deck", tm2.TP, 419}, {"TD deck", tm2.TD, 363},
+	} {
+		if math.Abs(pair.got-pair.want) > 1e-9 {
+			t.Errorf("%s = %g, want %g", pair.name, pair.got, pair.want)
+		}
+	}
+
+	b, err := NewBounds(tm1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 10 spot checks through the façade.
+	if got := b.TMax(0.5); math.Abs(got-314.15) > 0.05 {
+		t.Errorf("TMax(0.5) = %g, paper prints 314.15", got)
+	}
+	if got := b.VMax(20); math.Abs(got-0.18138) > 6e-5 {
+		t.Errorf("VMax(20) = %g, paper prints 0.18138", got)
+	}
+	if v := b.OK(0.5, 350); v != Passes {
+		t.Errorf("OK(0.5, 350) = %v, want Passes", v)
+	}
+	if v := b.OK(0.5, 100); v != Fails {
+		t.Errorf("OK(0.5, 100) = %v, want Fails", v)
+	}
+	if v := b.OK(0.5, 250); v != Unknown {
+		t.Errorf("OK(0.5, 250) = %v, want Unknown", v)
+	}
+}
+
+// TestSimulateStepBracket: the exact response through the façade stays
+// inside the bound envelope (Figure 11).
+func TestSimulateStepBracket(t *testing.T) {
+	tree, out, err := ParseExpression(fig7Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BoundsFor(tree, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := SimulateStep(tree, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 10.0; tt <= 600; tt += 10 {
+		v, err := s.Voltage(out, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < b.VMin(tt)-1e-9 || v > b.VMax(tt)+1e-9 {
+			t.Errorf("t=%g: exact %g outside [%g, %g]", tt, v, b.VMin(tt), b.VMax(tt))
+		}
+	}
+	cross, err := s.CrossingTime(out, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross < b.TMin(0.5) || cross > b.TMax(0.5) {
+		t.Errorf("crossing %g outside [%g, %g]", cross, b.TMin(0.5), b.TMax(0.5))
+	}
+	if _, err := s.Voltage(Root, 5); err == nil {
+		t.Error("Voltage at the input node should error")
+	}
+	if _, err := s.Index(out); err != nil {
+		t.Errorf("Index: %v", err)
+	}
+	if s.Response() == nil {
+		t.Error("Response() nil")
+	}
+}
+
+func TestBuilderFacade(t *testing.T) {
+	b := NewBuilder("")
+	n := b.Resistor(Root, "n", 100)
+	b.Capacitor(n, 2)
+	b.Output(n)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := Analyze(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Times.TD != 200 {
+		t.Errorf("results = %+v", results)
+	}
+	crit := CriticalOutputs(results, 0.5)
+	if len(crit) != 1 {
+		t.Error("CriticalOutputs lost a result")
+	}
+}
+
+func TestFormatExpressionRoundTrip(t *testing.T) {
+	tree, out, err := ParseExpression(fig7Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := FormatExpression(tree, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, out2, err := ParseExpression(text)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", text, err)
+	}
+	tm1, _ := CharacteristicTimes(tree, out)
+	tm2, err := CharacteristicTimes(back, out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tm1.TP-tm2.TP) > 1e-9 || math.Abs(tm1.TD-tm2.TD) > 1e-9 || math.Abs(tm1.TR-tm2.TR) > 1e-9 {
+		t.Errorf("round trip changed times: %+v -> %+v", tm1, tm2)
+	}
+}
+
+func TestWriteNetlistRoundTrip(t *testing.T) {
+	tree, err := ParseNetlist(fig7Deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deck := WriteNetlist(tree)
+	if !strings.Contains(deck, ".input in") {
+		t.Errorf("deck missing input:\n%s", deck)
+	}
+	back, err := ParseNetlist(deck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != tree.NumNodes() {
+		t.Errorf("round trip changed node count: %d -> %d", tree.NumNodes(), back.NumNodes())
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, _, err := ParseExpression("URC"); err == nil {
+		t.Error("bad expression accepted")
+	}
+	if _, err := ParseNetlist("garbage"); err == nil {
+		t.Error("bad deck accepted")
+	}
+	if _, err := NewBounds(Times{TP: 1, TD: 2}); err == nil {
+		t.Error("invalid times accepted")
+	}
+	tree, _, err := ParseExpression(fig7Expr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BoundsFor(tree, NodeID(99)); err == nil {
+		t.Error("out-of-range output accepted")
+	}
+	if _, err := SimulateStep(tree, 0); err == nil {
+		t.Error("zero segments accepted")
+	}
+	if _, err := FormatExpression(tree, NodeID(99)); err == nil {
+		t.Error("FormatExpression accepted bad output")
+	}
+}
