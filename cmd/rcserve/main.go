@@ -1,0 +1,281 @@
+// Command rcserve exposes the Penfield–Rubinstein bound analysis as an HTTP
+// service backed by the concurrent batch engine: every request is routed
+// through a shared worker pool, and repeated networks hit the shared
+// memoization cache instead of being reanalyzed.
+//
+// Usage:
+//
+//	rcserve -addr :8080 -workers 8 -cache 4096
+//
+// Endpoints:
+//
+//	GET  /healthz  liveness plus engine/cache statistics
+//	POST /analyze  characteristic times and bound tables
+//	POST /certify  deadline certification verdicts
+//
+// /analyze and /certify accept a single request object or a batch:
+//
+//	{"netlist": ".input in\nR1 in o 10\nC1 o 0 5\n.output o\n",
+//	 "thresholds": [0.5, 0.9], "times": [100]}
+//	{"jobs": [{"expression": "URC 15 9", "thresholds": [0.5]}, ...]}
+//
+// Each job names its network either as a SPICE-like deck ("netlist") or in
+// the paper's algebraic notation ("expression"); /certify additionally takes
+// "checks": [{"output": "o", "v": 0.5, "t": 100}] (omit "output" to check
+// every output). Responses are JSON bound tables in job order; a batch is
+// answered as {"results": [...]} with per-job "error" fields, so one bad
+// deck does not fail its neighbors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	rcdelay "repro"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 0, "memoization cache entries (0 = default, negative = disabled)")
+	)
+	flag.Parse()
+	srv := newServer(rcdelay.NewBatchEngine(rcdelay.BatchOptions{Workers: *workers, CacheSize: *cache}))
+	log.Printf("rcserve: listening on %s (%d workers)", *addr, srv.engine.Workers())
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// server routes HTTP requests into a shared batch engine. It implements
+// http.Handler so tests can drive it through httptest without a socket.
+type server struct {
+	engine *rcdelay.BatchEngine
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+func newServer(engine *rcdelay.BatchEngine) *server {
+	s := &server{engine: engine, mux: http.NewServeMux(), start: time.Now()}
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/certify", s.handleCertify)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// jobRequest is one network plus its evaluation requests, as posted by the
+// client. Exactly one of Netlist and Expression must be set.
+type jobRequest struct {
+	Tag        string      `json:"tag,omitempty"`
+	Netlist    string      `json:"netlist,omitempty"`
+	Expression string      `json:"expression,omitempty"`
+	Thresholds []float64   `json:"thresholds,omitempty"`
+	Times      []float64   `json:"times,omitempty"`
+	Checks     []checkSpec `json:"checks,omitempty"`
+}
+
+type checkSpec struct {
+	Output string  `json:"output,omitempty"`
+	V      float64 `json:"v"`
+	T      float64 `json:"t"`
+}
+
+// request is the envelope both POST endpoints accept: either a single job
+// inline, or a list under "jobs".
+type request struct {
+	jobRequest
+	Jobs []jobRequest `json:"jobs,omitempty"`
+}
+
+type timesJSON struct {
+	TP  float64 `json:"tp"`
+	TD  float64 `json:"td"`
+	TR  float64 `json:"tr"`
+	Ree float64 `json:"ree"`
+}
+
+type delayRowJSON struct {
+	V    float64 `json:"v"`
+	TMin float64 `json:"tmin"`
+	TMax float64 `json:"tmax"`
+}
+
+type voltageRowJSON struct {
+	T    float64 `json:"t"`
+	VMin float64 `json:"vmin"`
+	VMax float64 `json:"vmax"`
+}
+
+type outputJSON struct {
+	Name    string           `json:"name"`
+	Times   timesJSON        `json:"times"`
+	Delay   []delayRowJSON   `json:"delay,omitempty"`
+	Voltage []voltageRowJSON `json:"voltage,omitempty"`
+}
+
+type checkJSON struct {
+	Output  string  `json:"output"`
+	V       float64 `json:"v"`
+	T       float64 `json:"t"`
+	Verdict string  `json:"verdict"`
+}
+
+type jobJSON struct {
+	Tag      string       `json:"tag,omitempty"`
+	Key      string       `json:"key,omitempty"`
+	CacheHit bool         `json:"cacheHit"`
+	Outputs  []outputJSON `json:"outputs,omitempty"`
+	Checks   []checkJSON  `json:"checks,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "healthz is GET-only", http.StatusMethodNotAllowed)
+		return
+	}
+	stats := s.engine.CacheStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"workers":       s.engine.Workers(),
+		"cache": map[string]any{
+			"hits":      stats.Hits,
+			"misses":    stats.Misses,
+			"evictions": stats.Evictions,
+			"entries":   stats.Entries,
+		},
+	})
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.handleBatch(w, r, false)
+}
+
+func (s *server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	s.handleBatch(w, r, true)
+}
+
+// handleBatch decodes the request envelope, runs the jobs through the
+// engine, and writes the results in job order. certify restricts the
+// response to verdicts and requires at least one check per job.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, certify bool) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "expected POST with a JSON body", http.StatusMethodNotAllowed)
+		return
+	}
+	var req request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	single := len(req.Jobs) == 0
+	specs := req.Jobs
+	if single {
+		specs = []jobRequest{req.jobRequest}
+	}
+
+	jobs := make([]rcdelay.BatchJob, len(specs))
+	buildErrs := make([]error, len(specs))
+	for i, spec := range specs {
+		jobs[i], buildErrs[i] = buildJob(spec, certify)
+	}
+	results := s.engine.Run(r.Context(), jobs)
+
+	answers := make([]jobJSON, len(specs))
+	for i, res := range results {
+		if buildErrs[i] != nil {
+			answers[i] = jobJSON{Tag: specs[i].Tag, Error: buildErrs[i].Error()}
+			continue
+		}
+		answers[i] = renderJob(res, certify)
+	}
+	if single {
+		if answers[0].Error != "" {
+			writeJSON(w, http.StatusUnprocessableEntity, answers[0])
+			return
+		}
+		writeJSON(w, http.StatusOK, answers[0])
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": answers})
+}
+
+// buildJob parses one job spec into an engine job. Parse failures are
+// reported per job, not per request; the placeholder job carries a nil tree
+// the engine answers with an error that renderJob never sees.
+func buildJob(spec jobRequest, certify bool) (rcdelay.BatchJob, error) {
+	job := rcdelay.BatchJob{
+		Tag:        spec.Tag,
+		Thresholds: spec.Thresholds,
+		Times:      spec.Times,
+	}
+	for _, c := range spec.Checks {
+		job.Checks = append(job.Checks, rcdelay.BatchCheck{Output: c.Output, V: c.V, T: c.T})
+	}
+	switch {
+	case spec.Netlist != "" && spec.Expression != "":
+		return job, fmt.Errorf("give either netlist or expression, not both")
+	case spec.Netlist != "":
+		tree, err := rcdelay.ParseNetlist(spec.Netlist)
+		if err != nil {
+			return job, err
+		}
+		job.Tree = tree
+	case spec.Expression != "":
+		tree, _, err := rcdelay.ParseExpression(spec.Expression)
+		if err != nil {
+			return job, err
+		}
+		job.Tree = tree
+	default:
+		return job, fmt.Errorf("job names no network: set netlist or expression")
+	}
+	if certify && len(job.Checks) == 0 {
+		return job, fmt.Errorf("certify needs at least one check ({output, v, t})")
+	}
+	return job, nil
+}
+
+func renderJob(res rcdelay.BatchResult, certify bool) jobJSON {
+	out := jobJSON{Tag: res.Tag, Key: res.Key, CacheHit: res.CacheHit}
+	if res.Err != nil {
+		return jobJSON{Tag: res.Tag, Error: res.Err.Error()}
+	}
+	if !certify {
+		for _, rep := range res.Outputs {
+			oj := outputJSON{
+				Name:  rep.Name,
+				Times: timesJSON{TP: rep.Times.TP, TD: rep.Times.TD, TR: rep.Times.TR, Ree: rep.Times.Ree},
+			}
+			for _, row := range rep.Delay {
+				oj.Delay = append(oj.Delay, delayRowJSON{V: row.V, TMin: row.TMin, TMax: row.TMax})
+			}
+			for _, row := range rep.Voltage {
+				oj.Voltage = append(oj.Voltage, voltageRowJSON{T: row.T, VMin: row.VMin, VMax: row.VMax})
+			}
+			out.Outputs = append(out.Outputs, oj)
+		}
+	}
+	for _, c := range res.Checks {
+		out.Checks = append(out.Checks, checkJSON{Output: c.Output, V: c.V, T: c.T, Verdict: c.Verdict.String()})
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("rcserve: encode response: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package rcdelay_test
 
 import (
+	"context"
 	"fmt"
 
 	rcdelay "repro"
@@ -32,8 +33,26 @@ func Example_paperFigure10() {
 	// VMIN(100)=0.16644 VMAX(100)=0.35714
 }
 
+// Parsing the paper's algebraic notation: URC R C is a uniform distributed
+// line, WC chains port 2 to port 1, WB attaches a dangling branch.
+func ExampleParseExpression() {
+	tree, out, err := rcdelay.ParseExpression(`(URC 15 0) WC (WB (URC 8 7)) WC URC 3 9`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d nodes, output %q\n", tree.NumNodes(), tree.Name(out))
+	tm, err := rcdelay.CharacteristicTimes(tree, out)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("TP=%.1f TD=%.1f\n", tm.TP, tm.TD)
+	// Output:
+	// 4 nodes, output "n3"
+	// TP=281.5 TD=253.5
+}
+
 // Certifying a deadline with the OK predicate (Figure 9).
-func ExampleBounds_oK() {
+func ExampleBounds_OK() {
 	tree, out, _ := rcdelay.ParseExpression(`(URC 380 0) WC (URC 0 0.04) WC URC 180 0.01`)
 	b, err := rcdelay.BoundsFor(tree, out)
 	if err != nil {
@@ -74,4 +93,38 @@ func ExampleAnalyze() {
 	// Output:
 	// far: TD=135.6 ps, certified by 213.3 ps
 	// near: TD=62.5 ps, certified by 149.7 ps
+}
+
+// Analyzing many networks at once: jobs fan out across GOMAXPROCS workers
+// and structurally identical networks (here jobs 0 and 2, despite different
+// node names) share one characteristic-time computation via the
+// content-hash cache. Results always come back in job order.
+func ExampleAnalyzeBatch() {
+	deck := func(name string) string {
+		return ".input in\nR1 in " + name + " 15\nC1 " + name + " 0 2\n.output " + name + "\n"
+	}
+	var jobs []rcdelay.BatchJob
+	for i, src := range []string{deck("a"), deck("b") + "C2 b 0 5\n", deck("z")} {
+		tree, err := rcdelay.ParseNetlist(src)
+		if err != nil {
+			panic(err)
+		}
+		jobs = append(jobs, rcdelay.BatchJob{
+			Tree:       tree,
+			Tag:        fmt.Sprintf("job%d", i),
+			Thresholds: []float64{0.9},
+		})
+	}
+	for _, res := range rcdelay.AnalyzeBatch(context.Background(), jobs) {
+		if res.Err != nil {
+			panic(res.Err)
+		}
+		out := res.Outputs[0]
+		fmt.Printf("%s: %s TD=%g TMax(0.9)=%.1f\n",
+			res.Tag, out.Name, out.Times.TD, out.Delay[0].TMax)
+	}
+	// Output:
+	// job0: a TD=30 TMax(0.9)=69.1
+	// job1: b TD=105 TMax(0.9)=241.8
+	// job2: z TD=30 TMax(0.9)=69.1
 }

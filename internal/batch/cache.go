@@ -1,0 +1,115 @@
+package batch
+
+import (
+	"sync"
+
+	"repro/internal/rctree"
+)
+
+// CacheStats reports cache effectiveness. Hits counts jobs answered from a
+// completed or in-flight entry; Misses counts jobs that computed a fresh
+// entry; Evictions counts entries dropped to respect the size bound.
+type CacheStats struct {
+	Hits, Misses, Evictions int64
+	Entries                 int
+}
+
+// cacheEntry is one memoized analysis. The creator computes times and err,
+// then closes ready; every later reader waits on ready and shares the
+// outcome.
+type cacheEntry struct {
+	ready chan struct{}
+	times map[int]rctree.Times // canonical node position -> times
+	err   error
+}
+
+// timesCache memoizes characteristic-time computations by content hash,
+// with single-flight semantics: the first goroutine to ask for a key
+// computes it, concurrent askers block until it is done. Entries are
+// evicted FIFO beyond max, skipping entries still in flight (evicting one
+// would let a duplicate job recompute concurrently, voiding the
+// single-flight guarantee); the cache may therefore briefly exceed max
+// while that many computations are outstanding.
+type timesCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	order   []string // insertion order, for FIFO eviction
+	max     int
+	stats   CacheStats
+}
+
+func newTimesCache(max int) *timesCache {
+	return &timesCache{entries: map[string]*cacheEntry{}, max: max}
+}
+
+// acquire returns the entry for key and whether the caller must compute it.
+// When compute is true the caller owns the entry: it must fill times/err and
+// call release. When compute is false the entry may still be in flight; wait
+// on entry.ready before reading.
+func (c *timesCache) acquire(key string) (entry *cacheEntry, compute bool) {
+	if c == nil {
+		return &cacheEntry{ready: make(chan struct{})}, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.stats.Hits++
+		return e, false
+	}
+	c.stats.Misses++
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	for c.max > 0 && len(c.entries) > c.max {
+		victim := -1
+		for i, k := range c.order {
+			ve := c.entries[k]
+			select {
+			case <-ve.ready: // completed: safe to evict
+				victim = i
+			default: // in flight (includes the entry just inserted)
+			}
+			if victim >= 0 {
+				break
+			}
+		}
+		if victim < 0 {
+			break // everything is in flight; exceed max until one lands
+		}
+		delete(c.entries, c.order[victim])
+		c.order = append(c.order[:victim], c.order[victim+1:]...)
+		c.stats.Evictions++
+	}
+	return e, true
+}
+
+// release publishes a computed entry. Failed computations are removed so a
+// later identical job retries instead of replaying the error forever.
+func (c *timesCache) release(key string, e *cacheEntry) {
+	close(e.ready)
+	if c == nil || e.err == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries[key] == e {
+		delete(c.entries, key)
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+func (c *timesCache) statsSnapshot() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}

@@ -15,12 +15,25 @@ type Result struct {
 	Bounds *Bounds
 }
 
-// AnalyzeTree computes bounds for every designated output of the tree,
-// returned in output-declaration order.
-func AnalyzeTree(t *rctree.Tree) ([]Result, error) {
+// Analyzer computes per-output bounds while reusing the characteristic-time
+// working arrays between trees. All mutable state is owned by the Analyzer,
+// so distinct Analyzers may run concurrently on distinct goroutines (one per
+// worker); a single Analyzer must not be shared. The zero value is ready to
+// use.
+type Analyzer struct {
+	scratch rctree.Scratch
+}
+
+// NewAnalyzer returns an Analyzer with fresh scratch.
+func NewAnalyzer() *Analyzer { return &Analyzer{} }
+
+// Analyze computes bounds for every designated output of the tree, returned
+// in output-declaration order. Results reference only immutable state and
+// may be shared freely once returned.
+func (a *Analyzer) Analyze(t *rctree.Tree) ([]Result, error) {
 	results := make([]Result, 0, len(t.Outputs()))
 	for _, e := range t.Outputs() {
-		tm, err := t.CharacteristicTimes(e)
+		tm, err := t.CharacteristicTimesInto(e, &a.scratch)
 		if err != nil {
 			return nil, fmt.Errorf("core: output %q: %w", t.Name(e), err)
 		}
@@ -31,6 +44,12 @@ func AnalyzeTree(t *rctree.Tree) ([]Result, error) {
 		results = append(results, Result{Output: e, Name: t.Name(e), Times: tm, Bounds: b})
 	}
 	return results, nil
+}
+
+// AnalyzeTree computes bounds for every designated output of the tree with a
+// one-shot Analyzer.
+func AnalyzeTree(t *rctree.Tree) ([]Result, error) {
+	return NewAnalyzer().Analyze(t)
 }
 
 // DelayRow is one line of the paper's Figure 10 delay table: a threshold and

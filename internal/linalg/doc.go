@@ -1,0 +1,21 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// exact circuit simulator: dense matrices, LU and Cholesky factorizations,
+// a tridiagonal solver, and a Jacobi eigensolver for symmetric matrices.
+//
+// The implementation is deliberately simple, allocation-conscious and
+// dependency-free (stdlib only); RC networks of a few thousand nodes factor
+// in well under a second, which is all the reproduction needs.
+//
+// Entry points by task:
+//
+//   - NewMatrix/Matrix for dense storage and arithmetic;
+//   - FactorLU and FactorCholesky for factor-and-solve against general
+//     and symmetric-positive-definite systems respectively;
+//   - SolveTridiagonal for the O(n) ladder-network special case;
+//   - JacobiEigen for the symmetric eigendecomposition behind the
+//     simulator's sum-of-exponentials step response.
+//
+// Everything is float64; matrices are row-major and sized at construction.
+// None of the routines are safe for concurrent mutation of the same matrix,
+// but distinct matrices may be used from distinct goroutines freely.
+package linalg

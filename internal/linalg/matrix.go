@@ -1,10 +1,3 @@
-// Package linalg provides the small dense linear-algebra kernel used by the
-// exact circuit simulator: dense matrices, LU and Cholesky factorizations,
-// a tridiagonal solver, and a Jacobi eigensolver for symmetric matrices.
-//
-// The implementation is deliberately simple, allocation-conscious and
-// dependency-free (stdlib only); RC networks of a few thousand nodes factor
-// in well under a second, which is all the reproduction needs.
 package linalg
 
 import (

@@ -1,0 +1,230 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"repro/internal/rctree"
+)
+
+// Canonical renders a tree as a deck that depends only on the network the
+// tree represents — element values, topology and output positions — not on
+// node names, sibling order or construction history. Two trees produce the
+// same canonical deck exactly when they describe the same analysis problem,
+// which makes the string (or a hash of it) a sound memoization key.
+//
+// Nodes are renamed n1, n2, ... in a depth-first order in which siblings are
+// visited by ascending canonical encoding of their subtrees (ties broken
+// arbitrarily — identical subtrees are interchangeable, outputs included,
+// because the encoding covers element values and output markers). The input
+// is always named "in". The result parses back through Parse into an
+// equivalent tree.
+//
+// The second return value maps each NodeID of t to its position in the
+// canonical visit order (root is 0). Because equal canonical decks describe
+// equal networks, a node's canonical position determines its characteristic
+// times: results cached under the deck's hash can be read back for any tree
+// with the same deck via this mapping.
+func Canonical(t *rctree.Tree) (string, []int) {
+	enc := make([]string, t.NumNodes())
+	// Nodes are stored parent-before-child, so a reverse walk sees every
+	// child's encoding before its parent needs it.
+	for i := t.NumNodes() - 1; i >= 0; i-- {
+		id := rctree.NodeID(i)
+		children := t.Children(id)
+		sub := make([]string, 0, len(children))
+		for _, c := range children {
+			sub = append(sub, enc[c])
+		}
+		sort.Strings(sub)
+		kind, r, c := t.Edge(id)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "(%d;%s;%s;%s;%t", int(kind), fmtVal(r), fmtVal(c),
+			fmtVal(t.NodeCap(id)), isCanonOutput(t, id))
+		for _, s := range sub {
+			sb.WriteByte('|')
+			sb.WriteString(s)
+		}
+		sb.WriteByte(')')
+		enc[i] = sb.String()
+	}
+
+	// Render the deck in the canonical traversal order.
+	var sb strings.Builder
+	sb.WriteString(".input in\n")
+	names := make([]string, t.NumNodes())
+	names[rctree.Root] = "in"
+	canon := make([]int, t.NumNodes())
+	rCount, uCount, cCount := 0, 0, 0
+	next := 0
+	var outputs []string
+	var visit func(id rctree.NodeID)
+	visit = func(id rctree.NodeID) {
+		if id != rctree.Root {
+			next++
+			names[id] = fmt.Sprintf("n%d", next)
+			canon[id] = next
+			kind, r, c := t.Edge(id)
+			switch kind {
+			case rctree.EdgeResistor:
+				rCount++
+				fmt.Fprintf(&sb, "R%d %s %s %s\n", rCount, names[t.Parent(id)], names[id], fmtVal(r))
+			case rctree.EdgeLine:
+				uCount++
+				fmt.Fprintf(&sb, "U%d %s %s %s %s\n", uCount, names[t.Parent(id)], names[id], fmtVal(r), fmtVal(c))
+			}
+		}
+		if nc := t.NodeCap(id); nc > 0 {
+			cCount++
+			fmt.Fprintf(&sb, "C%d %s 0 %s\n", cCount, names[id], fmtVal(nc))
+		}
+		if isCanonOutput(t, id) {
+			outputs = append(outputs, names[id])
+		}
+		children := append([]rctree.NodeID(nil), t.Children(id)...)
+		sort.Slice(children, func(a, b int) bool { return enc[children[a]] < enc[children[b]] })
+		for _, c := range children {
+			visit(c)
+		}
+	}
+	visit(rctree.Root)
+	for _, o := range outputs {
+		fmt.Fprintf(&sb, ".output %s\n", o)
+	}
+	sb.WriteString(".end\n")
+	return sb.String(), canon
+}
+
+func isCanonOutput(t *rctree.Tree, id rctree.NodeID) bool {
+	for _, o := range t.Outputs() {
+		if o == id {
+			return true
+		}
+	}
+	return false
+}
+
+// digest128 accumulates a 128-bit content digest using the FNV-128a
+// offset/prime recurrence applied to 64-bit words instead of bytes (8x
+// fewer 128-bit multiplies than hash/fnv's byte loop). It is not the FNV
+// standard, just FNV-shaped; collisions are negligible for the
+// non-adversarial inputs of a memoization cache.
+type digest128 struct{ hi, lo uint64 }
+
+const (
+	fnvOffset128Lo = 0x62b821756295c58d
+	fnvOffset128Hi = 0x6c62272e07bb0142
+	// The FNV-128 prime 2^88 + 2^8 + 0x3b, split as hi·2^64 + lo with
+	// hi = 1<<24 (so multiplying by hi is a 24-bit shift).
+	fnvPrime128Lo    = 0x13b
+	fnvPrime128Shift = 24
+)
+
+func newDigest128() digest128 {
+	return digest128{hi: fnvOffset128Hi, lo: fnvOffset128Lo}
+}
+
+// word folds one 64-bit word into the digest: XOR into the low half, then
+// multiply the 128-bit state by the FNV prime modulo 2^128.
+func (d *digest128) word(w uint64) {
+	d.lo ^= w
+	hi, lo := bits.Mul64(d.lo, fnvPrime128Lo)
+	hi += d.hi*fnvPrime128Lo + d.lo<<fnvPrime128Shift
+	d.hi, d.lo = hi, lo
+}
+
+func (d digest128) less(o digest128) bool {
+	if d.hi != o.hi {
+		return d.hi < o.hi
+	}
+	return d.lo < o.lo
+}
+
+// CanonicalHash is the hot-path form of Canonical: the same equivalence
+// classes (two trees share a key exactly when they share a canonical deck)
+// without materializing the deck. Each node gets a Merkle-style 128-bit
+// digest of its element values, output marker and sorted child digests, so
+// the whole computation is O(n log n) with a handful of fixed-size
+// allocations — cheap enough to run per job in front of a memoization
+// cache.
+//
+// The returned mapping assigns each NodeID its position in the depth-first
+// order that visits siblings by ascending digest. Sibling ties carry equal
+// digests only for interchangeable subtrees (or a hash collision), so any
+// tie order yields the same characteristic times per canonical position.
+func CanonicalHash(t *rctree.Tree) (key string, canon []int) {
+	n := t.NumNodes()
+	digests := make([]digest128, n)
+	outputs := make([]bool, n)
+	for _, o := range t.Outputs() {
+		outputs[o] = true
+	}
+
+	// Flatten the adjacency into one backing array of per-parent segments,
+	// so the per-node digest sorts work in place without allocating.
+	start := make([]int32, n+1)
+	for i := 1; i < n; i++ {
+		start[int(t.Parent(rctree.NodeID(i)))+1]++
+	}
+	for p := 0; p < n; p++ {
+		start[p+1] += start[p]
+	}
+	kids := make([]rctree.NodeID, n-1)
+	fill := make([]int32, n)
+	copy(fill, start[:n])
+	for i := 1; i < n; i++ {
+		p := t.Parent(rctree.NodeID(i))
+		kids[fill[p]] = rctree.NodeID(i)
+		fill[p]++
+	}
+
+	// Nodes are stored parent-before-child; walk in reverse so child
+	// digests exist before their parent hashes them.
+	for i := n - 1; i >= 0; i-- {
+		id := rctree.NodeID(i)
+		kind, r, c := t.Edge(id)
+		// Insertion sort: fanout is small in practice, and the sorted
+		// segment is reused by the canonical DFS below.
+		seg := kids[start[i]:start[i+1]]
+		for a := 1; a < len(seg); a++ {
+			for b := a; b > 0 && digests[seg[b]].less(digests[seg[b-1]]); b-- {
+				seg[b], seg[b-1] = seg[b-1], seg[b]
+			}
+		}
+		h := newDigest128()
+		flags := uint64(kind)
+		if outputs[i] {
+			flags |= 1 << 8
+		}
+		h.word(flags)
+		h.word(math.Float64bits(r))
+		h.word(math.Float64bits(c))
+		h.word(math.Float64bits(t.NodeCap(id)))
+		for _, k := range seg {
+			h.word(digests[k].hi)
+			h.word(digests[k].lo)
+		}
+		digests[i] = h
+	}
+
+	// Depth-first assignment over the digest-sorted segments.
+	canon = make([]int, n)
+	stack := make([]rctree.NodeID, 1, n)
+	stack[0] = rctree.Root
+	next := 0
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		canon[id] = next
+		next++
+		seg := kids[start[id]:start[id+1]]
+		for k := len(seg) - 1; k >= 0; k-- { // reversed: leftmost pops first
+			stack = append(stack, seg[k])
+		}
+	}
+	root := digests[rctree.Root]
+	return fmt.Sprintf("%016x%016x", root.hi, root.lo), canon
+}

@@ -1,0 +1,168 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/randnet"
+	"repro/internal/rctree"
+)
+
+// fanout builds a two-arm tree with configurable names and sibling order,
+// for invariance checks.
+func fanout(t *testing.T, names [2]string, swap bool) *rctree.Tree {
+	t.Helper()
+	b := rctree.NewBuilder("in")
+	add := func(k int) {
+		r := []float64{15, 8}[k]
+		c := []float64{2, 7}[k]
+		id := b.Line(rctree.Root, names[k], r, c)
+		b.Output(id)
+	}
+	if swap {
+		add(1)
+		add(0)
+	} else {
+		add(0)
+		add(1)
+	}
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// TestCanonicalInvariance: node names, sibling order and output declaration
+// order must not change the canonical deck.
+func TestCanonicalInvariance(t *testing.T) {
+	base, _ := Canonical(fanout(t, [2]string{"a", "b"}, false))
+	renamed, _ := Canonical(fanout(t, [2]string{"left", "right"}, false))
+	swapped, _ := Canonical(fanout(t, [2]string{"a", "b"}, true))
+	if base != renamed {
+		t.Errorf("renaming changed the canonical deck:\n%s\nvs\n%s", base, renamed)
+	}
+	if base != swapped {
+		t.Errorf("sibling order changed the canonical deck:\n%s\nvs\n%s", base, swapped)
+	}
+}
+
+// TestCanonicalDistinguishes: changing a value or moving an output must
+// change the canonical deck.
+func TestCanonicalDistinguishes(t *testing.T) {
+	mk := func(r2 float64, outBoth bool) string {
+		b := rctree.NewBuilder("in")
+		x := b.Line(rctree.Root, "x", 15, 2)
+		y := b.Line(rctree.Root, "y", r2, 7)
+		b.Output(x)
+		if outBoth {
+			b.Output(y)
+		}
+		tree, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		deck, _ := Canonical(tree)
+		return deck
+	}
+	if mk(8, true) == mk(9, true) {
+		t.Error("value change not reflected in canonical deck")
+	}
+	if mk(8, true) == mk(8, false) {
+		t.Error("output placement not reflected in canonical deck")
+	}
+}
+
+// TestCanonicalHashMatchesCanonical checks the fast hash induces the same
+// equivalence classes as the rendered canonical deck: invariance under
+// renaming and sibling reordering, sensitivity to value and output changes,
+// and deck-equality ⇔ key-equality over random tree pairs.
+func TestCanonicalHashMatchesCanonical(t *testing.T) {
+	base, _ := CanonicalHash(fanout(t, [2]string{"a", "b"}, false))
+	renamed, _ := CanonicalHash(fanout(t, [2]string{"left", "right"}, false))
+	swapped, _ := CanonicalHash(fanout(t, [2]string{"a", "b"}, true))
+	if base != renamed || base != swapped {
+		t.Errorf("hash not invariant under renaming/reordering: %s %s %s", base, renamed, swapped)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	type entry struct {
+		deck string
+		key  string
+	}
+	var entries []entry
+	for trial := 0; trial < 40; trial++ {
+		tree := randnet.Tree(rng, randnet.DefaultConfig(1+rng.Intn(25)))
+		deck, _ := Canonical(tree)
+		key, canon := CanonicalHash(tree)
+		entries = append(entries, entry{deck, key})
+		// Reparsing the canonical deck renames every node; the key must
+		// survive, and the canon mapping must cover all nodes uniquely.
+		parsed, err := Parse(deck)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key2, _ := CanonicalHash(parsed); key2 != key {
+			t.Errorf("trial %d: key changed across canonical round-trip", trial)
+		}
+		seen := map[int]bool{}
+		for _, p := range canon {
+			if p < 0 || p >= tree.NumNodes() || seen[p] {
+				t.Fatalf("trial %d: canon mapping not a permutation: %v", trial, canon)
+			}
+			seen[p] = true
+		}
+	}
+	for i := range entries {
+		for j := i + 1; j < len(entries); j++ {
+			sameDeck := entries[i].deck == entries[j].deck
+			sameKey := entries[i].key == entries[j].key
+			if sameDeck != sameKey {
+				t.Errorf("deck equality (%t) and key equality (%t) disagree for trees %d, %d",
+					sameDeck, sameKey, i, j)
+			}
+		}
+	}
+}
+
+// TestCanonicalRoundTrip parses canonical decks of random trees back and
+// checks the result re-canonicalizes to the same deck with matching
+// characteristic times at every canonical position.
+func TestCanonicalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		tree := randnet.Tree(rng, randnet.DefaultConfig(1+rng.Intn(40)))
+		deck, canon := Canonical(tree)
+		parsed, err := Parse(deck)
+		if err != nil {
+			t.Fatalf("trial %d: canonical deck does not parse: %v\n%s", trial, err, deck)
+		}
+		deck2, canon2 := Canonical(parsed)
+		if deck != deck2 {
+			t.Fatalf("trial %d: canonical deck not a fixed point:\n%s\nvs\n%s", trial, deck, deck2)
+		}
+		// Characteristic times must agree per canonical position.
+		times := map[int]rctree.Times{}
+		for _, e := range tree.Outputs() {
+			tm, err := tree.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times[canon[e]] = tm
+		}
+		for _, e := range parsed.Outputs() {
+			tm, err := parsed.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, ok := times[canon2[e]]
+			if !ok {
+				t.Fatalf("trial %d: output at canonical position %d missing from original", trial, canon2[e])
+			}
+			if diff := tm.TP - want.TP + tm.TD - want.TD + tm.TR - want.TR; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("trial %d: times differ at canonical position %d: %+v vs %+v",
+					trial, canon2[e], tm, want)
+			}
+		}
+	}
+}

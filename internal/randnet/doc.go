@@ -1,0 +1,16 @@
+// Package randnet generates pseudo-random RC trees for property-based
+// tests and benchmarks. Generation is deterministic for a given seed so
+// failures are reproducible.
+//
+// Tree draws a random network under a Config that dials topology (bushy
+// fanout trees through single RC ladders via Chain), the mix of lumped
+// resistors and distributed lines (LineProb), capacitor density (CapProb)
+// and element magnitudes (RMax/CMax); every leaf is designated an output.
+// Ladder builds the deterministic N-section uniform ladder — the lumped
+// approximation of one distributed line — used by discretization-
+// convergence tests.
+//
+// Both constructors panic on an invalid build rather than returning an
+// error: generation obeys the builder's preconditions by construction, so
+// a failure is a bug in this package, not in the caller.
+package randnet

@@ -1,6 +1,3 @@
-// Package randnet generates pseudo-random RC trees for property-based tests
-// and benchmarks. Generation is deterministic for a given seed so failures
-// are reproducible.
 package randnet
 
 import (

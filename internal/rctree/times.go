@@ -59,18 +59,56 @@ func (t *Tree) TPTotal() float64 {
 	return tp
 }
 
+// Scratch holds the per-pass working arrays of CharacteristicTimesInto so a
+// caller analyzing many trees (or many outputs) can reuse the allocations.
+// A Scratch must not be shared between goroutines; give each worker its own.
+// The zero value is ready to use.
+type Scratch struct {
+	onPath []bool
+	rkk    []float64
+	rke    []float64
+}
+
+// grow resizes the scratch arrays to n elements and zeroes onPath (the only
+// array whose stale contents would leak between passes; rkk and rke are
+// written before they are read).
+func (s *Scratch) grow(n int) {
+	if cap(s.onPath) < n {
+		s.onPath = make([]bool, n)
+		s.rkk = make([]float64, n)
+		s.rke = make([]float64, n)
+	} else {
+		s.onPath = s.onPath[:n]
+		s.rkk = s.rkk[:n]
+		s.rke = s.rke[:n]
+		for i := range s.onPath {
+			s.onPath[i] = false
+		}
+	}
+	// Index 0 (the root) is read but never written by the pass.
+	s.rkk[0] = 0
+	s.rke[0] = 0
+}
+
 // CharacteristicTimes computes TP, TDe, TRe and Ree for output e in a single
 // depth-first pass over the tree (O(n) per output, the complexity the paper's
-// §IV constructive algorithm achieves).
+// §IV constructive algorithm achieves). It allocates fresh scratch on every
+// call; hot loops should hold a Scratch and call CharacteristicTimesInto.
+func (t *Tree) CharacteristicTimes(e NodeID) (Times, error) {
+	return t.CharacteristicTimesInto(e, &Scratch{})
+}
+
+// CharacteristicTimesInto is CharacteristicTimes with caller-owned scratch.
 //
 // The pass maintains, for each node k, the common path resistance Rke: while
 // descending along the input→e path it grows with each element; the moment
 // the walk leaves that path it freezes at the branch point's value.
-func (t *Tree) CharacteristicTimes(e NodeID) (Times, error) {
+func (t *Tree) CharacteristicTimesInto(e NodeID, s *Scratch) (Times, error) {
 	if int(e) < 0 || int(e) >= len(t.nodes) {
 		return Times{}, fmt.Errorf("rctree: output id %d out of range", e)
 	}
-	onPath := make([]bool, len(t.nodes))
+	s.grow(len(t.nodes))
+	onPath := s.onPath
 	for x := e; ; x = t.nodes[x].parent {
 		onPath[x] = true
 		if x == Root {
@@ -78,8 +116,8 @@ func (t *Tree) CharacteristicTimes(e NodeID) (Times, error) {
 		}
 	}
 	var tp, td, trNum float64 // trNum = Σ Rke²·Ck
-	rkk := make([]float64, len(t.nodes))
-	rke := make([]float64, len(t.nodes))
+	rkk := s.rkk
+	rke := s.rke
 	for i := 1; i < len(t.nodes); i++ {
 		n := &t.nodes[i]
 		r0 := rkk[n.parent]
@@ -181,8 +219,9 @@ func (t *Tree) commonResistance(k, e NodeID) float64 {
 // output node ID, in O(n · outputs).
 func (t *Tree) AllCharacteristicTimes() (map[NodeID]Times, error) {
 	out := make(map[NodeID]Times, len(t.outputs))
+	var scratch Scratch
 	for _, e := range t.outputs {
-		tm, err := t.CharacteristicTimes(e)
+		tm, err := t.CharacteristicTimesInto(e, &scratch)
 		if err != nil {
 			return nil, fmt.Errorf("rctree: output %q: %w", t.nodes[e].name, err)
 		}

@@ -1,19 +1,3 @@
-// Package sim is the exact linear-circuit simulator used to reproduce the
-// paper's Figure 11 ("the exact solution, found from circuit simulation").
-//
-// Distributed RC lines are discretized into N-section lumped pi ladders;
-// the resulting pure-RC network C·v̇ = −G·v + b·vin(t) is then solved two
-// independent ways:
-//
-//   - exactly, by symmetrizing and diagonalizing the state matrix with a
-//     Jacobi eigensolver, giving the response as a finite sum of
-//     exponentials (Response), and
-//   - numerically, by backward-Euler or trapezoidal time stepping
-//     (Transient), which cross-checks the eigen path in tests.
-//
-// Because the discretized network is itself an RC tree, the
-// Penfield–Rubinstein bounds evaluated on it must bracket the simulated
-// response exactly — the property test at the heart of this reproduction.
 package sim
 
 import (

@@ -1,0 +1,28 @@
+// Package sim is the exact linear-circuit simulator used to reproduce the
+// paper's Figure 11 ("the exact solution, found from circuit simulation").
+//
+// Distributed RC lines are discretized into N-section lumped pi ladders
+// (Discretize); the resulting pure-RC network C·v̇ = −G·v + b·vin(t) is
+// then solved two independent ways:
+//
+//   - exactly, by symmetrizing and diagonalizing the state matrix with a
+//     Jacobi eigensolver, giving the response as a finite sum of
+//     exponentials (Circuit.EigenResponse → Response), and
+//   - numerically, by backward-Euler or trapezoidal time stepping
+//     (Circuit.Transient), which cross-checks the eigen path in tests.
+//
+// Because the discretized network is itself an RC tree, the
+// Penfield–Rubinstein bounds evaluated on it must bracket the simulated
+// response exactly — the property test at the heart of this reproduction.
+//
+// The typical pipeline, as wrapped by the façade's SimulateStep:
+//
+//	lumped, mapping, _ := sim.Discretize(tree, 16)
+//	ckt, _ := sim.NewCircuit(lumped)
+//	resp, _ := ckt.EigenResponse()
+//	v := resp.Voltage(idx, t) // idx via ckt.Index(mapping[node])
+//
+// A Response is immutable once built and safe for concurrent queries;
+// building one costs O(n³) in the node count, so discretization depth is
+// the accuracy/cost dial (error falls as 1/segments²).
+package sim

@@ -1,0 +1,19 @@
+// Package sta turns the Penfield–Rubinstein bounds into a small static
+// timing engine of the kind the paper anticipates in its introduction: given
+// a set of nets (each an RC tree with a switching threshold and a required
+// arrival time), it certifies every output as passing, failing, or
+// undecidable, computes guaranteed and optimistic slacks, and ranks the
+// critical outputs — all without a single transient simulation.
+//
+// The engine has three entry points:
+//
+//   - Analyze takes []Net and returns a DesignReport of per-output
+//     verdicts, slacks and the critical ranking;
+//   - Skew and WorstSkew bound the arrival-time spread between outputs of
+//     a common tree (clock-distribution analysis);
+//   - AnalyzeSlew folds finite input transition times into the bounds via
+//     the §VI superposition machinery.
+//
+// Reports render to text, CSV and JSON (see report.go), mirroring the
+// session transcripts the paper prints.
+package sta

@@ -1,9 +1,3 @@
-// Package sta turns the Penfield–Rubinstein bounds into a small static
-// timing engine of the kind the paper anticipates in its introduction: given
-// a set of nets (each an RC tree with a switching threshold and a required
-// arrival time), it certifies every output as passing, failing, or
-// undecidable, computes guaranteed and optimistic slacks, and ranks the
-// critical outputs — all without a single transient simulation.
 package sta
 
 import (

@@ -13,14 +13,20 @@
 //     given a threshold (TMin/TMax), bound the voltage given a time
 //     (VMin/VMax), or certify a deadline (OK);
 //   - SimulateStep provides the exact step response of the same network via
-//     eigendecomposition, for validation and for resolving Unknown verdicts.
+//     eigendecomposition, for validation and for resolving Unknown verdicts;
+//   - AnalyzeBatch and NewBatchEngine fan many trees across a worker pool
+//     with content-hash memoization of repeated networks (cmd/rcserve is
+//     the HTTP form of the same engine).
 //
 // Element units are the caller's choice: ohms with farads give seconds,
 // ohms with picofarads give picoseconds (the paper's §V convention).
 package rcdelay
 
 import (
+	"context"
+
 	"repro/internal/algebra"
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/netlist"
 	"repro/internal/rctree"
@@ -124,6 +130,37 @@ func Analyze(t *Tree) ([]Result, error) { return core.AnalyzeTree(t) }
 // threshold — the slowest-certifiable output first.
 func CriticalOutputs(results []Result, threshold float64) []Result {
 	return core.CriticalOutputs(results, threshold)
+}
+
+// Batch-analysis types, re-exported from the internal engine.
+type (
+	// BatchJob is one unit of batch work: a tree plus the thresholds,
+	// time points and deadline checks to evaluate on it.
+	BatchJob = batch.Job
+	// BatchResult answers one BatchJob, outputs in declaration order.
+	BatchResult = batch.Result
+	// BatchCheck is one deadline certification within a BatchJob.
+	BatchCheck = batch.Check
+	// BatchOptions configures a BatchEngine (worker count, cache size).
+	BatchOptions = batch.Options
+	// BatchEngine is a reusable worker pool with a shared memoization
+	// cache; share one engine so callers benefit from each other's
+	// cache entries.
+	BatchEngine = batch.Engine
+)
+
+// NewBatchEngine returns a batch-analysis engine. The zero Options give
+// GOMAXPROCS workers and the default cache size.
+func NewBatchEngine(opt BatchOptions) *BatchEngine { return batch.New(opt) }
+
+// AnalyzeBatch analyzes every job on a one-shot engine with default
+// options: the jobs fan out across GOMAXPROCS workers, structurally
+// identical trees share one characteristic-time computation, and
+// results[i] always answers jobs[i]. Long-lived callers should construct
+// a NewBatchEngine once and reuse it so the memoization cache persists
+// across calls.
+func AnalyzeBatch(ctx context.Context, jobs []BatchJob) []BatchResult {
+	return batch.New(BatchOptions{}).Run(ctx, jobs)
 }
 
 // StepSim wraps the exact simulator for a tree: distributed lines are
