@@ -1,0 +1,25 @@
+# Developer entry points; CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+.PHONY: test race bench bench-smoke bench-trajectory vet
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+# Full benchmark pass over every package.
+bench:
+	go test -run '^$$' -bench . -benchtime 100x ./...
+
+# One-iteration compile-and-run of every benchmark, the CI rot guard.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# Refresh BENCH_incremental.json (the full-vs-incremental perf trajectory).
+bench-trajectory:
+	sh scripts/bench_trajectory.sh

@@ -9,9 +9,15 @@
 //
 // Endpoints:
 //
-//	GET  /healthz  liveness plus engine/cache statistics
-//	POST /analyze  characteristic times and bound tables
-//	POST /certify  deadline certification verdicts
+//	GET    /healthz             liveness plus engine/cache/session statistics
+//	POST   /analyze             characteristic times and bound tables
+//	POST   /certify             deadline certification verdicts
+//	POST   /session             open an incremental editing session
+//	GET    /session/{id}        session info
+//	POST   /session/{id}/edit   apply local edits (O(depth) each, not O(n))
+//	GET    /session/{id}/bounds current bound tables of every output
+//	DELETE /session/{id}        close a session
+//	GET    /debug/vars          expvar counters (engine, cache, sessions)
 //
 // /analyze and /certify accept a single request object or a batch:
 //
@@ -25,45 +31,159 @@
 // every output). Responses are JSON bound tables in job order; a batch is
 // answered as {"results": [...]} with per-job "error" fields, so one bad
 // deck does not fail its neighbors.
+//
+// The session endpoints serve interactive clients: open a session once with
+// the full deck, then stream local edits ({"edits": [{"op": "setR", "node":
+// "n3", "r": 5}, ...]}) and re-read bounds — each probe costs O(depth) on
+// the server instead of a full reparse and O(n) reanalysis. Idle sessions
+// expire after -session-ttl.
 package main
 
 import (
 	"encoding/json"
+	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	rcdelay "repro"
 )
 
+// Server defaults, shared by the flag declarations and the zero-config
+// construction paths (newServer, newSessionStore) so they cannot drift.
+const (
+	defaultSessionTTL  = 15 * time.Minute
+	defaultMaxSessions = 1024
+	defaultMaxBody     = 8 << 20 // bytes
+)
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 0, "memoization cache entries (0 = default, negative = disabled)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		cache       = flag.Int("cache", 0, "memoization cache entries (0 = default, negative = disabled)")
+		sessionTTL  = flag.Duration("session-ttl", defaultSessionTTL, "idle lifetime of editing sessions")
+		maxSessions = flag.Int("max-sessions", defaultMaxSessions, "maximum live editing sessions (LRU-evicted beyond)")
+		maxBody     = flag.Int64("max-body", defaultMaxBody, "maximum request body size in bytes")
 	)
 	flag.Parse()
 	srv := newServer(rcdelay.NewBatchEngine(rcdelay.BatchOptions{Workers: *workers, CacheSize: *cache}))
-	log.Printf("rcserve: listening on %s (%d workers)", *addr, srv.engine.Workers())
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	srv.sessions = newSessionStore(*sessionTTL, *maxSessions)
+	srv.maxBody = *maxBody
+	go srv.sessions.janitor(make(chan struct{}))
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	log.Printf("rcserve: listening on %s (%d workers, session ttl %s)",
+		*addr, srv.engine.Workers(), *sessionTTL)
+	log.Fatal(httpSrv.ListenAndServe())
 }
 
-// server routes HTTP requests into a shared batch engine. It implements
-// http.Handler so tests can drive it through httptest without a socket.
+// server routes HTTP requests into a shared batch engine and a session
+// store. It implements http.Handler so tests can drive it through httptest
+// without a socket.
 type server struct {
-	engine *rcdelay.BatchEngine
-	mux    *http.ServeMux
-	start  time.Time
+	engine   *rcdelay.BatchEngine
+	sessions *sessionStore
+	maxBody  int64
+	mux      *http.ServeMux
+	start    time.Time
+	counters struct {
+		analyzeReqs   atomic.Int64
+		certifyReqs   atomic.Int64
+		sessionReqs   atomic.Int64
+		editsApplied  atomic.Int64
+		boundsQueries atomic.Int64
+	}
 }
+
+// expvarServer is the server /debug/vars reports on (the last one built —
+// in production there is exactly one). expvar registration is global and
+// panics on duplicates, so it happens once even though tests build many
+// servers.
+var (
+	expvarServer atomic.Pointer[server]
+	expvarOnce   sync.Once
+)
 
 func newServer(engine *rcdelay.BatchEngine) *server {
-	s := &server{engine: engine, mux: http.NewServeMux(), start: time.Now()}
+	s := &server{
+		engine:   engine,
+		sessions: newSessionStore(0, 0), // zero values select the defaults
+		maxBody:  defaultMaxBody,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/analyze", s.handleAnalyze)
 	s.mux.HandleFunc("/certify", s.handleCertify)
+	s.mux.HandleFunc("POST /session", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /session/{id}/edit", s.handleSessionEdit)
+	s.mux.HandleFunc("GET /session/{id}/bounds", s.handleSessionBounds)
+	s.mux.HandleFunc("GET /session/{id}", s.handleSessionInfo)
+	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
+	s.mux.Handle("GET /debug/vars", expvar.Handler())
+	expvarServer.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("rcserve", expvar.Func(func() any {
+			srv := expvarServer.Load()
+			if srv == nil {
+				return nil
+			}
+			return srv.statsSnapshot()
+		}))
+	})
 	return s
+}
+
+// statsSnapshot aggregates the engine, cache and session counters for
+// /healthz and the expvar endpoint.
+func (s *server) statsSnapshot() map[string]any {
+	stats := s.engine.CacheStats()
+	return map[string]any{
+		"uptimeSeconds": time.Since(s.start).Seconds(),
+		"workers":       s.engine.Workers(),
+		"cache": map[string]any{
+			"hits":      stats.Hits,
+			"misses":    stats.Misses,
+			"evictions": stats.Evictions,
+			"entries":   stats.Entries,
+		},
+		"sessions": s.sessions.stats(),
+		"requests": map[string]any{
+			"analyze": s.counters.analyzeReqs.Load(),
+			"certify": s.counters.certifyReqs.Load(),
+			"session": s.counters.sessionReqs.Load(),
+		},
+		"editsApplied":  s.counters.editsApplied.Load(),
+		"boundsQueries": s.counters.boundsQueries.Load(),
+	}
+}
+
+// httpError writes a JSON error envelope (the session endpoints speak JSON
+// end to end; plain-text errors are awkward for interactive clients).
+func httpError(w http.ResponseWriter, msg string, status int) {
+	writeJSON(w, status, map[string]any{"error": msg})
+}
+
+// badRequestStatus maps oversized bodies to 413 and everything else a JSON
+// decoder can complain about to 400.
+func badRequestStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -139,25 +259,18 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "healthz is GET-only", http.StatusMethodNotAllowed)
 		return
 	}
-	stats := s.engine.CacheStats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":        "ok",
-		"uptimeSeconds": time.Since(s.start).Seconds(),
-		"workers":       s.engine.Workers(),
-		"cache": map[string]any{
-			"hits":      stats.Hits,
-			"misses":    stats.Misses,
-			"evictions": stats.Evictions,
-			"entries":   stats.Entries,
-		},
-	})
+	body := s.statsSnapshot()
+	body["status"] = "ok"
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.counters.analyzeReqs.Add(1)
 	s.handleBatch(w, r, false)
 }
 
 func (s *server) handleCertify(w http.ResponseWriter, r *http.Request) {
+	s.counters.certifyReqs.Add(1)
 	s.handleBatch(w, r, true)
 }
 
@@ -170,10 +283,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, certify boo
 		return
 	}
 	var req request
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
 		return
 	}
 	single := len(req.Jobs) == 0

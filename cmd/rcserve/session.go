@@ -1,0 +1,572 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	rcdelay "repro"
+)
+
+// A session is one interactive editing context: an incremental EditTree a
+// client mutates with POST /session/{id}/edit and queries with GET
+// /session/{id}/bounds, instead of resending the whole deck per probe.
+// The mutex serializes all access to the EditTree (which is single-writer).
+type session struct {
+	mu       sync.Mutex
+	et       *rcdelay.EditTree
+	id       string
+	created  time.Time
+	lastUsed time.Time
+	edits    int
+}
+
+// sessionStore owns the live sessions: TTL-based expiry (sessions idle
+// longer than ttl are evicted on the next sweep) plus an LRU cap so a flood
+// of clients cannot hold unbounded trees in memory.
+type sessionStore struct {
+	mu  sync.Mutex
+	m   map[string]*session
+	ttl time.Duration
+	max int
+	now func() time.Time // injected for tests
+
+	created, expired, closed, evicted int64
+}
+
+func newSessionStore(ttl time.Duration, max int) *sessionStore {
+	if ttl <= 0 {
+		ttl = defaultSessionTTL
+	}
+	if max <= 0 {
+		max = defaultMaxSessions
+	}
+	return &sessionStore{m: make(map[string]*session), ttl: ttl, max: max, now: time.Now}
+}
+
+func newSessionID() string {
+	var b [9]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("rcserve: session id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// create registers a new session, evicting the least-recently-used one if
+// the store is full.
+func (st *sessionStore) create(et *rcdelay.EditTree) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	if len(st.m) >= st.max {
+		var lru *session
+		for _, s := range st.m {
+			if lru == nil || s.lastUsed.Before(lru.lastUsed) {
+				lru = s
+			}
+		}
+		delete(st.m, lru.id)
+		st.evicted++
+	}
+	now := st.now()
+	s := &session{et: et, id: newSessionID(), created: now, lastUsed: now}
+	st.m[s.id] = s
+	st.created++
+	return s
+}
+
+// get returns the session and refreshes its idle clock.
+func (st *sessionStore) get(id string) (*session, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s, ok := st.m[id]
+	if !ok {
+		return nil, false
+	}
+	if st.now().Sub(s.lastUsed) > st.ttl {
+		delete(st.m, id)
+		st.expired++
+		return nil, false
+	}
+	s.lastUsed = st.now()
+	return s, true
+}
+
+func (st *sessionStore) delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[id]; !ok {
+		return false
+	}
+	delete(st.m, id)
+	st.closed++
+	return true
+}
+
+// sweep evicts every session idle past the TTL; the janitor calls it
+// periodically, and create calls it opportunistically.
+func (st *sessionStore) sweep() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+}
+
+func (st *sessionStore) sweepLocked() {
+	cutoff := st.now().Add(-st.ttl)
+	for id, s := range st.m {
+		if s.lastUsed.Before(cutoff) {
+			delete(st.m, id)
+			st.expired++
+		}
+	}
+}
+
+// janitor sweeps until stop is closed (main never closes it; tests do).
+func (st *sessionStore) janitor(stop <-chan struct{}) {
+	interval := st.ttl / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			st.sweep()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// stats snapshots the counters for /healthz and /debug/vars.
+func (st *sessionStore) stats() map[string]any {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return map[string]any{
+		"active":  len(st.m),
+		"created": st.created,
+		"expired": st.expired,
+		"closed":  st.closed,
+		"evicted": st.evicted,
+	}
+}
+
+// --- HTTP surface -----------------------------------------------------------
+
+// createSessionRequest names the initial network like a batch job does.
+type createSessionRequest struct {
+	Netlist    string `json:"netlist,omitempty"`
+	Expression string `json:"expression,omitempty"`
+}
+
+type sessionInfoJSON struct {
+	ID      string   `json:"id"`
+	Nodes   int      `json:"nodes"`
+	Outputs []string `json:"outputs"`
+	Gen     uint64   `json:"gen"`
+	Edits   int      `json:"edits"`
+}
+
+// editSpec is one edit operation, applied in order. Nodes are named (the
+// stable handle across grows and prunes); numeric values ride in r/c/factor.
+type editSpec struct {
+	Op         string   `json:"op"`
+	Node       string   `json:"node,omitempty"`
+	Parent     string   `json:"parent,omitempty"`
+	Name       string   `json:"name,omitempty"`
+	Kind       string   `json:"kind,omitempty"` // "resistor" (default) or "line"
+	R          *float64 `json:"r,omitempty"`
+	C          *float64 `json:"c,omitempty"`
+	Factor     *float64 `json:"factor,omitempty"`
+	Netlist    string   `json:"netlist,omitempty"`    // graft source
+	Expression string   `json:"expression,omitempty"` // graft source
+}
+
+type editRequest struct {
+	Edits []editSpec `json:"edits"`
+}
+
+type editResponse struct {
+	ID      string       `json:"id"`
+	Gen     uint64       `json:"gen"`
+	Applied int          `json:"applied"`
+	Outputs []outputJSON `json:"outputs,omitempty"`
+	Error   string       `json:"error,omitempty"`
+}
+
+func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	s.counters.sessionReqs.Add(1)
+	var req createSessionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		return
+	}
+	var tree *rcdelay.Tree
+	var err error
+	switch {
+	case req.Netlist != "" && req.Expression != "":
+		httpError(w, "give either netlist or expression, not both", http.StatusUnprocessableEntity)
+		return
+	case req.Netlist != "":
+		tree, err = rcdelay.ParseNetlist(req.Netlist)
+	case req.Expression != "":
+		tree, _, err = rcdelay.ParseExpression(req.Expression)
+	default:
+		httpError(w, "session names no network: set netlist or expression", http.StatusUnprocessableEntity)
+		return
+	}
+	if err != nil {
+		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	sess := s.sessions.create(rcdelay.NewEditTree(tree))
+	writeJSON(w, http.StatusCreated, s.sessionInfo(sess))
+}
+
+func (s *server) sessionInfo(sess *session) sessionInfoJSON {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	info := sessionInfoJSON{
+		ID:    sess.id,
+		Nodes: sess.et.NumNodes(),
+		Gen:   sess.et.Gen(),
+		Edits: sess.edits,
+	}
+	for _, o := range sess.et.Outputs() {
+		info.Outputs = append(info.Outputs, sess.et.Name(o))
+	}
+	return info
+}
+
+func (s *server) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	sess, ok := s.sessions.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, "unknown or expired session", http.StatusNotFound)
+		return nil, false
+	}
+	return sess, true
+}
+
+func (s *server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	s.counters.sessionReqs.Add(1)
+	if sess, ok := s.lookupSession(w, r); ok {
+		writeJSON(w, http.StatusOK, s.sessionInfo(sess))
+	}
+}
+
+func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	s.counters.sessionReqs.Add(1)
+	if !s.sessions.delete(r.PathValue("id")) {
+		httpError(w, "unknown or expired session", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"closed": true})
+}
+
+// handleSessionEdit applies the posted edits in order under the session
+// lock. On the first failing edit it stops and reports the error together
+// with how many edits were applied (those stay applied — the EditTree
+// rejects invalid edits atomically, so state remains consistent). The
+// response carries the fresh characteristic times of every output so
+// interactive clients get edit→times in one round trip.
+func (s *server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
+	s.counters.sessionReqs.Add(1)
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	var req editRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		return
+	}
+	if len(req.Edits) == 0 {
+		httpError(w, "edit request carries no edits", http.StatusUnprocessableEntity)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	resp := editResponse{ID: sess.id}
+	for i, spec := range req.Edits {
+		if err := applyEdit(sess.et, spec); err != nil {
+			resp.Error = fmt.Sprintf("edit %d (%s): %v", i, spec.Op, err)
+			break
+		}
+		resp.Applied++
+	}
+	sess.edits += resp.Applied
+	s.counters.editsApplied.Add(int64(resp.Applied))
+	resp.Gen = sess.et.Gen()
+	for _, o := range sess.et.Outputs() {
+		tm, err := sess.et.Times(o)
+		if err != nil {
+			if resp.Error == "" {
+				resp.Error = fmt.Sprintf("output %q: %v", sess.et.Name(o), err)
+			}
+			continue
+		}
+		resp.Outputs = append(resp.Outputs, outputJSON{
+			Name:  sess.et.Name(o),
+			Times: timesJSON{TP: tm.TP, TD: tm.TD, TR: tm.TR, Ree: tm.Ree},
+		})
+	}
+	status := http.StatusOK
+	if resp.Error != "" {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+// applyEdit dispatches one editSpec onto the EditTree.
+func applyEdit(et *rcdelay.EditTree, spec editSpec) error {
+	resolve := func(name string) (rcdelay.NodeID, error) {
+		if name == "" {
+			return 0, fmt.Errorf("missing node name")
+		}
+		id, ok := et.Lookup(name)
+		if !ok {
+			return 0, fmt.Errorf("unknown node %q", name)
+		}
+		return id, nil
+	}
+	num := func(what string, p *float64) (float64, error) {
+		if p == nil {
+			return 0, fmt.Errorf("missing %q", what)
+		}
+		return *p, nil
+	}
+	edgeKind := func(c float64) (rcdelay.EdgeKind, error) {
+		switch spec.Kind {
+		case "", "resistor":
+			if spec.Kind == "" && c > 0 {
+				return rcdelay.EdgeLine, nil
+			}
+			return rcdelay.EdgeResistor, nil
+		case "line":
+			return rcdelay.EdgeLine, nil
+		}
+		return 0, fmt.Errorf("unknown edge kind %q (want resistor or line)", spec.Kind)
+	}
+
+	switch spec.Op {
+	case "setR":
+		id, err := resolve(spec.Node)
+		if err != nil {
+			return err
+		}
+		r, err := num("r", spec.R)
+		if err != nil {
+			return err
+		}
+		return et.SetResistance(id, r)
+	case "setC":
+		id, err := resolve(spec.Node)
+		if err != nil {
+			return err
+		}
+		c, err := num("c", spec.C)
+		if err != nil {
+			return err
+		}
+		return et.SetCapacitance(id, c)
+	case "addC":
+		id, err := resolve(spec.Node)
+		if err != nil {
+			return err
+		}
+		c, err := num("c", spec.C)
+		if err != nil {
+			return err
+		}
+		return et.AddCapacitance(id, c)
+	case "setLine":
+		id, err := resolve(spec.Node)
+		if err != nil {
+			return err
+		}
+		r, err := num("r", spec.R)
+		if err != nil {
+			return err
+		}
+		c, err := num("c", spec.C)
+		if err != nil {
+			return err
+		}
+		return et.SetLine(id, r, c)
+	case "scaleDriver":
+		f, err := num("factor", spec.Factor)
+		if err != nil {
+			return err
+		}
+		return et.ScaleDriver(f)
+	case "grow":
+		parent, err := resolve(spec.Parent)
+		if err != nil {
+			return fmt.Errorf("parent: %w", err)
+		}
+		r, err := num("r", spec.R)
+		if err != nil {
+			return err
+		}
+		var c float64
+		if spec.C != nil {
+			c = *spec.C
+		}
+		kind, err := edgeKind(c)
+		if err != nil {
+			return err
+		}
+		_, err = et.Grow(parent, spec.Name, kind, r, c)
+		return err
+	case "graft":
+		parent, err := resolve(spec.Parent)
+		if err != nil {
+			return fmt.Errorf("parent: %w", err)
+		}
+		var sub *rcdelay.Tree
+		switch {
+		case spec.Netlist != "" && spec.Expression != "":
+			return fmt.Errorf("give either netlist or expression, not both")
+		case spec.Netlist != "":
+			sub, err = rcdelay.ParseNetlist(spec.Netlist)
+		case spec.Expression != "":
+			sub, _, err = rcdelay.ParseExpression(spec.Expression)
+		default:
+			return fmt.Errorf("graft names no network: set netlist or expression")
+		}
+		if err != nil {
+			return err
+		}
+		r, err := num("r", spec.R)
+		if err != nil {
+			return err
+		}
+		var c float64
+		if spec.C != nil {
+			c = *spec.C
+		}
+		kind, err := edgeKind(c)
+		if err != nil {
+			return err
+		}
+		_, err = et.Graft(parent, spec.Name, kind, r, c, sub)
+		return err
+	case "prune":
+		id, err := resolve(spec.Node)
+		if err != nil {
+			return err
+		}
+		return et.Prune(id)
+	case "addOutput":
+		id, err := resolve(spec.Node)
+		if err != nil {
+			return err
+		}
+		return et.AddOutput(id)
+	case "removeOutput":
+		id, err := resolve(spec.Node)
+		if err != nil {
+			return err
+		}
+		if !et.RemoveOutput(id) {
+			return fmt.Errorf("node %q is not an output", spec.Node)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown op %q", spec.Op)
+}
+
+type boundsResponse struct {
+	ID      string       `json:"id"`
+	Gen     uint64       `json:"gen"`
+	Outputs []outputJSON `json:"outputs"`
+}
+
+// handleSessionBounds answers the current bound tables of every designated
+// output: GET /session/{id}/bounds?thresholds=0.5,0.9&times=100,200.
+// Thresholds and times are optional comma-separated lists; without them the
+// response carries the characteristic times only.
+func (s *server) handleSessionBounds(w http.ResponseWriter, r *http.Request) {
+	s.counters.sessionReqs.Add(1)
+	s.counters.boundsQueries.Add(1)
+	sess, ok := s.lookupSession(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	thresholds, err := parseFloats(q.Get("thresholds"))
+	if err != nil {
+		httpError(w, fmt.Sprintf("thresholds: %v", err), http.StatusBadRequest)
+		return
+	}
+	times, err := parseFloats(q.Get("times"))
+	if err != nil {
+		httpError(w, fmt.Sprintf("times: %v", err), http.StatusBadRequest)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	resp := boundsResponse{ID: sess.id, Gen: sess.et.Gen()}
+	outs := sess.et.Outputs()
+	if name := q.Get("output"); name != "" {
+		id, ok := sess.et.Lookup(name)
+		if !ok {
+			httpError(w, fmt.Sprintf("unknown node %q", name), http.StatusUnprocessableEntity)
+			return
+		}
+		outs = []rcdelay.NodeID{id}
+	}
+	for _, o := range outs {
+		tm, err := sess.et.Times(o)
+		if err != nil {
+			httpError(w, fmt.Sprintf("output %q: %v", sess.et.Name(o), err), http.StatusUnprocessableEntity)
+			return
+		}
+		oj := outputJSON{
+			Name:  sess.et.Name(o),
+			Times: timesJSON{TP: tm.TP, TD: tm.TD, TR: tm.TR, Ree: tm.Ree},
+		}
+		if len(thresholds) > 0 || len(times) > 0 {
+			bounds, err := rcdelay.NewBounds(tm)
+			if err != nil {
+				httpError(w, fmt.Sprintf("output %q: %v", sess.et.Name(o), err), http.StatusUnprocessableEntity)
+				return
+			}
+			for _, row := range bounds.DelayTable(thresholds) {
+				oj.Delay = append(oj.Delay, delayRowJSON{V: row.V, TMin: row.TMin, TMax: row.TMax})
+			}
+			for _, row := range bounds.VoltageTable(times) {
+				oj.Voltage = append(oj.Voltage, voltageRowJSON{T: row.T, VMin: row.VMin, VMax: row.VMax})
+			}
+		}
+		resp.Outputs = append(resp.Outputs, oj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func parseFloats(csv string) ([]float64, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(csv, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -128,3 +128,32 @@ func ExampleAnalyzeBatch() {
 	// job1: b TD=105 TMax(0.9)=241.8
 	// job2: z TD=30 TMax(0.9)=69.1
 }
+
+// Interactive probing: wrap a tree in an EditTree and every local edit plus
+// re-query costs O(depth) instead of a full O(n) reanalysis — the engine
+// behind opt's bisection loops and rcserve's /session endpoints.
+func ExampleNewEditTree() {
+	tree, err := rcdelay.ParseNetlist(
+		".input in\nR1 in mid 15\nC1 mid 0 2\nR2 mid far 8\nC2 far 0 7\n.output far\n")
+	if err != nil {
+		panic(err)
+	}
+	et := rcdelay.NewEditTree(tree)
+	far, _ := et.Lookup("far")
+	mid, _ := et.Lookup("mid")
+
+	tm, _ := et.Times(far)
+	fmt.Printf("as parsed:      TD=%g\n", tm.TD)
+
+	et.SetResistance(mid, 30) // probe: driver twice as weak
+	tm, _ = et.Times(far)
+	fmt.Printf("R1 15 -> 30:    TD=%g\n", tm.TD)
+
+	et.SetCapacitance(far, 3) // probe: lighter far load
+	tm, _ = et.Times(far)
+	fmt.Printf("C2 7 -> 3:      TD=%g\n", tm.TD)
+	// Output:
+	// as parsed:      TD=191
+	// R1 15 -> 30:    TD=326
+	// C2 7 -> 3:      TD=174
+}

@@ -1,0 +1,162 @@
+package incr_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/incr"
+	"repro/internal/randnet"
+	"repro/internal/rctree"
+)
+
+// sweepTree is the benchmark workload: a bushy 1000-node tree (random
+// attachment keeps depth logarithmic, the regime interconnect trees live
+// in), every leaf an output — the deck an optimization loop or interactive
+// session probes over and over.
+func sweepTree(b *testing.B) *rctree.Tree {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1009))
+	return randnet.Tree(rng, randnet.Config{
+		Nodes: 1000, LineProb: 0.3, CapProb: 0.7, Chain: 0, RMax: 100, CMax: 10,
+	})
+}
+
+type sweepEdit struct {
+	node rctree.NodeID
+	r    float64
+}
+
+func sweepEdits(tree *rctree.Tree, n int) []sweepEdit {
+	rng := rand.New(rand.NewSource(2027))
+	edits := make([]sweepEdit, n)
+	for i := range edits {
+		// Only resistor edges accept SetResistance semantics trivially; pick
+		// until we land on one (node 0 excluded).
+		for {
+			id := rctree.NodeID(1 + rng.Intn(tree.NumNodes()-1))
+			kind, _, _ := tree.Edge(id)
+			if kind == rctree.EdgeResistor {
+				edits[i] = sweepEdit{node: id, r: rng.Float64()*100 + 1e-3}
+				break
+			}
+		}
+	}
+	return edits
+}
+
+// rebuildWith is the non-incremental workflow: produce a fresh immutable
+// tree with one resistance changed — what opt's bisections and mc's
+// perturbation loop do per probe today.
+func rebuildWith(t *rctree.Tree, target rctree.NodeID, r float64) *rctree.Tree {
+	b := rctree.NewBuilder(t.Name(rctree.Root))
+	ids := make([]rctree.NodeID, t.NumNodes())
+	if c := t.NodeCap(rctree.Root); c > 0 {
+		b.Capacitor(rctree.Root, c)
+	}
+	for i := 1; i < t.NumNodes(); i++ {
+		id := rctree.NodeID(i)
+		kind, er, ec := t.Edge(id)
+		if id == target {
+			er = r
+		}
+		if kind == rctree.EdgeLine {
+			ids[i] = b.Line(ids[t.Parent(id)], t.Name(id), er, ec)
+		} else {
+			ids[i] = b.Resistor(ids[t.Parent(id)], t.Name(id), er)
+		}
+		if c := t.NodeCap(id); c > 0 {
+			b.Capacitor(ids[i], c)
+		}
+	}
+	for _, o := range t.Outputs() {
+		b.Output(ids[o])
+	}
+	nt, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return nt
+}
+
+// BenchmarkIncrementalSweep compares the cost of one "change an element,
+// re-certify every output" probe on a 1000-node tree:
+//
+//	full:        rebuild the immutable tree and re-run the O(n)-per-output
+//	             analysis (the pre-incr workflow);
+//	incremental: one EditTree edit (O(depth)) plus O(depth)-per-output
+//	             queries.
+//
+// The ratio of the two ns/op figures is the headline speedup recorded in
+// BENCH_incremental.json (see Makefile bench-trajectory).
+func BenchmarkIncrementalSweep(b *testing.B) {
+	tree := sweepTree(b)
+	outs := tree.Outputs()
+	edits := sweepEdits(tree, 4096)
+	b.Logf("tree: %d nodes, depth %d, %d outputs", tree.NumNodes(), tree.Depth(), len(outs))
+
+	b.Run("full", func(b *testing.B) {
+		var scratch rctree.Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := edits[i%len(edits)]
+			nt := rebuildWith(tree, e.node, e.r)
+			for _, o := range outs {
+				if _, err := nt.CharacteristicTimesInto(o, &scratch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("incremental", func(b *testing.B) {
+		et := incr.New(tree)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := edits[i%len(edits)]
+			if err := et.SetResistance(e.node, e.r); err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range outs {
+				if _, err := et.Times(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalSingleOutput is the same probe against one output —
+// the opt bisection shape (edit + one requery).
+func BenchmarkIncrementalSingleOutput(b *testing.B) {
+	tree := sweepTree(b)
+	out := tree.Outputs()[len(tree.Outputs())-1]
+	edits := sweepEdits(tree, 4096)
+
+	b.Run("full", func(b *testing.B) {
+		var scratch rctree.Scratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := edits[i%len(edits)]
+			nt := rebuildWith(tree, e.node, e.r)
+			if _, err := nt.CharacteristicTimesInto(out, &scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("incremental", func(b *testing.B) {
+		et := incr.New(tree)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := edits[i%len(edits)]
+			if err := et.SetResistance(e.node, e.r); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := et.Times(out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

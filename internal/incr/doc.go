@@ -1,0 +1,65 @@
+// Package incr maintains the characteristic times of an RC tree under local
+// edits, turning the O(n)-per-output analysis of rctree into an
+// O(depth)-per-probe operation for the workloads that mutate one element at a
+// time: the bisection loops of package opt (driver sizing, wire-length rules,
+// repeater insertion), Monte Carlo-style what-if probing, and interactive
+// editing sessions (cmd/rcserve's session API).
+//
+// # The math
+//
+// All three characteristic times are capacitor-weighted sums of path
+// resistances (paper eqs. 1, 5, 6):
+//
+//	TP   = Σk Rkk·Ck
+//	TDe  = Σk Rke·Ck
+//	TRe  = (Σk Rke²·Ck) / Ree
+//
+// where Rkk is the input→k path resistance and Rke the resistance of the
+// common portion of the input→k and input→e paths. Because each sum is linear
+// in every capacitance and piecewise linear in every resistance, a local edit
+// shifts the sums by closed-form deltas:
+//
+//   - a ΔC at node j shifts TDe by R(common(j,e))·ΔC and TP by Rjj·ΔC;
+//   - a ΔR on the edge into node q shifts every sum by ΔR times the
+//     capacitance aggregates of the subtree below q (each capacitor at or
+//     below q sees the edit on its root path; nothing else does).
+//
+// EditTree therefore maintains two per-node subtree aggregates, updated along
+// the root path of each edit (O(depth) per edit):
+//
+//	S0(v) = Σ_{k ⊆ v} Ck                    subtree capacitance
+//	S1(v) = Σ_{k ⊆ v} Ck·(Rkk − P(v))       subtree cap-weighted resistance
+//
+// with P(v) the prefix (root→parent(v)) resistance. S1(root) is exactly TP.
+// Distributed RC lines enter both aggregates in closed form: a line with
+// resistance R and capacitance c contributes c to S0 and c·R/2 to its own
+// S1 term, matching the integrals rctree evaluates.
+//
+// A query for output e then needs only one walk down the input→e path
+// (O(depth), independent of tree size), using the telescoping identity
+// Rke² = Σ_g R_g·(2·P(g) + R_g) over the edges g of the common path:
+//
+//	TDe      = Σ_{v∈path(e)} R_v·(S0(v) − c_v/2)
+//	TRe·Ree  = Σ_{v∈path(e)} (S0(v) − c_v)·R_v·(2·P(v) + R_v)
+//	                        + c_v·(P(v)·R_v + R_v²/3)
+//	Ree      = Σ_{v∈path(e)} R_v
+//
+// Results are memoized per output under a generation counter, so repeated
+// queries between edits are O(1).
+//
+// # Fallback and drift
+//
+// Incremental aggregate updates accumulate floating-point rounding. As a
+// fallback, once the number of edits since the last full pass exceeds a
+// density threshold (the current node count), the aggregates are recomputed
+// from scratch in O(n) — amortized O(1) per edit — so long edit sequences
+// stay within 1e-9 relative error of a full re-analysis (property-tested
+// against rctree.CharacteristicTimes). Recompute forces that pass manually.
+//
+// # Concurrency
+//
+// An EditTree is a single-writer structure: methods must not be called
+// concurrently. Wrap it in a mutex (as cmd/rcserve's sessions do) to share
+// one across goroutines. Materialize snapshots the current state back into an
+// immutable rctree.Tree for consumers that need one.
+package incr

@@ -1,0 +1,83 @@
+package incr
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rctree"
+)
+
+// FuzzEditSequence drives an EditTree with an arbitrary byte-coded edit
+// program and asserts the two invariants the subsystem promises: no edit
+// sequence panics, and whenever the overlay can be materialized, the
+// incremental times of every live node agree with a full recomputation.
+func FuzzEditSequence(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 20, 2, 3})
+	f.Add([]byte{4, 4, 4, 5, 5, 6, 0})
+	f.Add([]byte{})
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0, 7, 7})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		b := rctree.NewBuilder("in")
+		a := b.Resistor(rctree.Root, "a", 10)
+		b.Capacitor(a, 2)
+		c := b.Line(a, "c", 8, 4)
+		d := b.Resistor(a, "d", 3)
+		b.Capacitor(d, 1)
+		b.Output(c)
+		b.Output(d)
+		tr, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		et := New(tr)
+		slots := tr.NumNodes()
+		for i := 0; i+1 < len(program); i += 2 {
+			op, arg := program[i], float64(program[i+1])
+			j := NodeID(int(program[i+1]) % slots)
+			switch op % 7 {
+			case 0:
+				_ = et.SetCapacitance(j, arg/8)
+			case 1:
+				_ = et.SetResistance(j, arg/8+0.125)
+			case 2:
+				_ = et.SetLine(j, arg/8+0.125, arg/16)
+			case 3:
+				_ = et.ScaleDriver(arg/64 + 0.25)
+			case 4:
+				if _, err := et.Grow(j, "", rctree.EdgeLine, arg/8+0.125, arg/16+0.0625); err == nil {
+					slots++
+				}
+			case 5:
+				if _, err := et.Grow(j, "", rctree.EdgeResistor, arg/8+0.125, 0); err == nil {
+					slots++
+				}
+			case 6:
+				_ = et.Prune(j)
+			}
+		}
+		mt, mapping, err := et.Materialize()
+		if err != nil {
+			return // e.g. all capacitance edited away; nothing to check
+		}
+		for i := 0; i < slots; i++ {
+			id := NodeID(i)
+			if et.Name(id) == "" {
+				continue
+			}
+			got, err := et.Times(id)
+			if err != nil {
+				t.Fatalf("incremental times for %q: %v", et.Name(id), err)
+			}
+			want, err := mt.CharacteristicTimes(mapping[id])
+			if err != nil {
+				t.Fatalf("full times for %q: %v", et.Name(id), err)
+			}
+			for _, pair := range [][2]float64{{got.TP, want.TP}, {got.TD, want.TD}, {got.TR, want.TR}, {got.Ree, want.Ree}} {
+				scale := math.Max(math.Max(math.Abs(pair[0]), math.Abs(pair[1])), 1)
+				if math.Abs(pair[0]-pair[1]) > 1e-9*scale {
+					t.Fatalf("node %q: incremental %+v != full %+v", et.Name(id), got, want)
+				}
+			}
+		}
+	})
+}

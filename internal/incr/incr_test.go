@@ -1,0 +1,549 @@
+package incr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randnet"
+	"repro/internal/rctree"
+)
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+func timesClose(t *testing.T, got, want rctree.Times, tol float64, context string) {
+	t.Helper()
+	for _, f := range []struct {
+		name string
+		a, b float64
+	}{
+		{"TP", got.TP, want.TP},
+		{"TD", got.TD, want.TD},
+		{"TR", got.TR, want.TR},
+		{"Ree", got.Ree, want.Ree},
+	} {
+		if !relClose(f.a, f.b, tol) {
+			t.Fatalf("%s: %s incremental=%g full=%g (rel err %g)",
+				context, f.name, f.a, f.b, math.Abs(f.a-f.b)/math.Max(math.Abs(f.b), 1))
+		}
+	}
+}
+
+// fullTimes recomputes output e from scratch by materializing the overlay
+// into a fresh immutable tree and running the O(n) analysis on it.
+func fullTimes(t *testing.T, et *EditTree, e NodeID) rctree.Times {
+	t.Helper()
+	mt, mapping, err := et.Materialize()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	tm, err := mt.CharacteristicTimes(mapping[e])
+	if err != nil {
+		t.Fatalf("full recompute: %v", err)
+	}
+	return tm
+}
+
+func ladder(t *testing.T, n int) *rctree.Tree {
+	t.Helper()
+	return randnet.Ladder(n, float64(n), float64(n)/2)
+}
+
+// TestNewMatchesAnalysis: a fresh overlay answers exactly what the immutable
+// analysis answers, for every output of assorted random trees.
+func TestNewMatchesAnalysis(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		tr := randnet.Tree(rng, randnet.DefaultConfig(1+rng.Intn(60)))
+		et := New(tr)
+		for _, e := range tr.Outputs() {
+			want, err := tr.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := et.Times(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			timesClose(t, got, want, 1e-12, "fresh overlay")
+		}
+	}
+}
+
+// TestSetResistanceKnownDelta checks the ΔR bookkeeping on a hand-computable
+// chain: in -R1- a(C=2) -R2- b(C=3).
+func TestSetResistanceKnownDelta(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	a := b.Resistor(rctree.Root, "a", 1)
+	b.Capacitor(a, 2)
+	bb := b.Resistor(a, "b", 2)
+	b.Capacitor(bb, 3)
+	b.Output(bb)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := New(tr)
+	if err := et.SetResistance(a, 5); err != nil { // R1: 1 -> 5
+		t.Fatal(err)
+	}
+	tm, err := et.Times(bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TP = 5*2 + 7*3 = 31; TD at b = 5*2 + 7*3 = 31; TR = (25*2+49*3)/7.
+	if !relClose(tm.TP, 31, 1e-12) || !relClose(tm.TD, 31, 1e-12) {
+		t.Fatalf("TP/TD = %g/%g, want 31/31", tm.TP, tm.TD)
+	}
+	if want := (25.0*2 + 49*3) / 7; !relClose(tm.TR, want, 1e-12) {
+		t.Fatalf("TR = %g, want %g", tm.TR, want)
+	}
+	if tm.Ree != 7 {
+		t.Fatalf("Ree = %g, want 7", tm.Ree)
+	}
+}
+
+// TestSetCapacitanceKnownDelta: ΔC at an off-path node moves TD by the
+// common resistance times ΔC.
+func TestSetCapacitanceKnownDelta(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	stem := b.Resistor(rctree.Root, "stem", 10)
+	left := b.Resistor(stem, "left", 5)
+	b.Capacitor(left, 1)
+	right := b.Resistor(stem, "right", 7)
+	b.Capacitor(right, 2)
+	b.Output(right)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := New(tr)
+	before, err := et.Times(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := et.SetCapacitance(left, 4); err != nil { // ΔC = +3 at off-path node
+		t.Fatal(err)
+	}
+	after, err := et.Times(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// common(left, right) = stem, R = 10: TD += 10*3, TP += 15*3, TR numerator += 100*3.
+	if want := before.TD + 30; !relClose(after.TD, want, 1e-12) {
+		t.Fatalf("TD = %g, want %g", after.TD, want)
+	}
+	if want := before.TP + 45; !relClose(after.TP, want, 1e-12) {
+		t.Fatalf("TP = %g, want %g", after.TP, want)
+	}
+	if want := (before.TR*before.Ree + 300) / before.Ree; !relClose(after.TR, want, 1e-12) {
+		t.Fatalf("TR = %g, want %g", after.TR, want)
+	}
+}
+
+// TestScaleDriverMatchesSetResistance: on a single-driver-edge tree the two
+// edit paths must agree exactly.
+func TestScaleDriverMatchesSetResistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tr := randnet.Tree(rng, randnet.Config{Nodes: 40, LineProb: 0.4, CapProb: 0.8, Chain: 1, RMax: 50, CMax: 5})
+	out := tr.Outputs()[0]
+	driver := tr.Children(rctree.Root)[0]
+	_, r0, _ := tr.Edge(driver)
+
+	a, b := New(tr), New(tr)
+	if err := a.ScaleDriver(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetResistance(driver, r0*2.5); err != nil {
+		t.Fatal(err)
+	}
+	ta, err := a.Times(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.Times(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timesClose(t, ta, tb, 1e-12, "scale vs set")
+}
+
+// TestGrowPrune: growing a tap and pruning it restores the original times.
+func TestGrowPrune(t *testing.T) {
+	tr := ladder(t, 12)
+	out := tr.Outputs()[0]
+	et := New(tr)
+	orig, err := et.Times(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := et.Lookup("n6")
+	tap, err := et.Grow(mid, "tap", rctree.EdgeLine, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := et.SetCapacitance(tap, 3); err != nil {
+		t.Fatal(err)
+	}
+	grown, err := et.Times(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timesClose(t, grown, fullTimes(t, et, out), 1e-12, "after grow")
+	if grown.TD <= orig.TD {
+		t.Fatalf("extra load must slow the output: %g <= %g", grown.TD, orig.TD)
+	}
+	if err := et.Prune(tap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := et.Times(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timesClose(t, back, orig, 1e-9, "after prune")
+	if _, ok := et.Lookup("tap"); ok {
+		t.Fatal("pruned name still resolves")
+	}
+	if _, err := et.Times(tap); err == nil {
+		t.Fatal("Times on a pruned node must fail")
+	}
+	// The freed name is reusable.
+	if _, err := et.Grow(mid, "tap", rctree.EdgeResistor, 2, 0); err != nil {
+		t.Fatalf("regrow with freed name: %v", err)
+	}
+}
+
+// TestGraft attaches a random subtree and cross-checks against the full
+// analysis of the materialized result.
+func TestGraft(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	host := randnet.Tree(rng, randnet.DefaultConfig(25))
+	sub := randnet.Tree(rng, randnet.DefaultConfig(10))
+	et := New(host)
+	attach := host.Outputs()[0]
+	// Names may collide between two independently generated trees (both use
+	// n1, n2, ...); a collision must be rejected atomically.
+	genBefore := et.Gen()
+	if _, err := et.Graft(attach, "", rctree.EdgeResistor, 3, 0, sub); err == nil {
+		t.Fatal("colliding graft must fail")
+	} else if et.Gen() != genBefore {
+		t.Fatal("failed graft mutated the overlay")
+	}
+	// Rename the subtree via a netlist-free rebuild: prefix its node names.
+	b := rctree.NewBuilder("g_in")
+	ids := map[rctree.NodeID]rctree.NodeID{rctree.Root: rctree.Root}
+	sub.Walk(func(id rctree.NodeID) {
+		if id == rctree.Root {
+			if c := sub.NodeCap(id); c > 0 {
+				b.Capacitor(rctree.Root, c)
+			}
+			return
+		}
+		kind, r, c := sub.Edge(id)
+		var nid rctree.NodeID
+		if kind == rctree.EdgeLine {
+			nid = b.Line(ids[sub.Parent(id)], "g_"+sub.Name(id), r, c)
+		} else {
+			nid = b.Resistor(ids[sub.Parent(id)], "g_"+sub.Name(id), r)
+		}
+		ids[id] = nid
+		if c := sub.NodeCap(id); c > 0 {
+			b.Capacitor(nid, c)
+		}
+	})
+	renamed, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	graftIDs, err := et.Graft(attach, "", rctree.EdgeLine, 2, 1, renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := et.AddOutput(graftIDs[len(graftIDs)-1]); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range et.Outputs() {
+		got, err := et.Times(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		timesClose(t, got, fullTimes(t, et, e), 1e-12, "grafted "+et.Name(e))
+	}
+}
+
+// TestEditSequenceMatchesFullRecompute is the subsystem's acceptance
+// property: after arbitrary random edit sequences, incrementally maintained
+// times agree with a from-scratch analysis to 1e-9 relative error.
+func TestEditSequenceMatchesFullRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2025))
+	for trial := 0; trial < 30; trial++ {
+		tr := randnet.Tree(rng, randnet.Config{
+			Nodes:    5 + rng.Intn(80),
+			LineProb: 0.4, CapProb: 0.7,
+			Chain: rng.Float64(),
+			RMax:  100, CMax: 10,
+		})
+		et := New(tr)
+		// Pin a capacitor at the input so pruning can never drain the tree
+		// of all capacitance (the input cap contributes zero to every time).
+		if err := et.SetCapacitance(Root, 1); err != nil {
+			t.Fatal(err)
+		}
+		slots := tr.NumNodes()
+		alive := func() []NodeID {
+			var ids []NodeID
+			for i := 0; i < slots; i++ {
+				if et.Name(NodeID(i)) != "" {
+					ids = append(ids, NodeID(i))
+				}
+			}
+			return ids
+		}
+		steps := 40 + rng.Intn(120)
+		for step := 0; step < steps; step++ {
+			ids := alive()
+			j := ids[rng.Intn(len(ids))]
+			var err error
+			switch op := rng.Intn(8); {
+			case op == 0: // lumped capacitance
+				err = et.SetCapacitance(j, rng.Float64()*10)
+			case op == 1 && j != Root: // resistance
+				err = et.SetResistance(j, rng.Float64()*100+1e-3)
+			case op == 2 && j != Root: // full line probe
+				err = et.SetLine(j, rng.Float64()*100+1e-3, rng.Float64()*10)
+			case op == 3:
+				err = et.ScaleDriver(0.5 + rng.Float64()*1.5)
+			case op == 4: // grow a tap
+				kind, c := rctree.EdgeResistor, 0.0
+				if rng.Intn(2) == 0 {
+					kind, c = rctree.EdgeLine, rng.Float64()*10+1e-6
+				}
+				_, err = et.Grow(j, "", kind, rng.Float64()*100+1e-3, c)
+				slots++
+			case op == 5 && j != Root && et.NumNodes() > 3: // prune
+				err = et.Prune(j)
+			case op == 6: // graft a small renamed chain
+				b := rctree.NewBuilder(randName(rng, "gin", step, trial))
+				prev := rctree.Root
+				for k := 0; k < 1+rng.Intn(4); k++ {
+					prev = b.Resistor(prev, randName(rng, "g", step*10+k, trial), rng.Float64()*50+1e-3)
+					b.Capacitor(prev, rng.Float64()*5)
+				}
+				b.Capacitor(prev, 1e-6)
+				b.Output(prev)
+				var sub *rctree.Tree
+				sub, err = b.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, err = et.Graft(j, "", rctree.EdgeResistor, rng.Float64()*20+1e-3, 0, sub)
+				slots += sub.NumNodes()
+			default:
+				continue
+			}
+			if err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+		}
+		// Compare every live node (not just designated outputs) against the
+		// full recompute of the materialized state.
+		mt, mapping, err := et.Materialize()
+		if err != nil {
+			t.Fatalf("trial %d: materialize: %v", trial, err)
+		}
+		for _, id := range alive() {
+			got, err := et.Times(id)
+			if err != nil {
+				t.Fatalf("trial %d node %q: %v", trial, et.Name(id), err)
+			}
+			want, err := mt.CharacteristicTimes(mapping[id])
+			if err != nil {
+				t.Fatalf("trial %d node %q: full: %v", trial, et.Name(id), err)
+			}
+			timesClose(t, got, want, 1e-9, "trial end "+et.Name(id))
+		}
+		// Recompute must not change the answers (only squash drift).
+		probe := alive()[rng.Intn(len(alive()))]
+		before, _ := et.Times(probe)
+		et.Recompute()
+		after, err := et.Times(probe)
+		if err != nil {
+			t.Fatalf("trial %d: after Recompute: %v", trial, err)
+		}
+		timesClose(t, after, before, 1e-9, "recompute consistency")
+	}
+}
+
+func randName(rng *rand.Rand, prefix string, a, b int) string {
+	return prefix + "_" + string(rune('a'+rng.Intn(26))) + "_" +
+		string(rune('a'+rng.Intn(26))) + "_" + itoa(a) + "_" + itoa(b)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestMaterializeRoundTrip: materializing and re-wrapping yields identical
+// answers, and the mapping resolves names.
+func TestMaterializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := randnet.Tree(rng, randnet.DefaultConfig(30))
+	et := New(tr)
+	out := tr.Outputs()[len(tr.Outputs())-1]
+	if err := et.SetCapacitance(out, 42); err != nil {
+		t.Fatal(err)
+	}
+	mt, mapping, err := et.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tr.NumNodes(); i++ {
+		if mapping[i] < 0 {
+			t.Fatalf("live node %d unmapped", i)
+		}
+		if mt.Name(mapping[i]) != et.Name(NodeID(i)) {
+			t.Fatalf("mapping broke name %q", et.Name(NodeID(i)))
+		}
+	}
+	et2 := New(mt)
+	a, err := et.Times(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := et2.Times(mapping[out])
+	if err != nil {
+		t.Fatal(err)
+	}
+	timesClose(t, a, b, 1e-12, "round trip")
+}
+
+// TestEditErrors covers the rejection paths.
+func TestEditErrors(t *testing.T) {
+	tr := ladder(t, 4)
+	et := New(tr)
+	n2, _ := et.Lookup("n2")
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"set R on root", et.SetResistance(Root, 1)},
+		{"set line on root", et.SetLine(Root, 1, 1)},
+		{"negative C", et.SetCapacitance(n2, -1)},
+		{"NaN C", et.SetCapacitance(n2, math.NaN())},
+		{"zero R", et.SetResistance(n2, 0)},
+		{"infinite R", et.SetResistance(n2, math.Inf(1))},
+		{"prune root", et.Prune(Root)},
+		{"scale by zero", et.ScaleDriver(0)},
+		{"out of range", et.SetCapacitance(NodeID(99), 1)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := et.Grow(n2, "n3", rctree.EdgeResistor, 1, 0); err == nil {
+		t.Error("duplicate grow name: expected error")
+	}
+	if _, err := et.Grow(n2, "x", rctree.EdgeResistor, 1, 2); err == nil {
+		t.Error("resistor with C: expected error")
+	}
+	if gen := et.Gen(); gen != 0 {
+		t.Errorf("failed edits must not bump the generation, got %d", gen)
+	}
+	// Output bookkeeping.
+	if err := et.AddOutput(n2); err != nil {
+		t.Fatal(err)
+	}
+	if err := et.AddOutput(n2); err == nil {
+		t.Error("double AddOutput: expected error")
+	}
+	if !et.RemoveOutput(n2) || et.RemoveOutput(n2) {
+		t.Error("RemoveOutput bookkeeping broken")
+	}
+}
+
+// TestTransientSpikeCancellation: a huge edit that is immediately reverted
+// must not leave catastrophic-cancellation residue in the aggregates — the
+// magnitude trigger forces a full recompute, keeping queries within 1e-9.
+func TestTransientSpikeCancellation(t *testing.T) {
+	tr := ladder(t, 50)
+	out := tr.Outputs()[0]
+	et := New(tr)
+	want, err := et.Times(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := et.Lookup("n25")
+	for _, spike := range []float64{1e12, 1e15, 1e18} {
+		if err := et.SetCapacitance(mid, spike); err != nil {
+			t.Fatal(err)
+		}
+		if err := et.SetCapacitance(mid, 0.5); err != nil { // nominal ladder cap
+			t.Fatal(err)
+		}
+		got, err := et.Times(out)
+		if err != nil {
+			t.Fatalf("after %g spike: %v", spike, err)
+		}
+		timesClose(t, got, want, 1e-9, fmt.Sprintf("after %g spike+revert", spike))
+	}
+	// Same story for a resistance spike.
+	if err := et.SetResistance(mid, 1e15); err != nil {
+		t.Fatal(err)
+	}
+	if err := et.SetResistance(mid, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := et.Times(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timesClose(t, got, want, 1e-9, "after R spike+revert")
+}
+
+// TestRebuildFallback drives enough edits to cross the density threshold
+// several times and checks the fallback leaves answers intact.
+func TestRebuildFallback(t *testing.T) {
+	tr := ladder(t, 8)
+	out := tr.Outputs()[0]
+	et := New(tr)
+	n4, _ := et.Lookup("n4")
+	want, err := et.Times(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10*et.NumNodes(); i++ {
+		// A no-net-change pair of edits per step.
+		if err := et.SetCapacitance(n4, 7); err != nil {
+			t.Fatal(err)
+		}
+		if err := et.SetCapacitance(n4, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := et.Times(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timesClose(t, got, want, 1e-9, "after threshold rebuilds")
+}

@@ -55,8 +55,21 @@ type Result struct {
 }
 
 // Run draws samples perturbed trees, evaluates the metric at output e of
-// each, and summarizes. Sampling is deterministic for a given seed.
+// each, and summarizes. Sampling is deterministic for a given seed; it is a
+// convenience wrapper over RunWithRand with a private rand.New source.
 func Run(t *rctree.Tree, e rctree.NodeID, metric Metric, v Variation, samples int, seed int64) (Result, error) {
+	return RunWithRand(t, e, metric, v, samples, rand.New(rand.NewSource(seed)))
+}
+
+// RunWithRand is Run with an injected random source, the form parallel
+// callers should use: math/rand's global and shared sources serialize (or
+// race) under concurrency, so give each goroutine its own seeded *rand.Rand
+// and the sampling is both reproducible and contention-free. rng must not be
+// nil and must not be shared with another concurrent caller.
+func RunWithRand(t *rctree.Tree, e rctree.NodeID, metric Metric, v Variation, samples int, rng *rand.Rand) (Result, error) {
+	if rng == nil {
+		return Result{}, fmt.Errorf("mc: nil random source; inject a seeded *rand.Rand")
+	}
 	if samples < 1 {
 		return Result{}, fmt.Errorf("mc: samples must be >= 1, got %d", samples)
 	}
@@ -71,7 +84,6 @@ func Run(t *rctree.Tree, e rctree.NodeID, metric Metric, v Variation, samples in
 	if err != nil {
 		return Result{}, err
 	}
-	rng := rand.New(rand.NewSource(seed))
 	values := make([]float64, 0, samples)
 	var sum, sumSq float64
 	min, max := math.Inf(1), math.Inf(-1)

@@ -2,6 +2,8 @@ package mc
 
 import (
 	"math"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/rctree"
@@ -61,6 +63,48 @@ func TestDeterministicBySeed(t *testing.T) {
 	}
 	if a == c {
 		t.Error("different seeds gave identical results")
+	}
+}
+
+// TestRunWithRandInjection: an injected source reproduces Run's answer for
+// the same seed, rejects nil, and distinct sources run race-free in
+// parallel (the -race build is the real assertion there).
+func TestRunWithRandInjection(t *testing.T) {
+	tr, out := fig7(t)
+	v := Variation{RSigma: 0.1, CSigma: 0.1}
+	want, err := Run(tr, out, TMaxAt(0.5), v, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunWithRand(tr, out, TMaxAt(0.5), v, 200, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("RunWithRand(seeded 42) = %+v, Run(seed 42) = %+v", got, want)
+	}
+	if _, err := RunWithRand(tr, out, TMaxAt(0.5), v, 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	results := make([]Result, 8)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := RunWithRand(tr, out, TMaxAt(0.5), v, 100, rand.New(rand.NewSource(7)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("parallel run %d diverged: %+v != %+v", i, results[i], results[0])
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/mos"
 	"repro/internal/rctree"
 )
@@ -40,6 +41,12 @@ func certified(t *rctree.Tree, out rctree.NodeID, b Budget) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	return certifiedTimes(tm, b)
+}
+
+// certifiedTimes is the Times half of certified, shared with the
+// incremental probes.
+func certifiedTimes(tm rctree.Times, b Budget) (bool, error) {
 	bounds, err := core.New(tm)
 	if err != nil {
 		return false, err
@@ -93,6 +100,10 @@ func MaxParam(lo, hi, tol float64, ok func(p float64) (bool, error)) (float64, e
 // given driver resistance; delay must be nondecreasing in the resistance
 // (true for every RC tree, since the driver resistance is common to all
 // paths).
+//
+// Each probe rebuilds the network from scratch; when the topology is fixed
+// and only the driver edge varies, SizeDriverTree answers the same question
+// with one O(depth) incremental edit per probe.
 func SizeDriver(build func(rEff float64) (*rctree.Tree, rctree.NodeID, error),
 	budget Budget, rLo, rHi float64) (float64, error) {
 	if err := budget.validate(); err != nil {
@@ -104,6 +115,35 @@ func SizeDriver(build func(rEff float64) (*rctree.Tree, rctree.NodeID, error),
 			return false, err
 		}
 		return certified(t, out, budget)
+	})
+}
+
+// SizeDriverTree sizes the driver of a fixed network incrementally: the tree
+// is wrapped in an incr.EditTree once, and every bisection probe becomes a
+// single SetResistance on driverEdge (the node whose parent element is the
+// driver's effective resistance) plus one O(depth) requery of out — no
+// rebuilding, no O(n) reanalysis. It returns the largest certified driver
+// resistance in [rLo, rHi], like SizeDriver.
+func SizeDriverTree(t *rctree.Tree, driverEdge, out rctree.NodeID, budget Budget, rLo, rHi float64) (float64, error) {
+	if err := budget.validate(); err != nil {
+		return 0, err
+	}
+	// The driver element is by definition the one common to every root path,
+	// i.e. an edge leaving the input (mos.AttachDriver always builds it
+	// there). Anything deeper would silently bisect a wire segment instead.
+	if int(driverEdge) <= 0 || int(driverEdge) >= t.NumNodes() || t.Parent(driverEdge) != rctree.Root {
+		return 0, fmt.Errorf("opt: driverEdge %d must be a child of the input (its parent element is the driver resistance)", driverEdge)
+	}
+	et := incr.New(t)
+	return MaxParam(rLo, rHi, 1e-6, func(r float64) (bool, error) {
+		if err := et.SetResistance(driverEdge, r); err != nil {
+			return false, err
+		}
+		tm, err := et.Times(out)
+		if err != nil {
+			return false, err
+		}
+		return certifiedTimes(tm, budget)
 	})
 }
 
@@ -143,6 +183,10 @@ func buildPointToPoint(d mos.Driver, l Line, length, loadC float64) (*rctree.Tre
 // MaxWireLength returns the longest run of the given line, between the
 // driver and a lumped load, that is certified to meet the budget. maxLen
 // caps the search; if even maxLen passes, maxLen is returned.
+//
+// The driver→line→load tree is built once; each bisection probe rescales the
+// line element in place (one incr.EditTree edit + one O(depth) requery)
+// instead of reassembling and reanalyzing the network.
 func MaxWireLength(d mos.Driver, l Line, loadC float64, budget Budget, maxLen float64) (float64, error) {
 	if err := budget.validate(); err != nil {
 		return 0, err
@@ -153,13 +197,21 @@ func MaxWireLength(d mos.Driver, l Line, loadC float64, budget Budget, maxLen fl
 	if maxLen <= 0 {
 		return 0, fmt.Errorf("opt: maxLen must be positive")
 	}
+	t, out, err := buildPointToPoint(d, l, maxLen, loadC)
+	if err != nil {
+		return 0, err
+	}
+	et := incr.New(t)
 	const tiny = 1e-9
 	return MaxParam(tiny*maxLen, maxLen, 1e-9, func(length float64) (bool, error) {
-		t, out, err := buildPointToPoint(d, l, length, loadC)
+		if err := et.SetLine(out, l.RPerLen*length, l.CPerLen*length); err != nil {
+			return false, err
+		}
+		tm, err := et.Times(out)
 		if err != nil {
 			return false, err
 		}
-		return certified(t, out, budget)
+		return certifiedTimes(tm, budget)
 	})
 }
 
@@ -193,18 +245,23 @@ func InsertRepeaters(d mos.Driver, l Line, length, repeaterIn, loadC, v float64,
 	if length <= 0 || maxStages < 1 {
 		return RepeaterPlan{}, fmt.Errorf("opt: need positive length and maxStages >= 1")
 	}
+	// A middle stage drives the next repeater; the last drives loadC. For
+	// identical stages, size with the heavier of the two loads so the
+	// certificate covers both. The stage tree is built once; each candidate
+	// stage count k just rescales the line element in place.
+	load := math.Max(repeaterIn, loadC)
+	t, out, err := buildPointToPoint(d, l, length, load)
+	if err != nil {
+		return RepeaterPlan{}, err
+	}
+	et := incr.New(t)
 	best := RepeaterPlan{TotalTMax: math.Inf(1)}
 	for k := 1; k <= maxStages; k++ {
 		segLen := length / float64(k)
-		// A middle stage drives the next repeater; the last drives loadC.
-		// For identical stages, size with the heavier of the two loads so
-		// the certificate covers both.
-		load := math.Max(repeaterIn, loadC)
-		t, out, err := buildPointToPoint(d, l, segLen, load)
-		if err != nil {
+		if err := et.SetLine(out, l.RPerLen*segLen, l.CPerLen*segLen); err != nil {
 			return RepeaterPlan{}, err
 		}
-		tm, err := t.CharacteristicTimes(out)
+		tm, err := et.Times(out)
 		if err != nil {
 			return RepeaterPlan{}, err
 		}

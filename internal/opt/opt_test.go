@@ -62,6 +62,48 @@ func buildNet(rEff float64) (*rctree.Tree, rctree.NodeID, error) {
 	return t, far, nil
 }
 
+// TestSizeDriverTreeMatchesSizeDriver: the incremental sizer must land on
+// the same resistance as the rebuild-per-probe sizer, and its answer must
+// certify on a freshly built network.
+func TestSizeDriverTreeMatchesSizeDriver(t *testing.T) {
+	budget := Budget{V: 0.7, Deadline: 2000}
+	want, err := SizeDriver(buildNet, budget, 1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, out, err := buildNet(500) // the starting R is irrelevant; probes overwrite it
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv, ok := tree.Lookup("drv")
+	if !ok {
+		t.Fatal("driver node missing")
+	}
+	got, err := SizeDriverTree(tree, drv, out, budget, 1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-3*want {
+		t.Errorf("SizeDriverTree = %g, SizeDriver = %g", got, want)
+	}
+	ct, cout, err := buildNet(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := certified(ct, cout, budget); err != nil || !ok {
+		t.Errorf("SizeDriverTree result %g does not certify (err=%v)", got, err)
+	}
+	if _, err := SizeDriverTree(tree, rctree.Root, out, budget, 1, 10); err == nil {
+		t.Error("driverEdge = Root accepted")
+	}
+	if _, err := SizeDriverTree(tree, out, out, budget, 1, 10); err == nil {
+		t.Error("non-driver interior node accepted as driverEdge")
+	}
+	if _, err := SizeDriverTree(tree, drv, out, Budget{V: 2, Deadline: 1}, 1, 10); err == nil {
+		t.Error("invalid budget accepted")
+	}
+}
+
 // TestSizeDriver: the returned resistance certifies the budget, and a
 // slightly larger driver resistance does not — i.e. the answer is maximal.
 func TestSizeDriver(t *testing.T) {

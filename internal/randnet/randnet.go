@@ -31,7 +31,15 @@ func DefaultConfig(nodes int) Config {
 }
 
 // Tree generates a random RC tree with all leaves designated as outputs.
+//
+// The random source is injected rather than global so generation is
+// reproducible and race-free under parallel callers: give each goroutine its
+// own seeded *rand.Rand (TreeSeed is the one-shot form). rng must not be
+// nil.
 func Tree(rng *rand.Rand, cfg Config) *rctree.Tree {
+	if rng == nil {
+		panic("randnet: nil random source; inject a seeded *rand.Rand")
+	}
 	if cfg.Nodes < 1 {
 		cfg.Nodes = 1
 	}
@@ -76,6 +84,12 @@ func Tree(rng *rand.Rand, cfg Config) *rctree.Tree {
 		panic(fmt.Sprintf("randnet: generated invalid tree: %v", err))
 	}
 	return t
+}
+
+// TreeSeed generates a random RC tree from a fresh source seeded with seed —
+// the one-shot convenience over Tree for callers that do not keep a source.
+func TreeSeed(seed int64, cfg Config) *rctree.Tree {
+	return Tree(rand.New(rand.NewSource(seed)), cfg)
 }
 
 // Ladder generates a uniform N-section RC ladder (the lumped approximation

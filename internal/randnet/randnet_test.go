@@ -44,6 +44,20 @@ func TestTreeAlwaysValid(t *testing.T) {
 	}
 }
 
+func TestTreeSeedMatchesInjectedSource(t *testing.T) {
+	a := TreeSeed(7, DefaultConfig(20))
+	b := Tree(rand.New(rand.NewSource(7)), DefaultConfig(20))
+	if a.String() != b.String() {
+		t.Errorf("TreeSeed(7) != Tree(rand.New(7)):\n%s\n%s", a, b)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil rng must panic with a clear message")
+		}
+	}()
+	Tree(nil, DefaultConfig(3))
+}
+
 func TestChainBias(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	cfg := DefaultConfig(40)

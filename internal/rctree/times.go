@@ -230,6 +230,33 @@ func (t *Tree) AllCharacteristicTimes() (map[NodeID]Times, error) {
 	return out, nil
 }
 
+// PathResistances returns the prefix resistance Rkk (input-to-node path
+// resistance) for every node in one O(n) pass. Index 0 (the input) is 0.
+// This is the per-node prefix array the incremental engine (internal/incr)
+// seeds its overlay from.
+func (t *Tree) PathResistances() []float64 {
+	rkk := make([]float64, len(t.nodes))
+	for i := 1; i < len(t.nodes); i++ {
+		rkk[i] = rkk[t.nodes[i].parent] + t.nodes[i].edgeR
+	}
+	return rkk
+}
+
+// SubtreeCaps returns, for every node, the total capacitance at or below it:
+// the node's lumped capacitor, the distributed capacitance of its own parent
+// element, and everything in its descendants — the ΣC subtree aggregate of
+// the incremental engine. Index 0 holds the tree's total capacitance.
+func (t *Tree) SubtreeCaps() []float64 {
+	n := len(t.nodes)
+	sub := make([]float64, n)
+	for i := n - 1; i >= 1; i-- {
+		sub[i] += t.nodes[i].nodeC + t.nodes[i].edgeC
+		sub[t.nodes[i].parent] += sub[i]
+	}
+	sub[0] += t.nodes[0].nodeC
+	return sub
+}
+
 // ElmoreAll computes the Elmore delay TDe for every node simultaneously in
 // two passes (O(n) total): a bottom-up accumulation of downstream
 // capacitance, then a top-down prefix walk adding R_edge · C_downstream along
@@ -242,12 +269,7 @@ func (t *Tree) AllCharacteristicTimes() (map[NodeID]Times, error) {
 // CharacteristicTimes for on-path lines.
 func (t *Tree) ElmoreAll() []float64 {
 	n := len(t.nodes)
-	sub := make([]float64, n) // capacitance at-or-below each node, incl. line C
-	for i := n - 1; i >= 1; i-- {
-		sub[i] += t.nodes[i].nodeC + t.nodes[i].edgeC
-		sub[t.nodes[i].parent] += sub[i]
-	}
-	sub[0] += t.nodes[0].nodeC
+	sub := t.SubtreeCaps()
 	td := make([]float64, n)
 	for i := 1; i < n; i++ {
 		nd := &t.nodes[i]

@@ -214,6 +214,43 @@ func TestTPTotalMatchesCharacteristic(t *testing.T) {
 	}
 }
 
+// TestAggregateArrays checks the exported per-node aggregates against their
+// definitional loops: PathResistances against PathResistance, and
+// SubtreeCaps against an explicit descendant sum.
+func TestAggregateArrays(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 100; trial++ {
+		tr := randomTree(rng, 1+rng.Intn(40))
+		rkk := tr.PathResistances()
+		sub := tr.SubtreeCaps()
+		var total float64
+		for id := 0; id < tr.NumNodes(); id++ {
+			if want := tr.PathResistance(NodeID(id)); !almostEq(rkk[id], want, 1e-12) {
+				t.Fatalf("trial %d node %d: PathResistances=%g, want %g", trial, id, rkk[id], want)
+			}
+			var want float64
+			for k := 0; k < tr.NumNodes(); k++ {
+				if tr.IsAncestor(NodeID(id), NodeID(k)) {
+					_, _, c := tr.Edge(NodeID(k))
+					want += tr.NodeCap(NodeID(k))
+					if k != 0 {
+						want += c
+					}
+				}
+			}
+			if id == 0 {
+				total = want
+			}
+			if !almostEq(sub[id], want, 1e-12) {
+				t.Fatalf("trial %d node %d: SubtreeCaps=%g, want %g", trial, id, sub[id], want)
+			}
+		}
+		if !almostEq(total, tr.TotalCap(), 1e-12) {
+			t.Fatalf("trial %d: SubtreeCaps[0]=%g, TotalCap=%g", trial, total, tr.TotalCap())
+		}
+	}
+}
+
 // TestElmoreAllMatchesPerOutput checks the two-pass all-outputs Elmore
 // algorithm against the per-output DFS.
 func TestElmoreAllMatchesPerOutput(t *testing.T) {

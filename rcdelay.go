@@ -16,7 +16,10 @@
 //     eigendecomposition, for validation and for resolving Unknown verdicts;
 //   - AnalyzeBatch and NewBatchEngine fan many trees across a worker pool
 //     with content-hash memoization of repeated networks (cmd/rcserve is
-//     the HTTP form of the same engine).
+//     the HTTP form of the same engine);
+//   - NewEditTree wraps a tree in an incremental overlay that absorbs local
+//     edits and re-certifies outputs in O(depth) instead of O(n) — the
+//     engine behind opt's sizing loops and rcserve's editing sessions.
 //
 // Element units are the caller's choice: ohms with farads give seconds,
 // ohms with picofarads give picoseconds (the paper's §V convention).
@@ -28,6 +31,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/batch"
 	"repro/internal/core"
+	"repro/internal/incr"
 	"repro/internal/netlist"
 	"repro/internal/rctree"
 	"repro/internal/sim"
@@ -131,6 +135,29 @@ func Analyze(t *Tree) ([]Result, error) { return core.AnalyzeTree(t) }
 func CriticalOutputs(results []Result, threshold float64) []Result {
 	return core.CriticalOutputs(results, threshold)
 }
+
+// EditTree is a mutable overlay over a Tree that absorbs local edits
+// (SetResistance, SetCapacitance, SetLine, ScaleDriver, Grow, Graft, Prune)
+// in O(depth) and answers characteristic-time queries in O(depth) — the
+// incremental engine behind opt's bisections and rcserve's session API.
+// An EditTree is not safe for concurrent use; see the incr package docs.
+type EditTree = incr.EditTree
+
+// EdgeKind distinguishes lumped resistors from distributed RC lines when
+// growing or grafting onto an EditTree.
+type EdgeKind = rctree.EdgeKind
+
+// Edge kinds for EditTree.Grow and EditTree.Graft.
+const (
+	EdgeResistor = rctree.EdgeResistor
+	EdgeLine     = rctree.EdgeLine
+)
+
+// NewEditTree wraps t in an incremental-analysis overlay. The tree is
+// copied; t stays immutable and may keep serving other readers. After local
+// edits, re-certifying an output costs O(depth) instead of the O(n) full
+// analysis — see BenchmarkIncrementalSweep for the measured gap.
+func NewEditTree(t *Tree) *EditTree { return incr.New(t) }
 
 // Batch-analysis types, re-exported from the internal engine.
 type (

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench_trajectory.sh — run the full-vs-incremental sweep benchmarks and
+# record ns/op (plus the derived speedups) in BENCH_incremental.json at the
+# repo root. This file is the performance trajectory: re-run after perf work
+# and commit the result so regressions show up in review.
+#
+# Usage: scripts/bench_trajectory.sh [benchtime]   (default 200x)
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-200x}"
+out="BENCH_incremental.json"
+
+raw="$(go test -run '^$' -bench 'BenchmarkIncremental' -benchtime "$benchtime" -count 1 ./internal/incr/)"
+echo "$raw"
+
+printf '%s\n' "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | cut -d' ' -f3)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    ns[name] = $3
+    order[n++] = name
+}
+END {
+    if (n == 0) { print "bench_trajectory: no benchmark output" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"unit\": \"ns/op\",\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"speedup\": {\n"
+    printf "    \"sweep\": %.1f,\n", ns["IncrementalSweep/full"] / ns["IncrementalSweep/incremental"]
+    printf "    \"single_output\": %.1f\n", ns["IncrementalSingleOutput/full"] / ns["IncrementalSingleOutput/incremental"]
+    printf "  }\n"
+    printf "}\n"
+}' > "$out"
+
+echo "wrote $out:"
+cat "$out"
