@@ -1,7 +1,7 @@
 # Developer entry points; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: test race bench bench-smoke bench-trajectory vet
+.PHONY: test race bench bench-smoke bench-trajectory cover golden vet
 
 test:
 	go test ./...
@@ -12,6 +12,15 @@ race:
 vet:
 	go vet ./...
 
+# Per-package coverage summary over internal/... with the CI floor (70%).
+cover:
+	sh scripts/coverage.sh
+
+# Refresh the committed golden report files after an intentional format
+# change to cmd/statime output.
+golden:
+	go test ./cmd/statime -run TestGolden -update
+
 # Full benchmark pass over every package.
 bench:
 	go test -run '^$$' -bench . -benchtime 100x ./...
@@ -20,6 +29,7 @@ bench:
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./...
 
-# Refresh BENCH_incremental.json (the full-vs-incremental perf trajectory).
+# Refresh BENCH_incremental.json and BENCH_timing.json (the perf
+# trajectories: full-vs-incremental edits, sequential-vs-parallel chip slack).
 bench-trajectory:
 	sh scripts/bench_trajectory.sh

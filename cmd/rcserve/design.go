@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	rcdelay "repro"
+)
+
+// A designStore holds analyzed chip designs for slack queries: POST /design
+// runs the full levelized analysis once through the shared batch engine, and
+// GET /design/{id}/slack re-reads the stored report without recomputation.
+// Lifecycle (ids, TTL expiry, LRU eviction) lives in the shared ttlStore.
+type designStore = ttlStore[*rcdelay.DesignReport]
+
+func newDesignStore(ttl time.Duration, max int) *designStore {
+	return newTTLStore[*rcdelay.DesignReport](ttl, max)
+}
+
+// --- HTTP surface -----------------------------------------------------------
+
+// designRequest is the POST /design body: the design deck plus analysis
+// knobs. Threshold 0 means 0.5; required <= 0 leaves endpoints without an
+// explicit .require card unconstrained; k 0 means 5 critical paths.
+type designRequest struct {
+	Design    string  `json:"design"`
+	Threshold float64 `json:"threshold,omitempty"`
+	Required  float64 `json:"required,omitempty"`
+	K         int     `json:"k,omitempty"`
+}
+
+// designSummaryJSON is the POST /design answer: the id to query plus the
+// headline numbers. The full endpoint table lives at /design/{id}/slack.
+type designSummaryJSON struct {
+	ID        string   `json:"id"`
+	Design    string   `json:"design,omitempty"`
+	Nets      int      `json:"nets"`
+	Stages    int      `json:"stages"`
+	Levels    int      `json:"levels"`
+	Endpoints int      `json:"endpoints"`
+	Threshold float64  `json:"threshold"`
+	WNS       *float64 `json:"wns,omitempty"`
+	TNS       float64  `json:"tns"`
+	Passes    int      `json:"passes"`
+	Unknown   int      `json:"unknown"`
+	Fails     int      `json:"fails"`
+}
+
+func designSummary(e *entry[*rcdelay.DesignReport]) designSummaryJSON {
+	r := e.val
+	p, u, f := r.CountByVerdict()
+	var wns *float64
+	if !math.IsInf(r.WNS, 0) { // +Inf: no constrained endpoint
+		wns = &r.WNS
+	}
+	return designSummaryJSON{
+		ID: e.id, Design: r.Design,
+		Nets: r.Nets, Stages: r.Stages, Levels: r.Levels,
+		Endpoints: len(r.Endpoints), Threshold: r.Threshold,
+		WNS: wns, TNS: r.TNS,
+		Passes: p, Unknown: u, Fails: f,
+	}
+}
+
+// handleDesignCreate parses and analyzes a design in one shot. The per-net
+// bound computations route through the server's shared batch engine, so
+// repeated nets — across designs or across clients — hit the shared
+// memoization cache.
+func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
+	s.counters.designReqs.Add(1)
+	var req designRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		return
+	}
+	if req.Design == "" {
+		httpError(w, "request names no design: set design to a multi-net deck", http.StatusUnprocessableEntity)
+		return
+	}
+	design, err := rcdelay.ParseDesign(req.Design)
+	if err != nil {
+		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	report, err := rcdelay.AnalyzeDesign(r.Context(), design, rcdelay.DesignOptions{
+		Threshold: req.Threshold,
+		Required:  req.Required,
+		K:         req.K,
+		Engine:    s.engine,
+	})
+	if err != nil {
+		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	ent := s.designs.create(report)
+	writeJSON(w, http.StatusCreated, designSummary(ent))
+}
+
+func (s *server) lookupDesign(w http.ResponseWriter, r *http.Request) (*entry[*rcdelay.DesignReport], bool) {
+	e, ok := s.designs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, "unknown or expired design", http.StatusNotFound)
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *server) handleDesignInfo(w http.ResponseWriter, r *http.Request) {
+	s.counters.designReqs.Add(1)
+	if e, ok := s.lookupDesign(w, r); ok {
+		writeJSON(w, http.StatusOK, designSummary(e))
+	}
+}
+
+// handleDesignSlack returns the stored chip report: the summary plus the
+// full endpoint slack table (worst first) and the critical paths. The
+// report type carries its own JSON-safe marshaling.
+func (s *server) handleDesignSlack(w http.ResponseWriter, r *http.Request) {
+	s.counters.designReqs.Add(1)
+	s.counters.slackQueries.Add(1)
+	e, ok := s.lookupDesign(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":     e.id,
+		"report": e.val,
+	})
+}
+
+func (s *server) handleDesignDelete(w http.ResponseWriter, r *http.Request) {
+	s.counters.designReqs.Add(1)
+	if !s.designs.delete(r.PathValue("id")) {
+		httpError(w, "unknown or expired design", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"closed": true})
+}

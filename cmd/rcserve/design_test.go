@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	rcdelay "repro"
+)
+
+const chipDeck = `
+.design chip
+.net drv
+.input in
+R1 in o 380
+C1 o 0 0.04
+.output o
+.endnet
+.net bus
+.input in
+U1 in far 1800 0.11
+C1 far 0 0.013
+.output far
+.endnet
+.stage drv o bus 25
+.require bus far 700
+.end
+`
+
+func designServer() *server {
+	return newServer(rcdelay.NewBatchEngine(rcdelay.BatchOptions{Workers: 2}))
+}
+
+func postDesign(t *testing.T, srv *server, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/design", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var decoded map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("bad JSON (%d): %v\n%s", w.Code, err, w.Body.String())
+	}
+	return w.Code, decoded
+}
+
+func TestDesignCreateAndSlack(t *testing.T) {
+	srv := designServer()
+	body, _ := json.Marshal(map[string]any{"design": chipDeck, "threshold": 0.7, "k": 2})
+	code, created := postDesign(t, srv, string(body))
+	if code != http.StatusCreated {
+		t.Fatalf("POST /design = %d: %v", code, created)
+	}
+	if created["nets"].(float64) != 2 || created["levels"].(float64) != 2 {
+		t.Errorf("summary = %v", created)
+	}
+	if created["design"] != "chip" || created["endpoints"].(float64) != 1 {
+		t.Errorf("summary = %v", created)
+	}
+	if _, ok := created["wns"]; !ok {
+		t.Errorf("constrained design missing wns: %v", created)
+	}
+	id := created["id"].(string)
+
+	get := func(path string) (int, map[string]any) {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		var decoded map[string]any
+		if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+			t.Fatalf("bad JSON (%d): %v\n%s", w.Code, err, w.Body.String())
+		}
+		return w.Code, decoded
+	}
+	code, info := get("/design/" + id)
+	if code != http.StatusOK || info["id"] != id {
+		t.Fatalf("GET /design/{id} = %d: %v", code, info)
+	}
+	code, slack := get("/design/" + id + "/slack")
+	if code != http.StatusOK {
+		t.Fatalf("GET slack = %d: %v", code, slack)
+	}
+	report := slack["report"].(map[string]any)
+	endpoints := report["endpoints"].([]any)
+	if len(endpoints) != 1 {
+		t.Fatalf("endpoints = %v", endpoints)
+	}
+	ep := endpoints[0].(map[string]any)
+	if ep["net"] != "bus" || ep["output"] != "far" {
+		t.Errorf("endpoint = %v", ep)
+	}
+	if _, ok := ep["arrival"].(map[string]any)["max"]; !ok {
+		t.Errorf("endpoint missing arrival interval: %v", ep)
+	}
+	if paths := report["paths"].([]any); len(paths) != 1 {
+		t.Errorf("paths = %v", paths)
+	} else if hops := paths[0].(map[string]any)["hops"].([]any); len(hops) != 2 {
+		t.Errorf("hops = %v", hops)
+	}
+
+	// Repeated POST of the same design hits the shared engine cache.
+	before := srv.engine.CacheStats().Hits
+	if code, _ := postDesign(t, srv, string(body)); code != http.StatusCreated {
+		t.Fatalf("second POST = %d", code)
+	}
+	if srv.engine.CacheStats().Hits <= before {
+		t.Error("second analysis missed the shared cache")
+	}
+
+	// DELETE then 404.
+	req := httptest.NewRequest(http.MethodDelete, "/design/"+id, nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("DELETE = %d", w.Code)
+	}
+	if code, _ := get("/design/" + id + "/slack"); code != http.StatusNotFound {
+		t.Errorf("slack after delete = %d", code)
+	}
+}
+
+func TestDesignCreateErrors(t *testing.T) {
+	srv := designServer()
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"empty body", "{}", http.StatusUnprocessableEntity},
+		{"bad json", "{", http.StatusBadRequest},
+		{"unknown field", `{"designs": "x"}`, http.StatusBadRequest},
+		{"bad deck", `{"design": "garbage"}`, http.StatusUnprocessableEntity},
+		{"cycle", `{"design": ".net a\nR1 in o 1\nC1 o 0 1\n.output o\n.endnet\n.stage a o a 1\n"}`, http.StatusUnprocessableEntity},
+		{"bad threshold", fmt.Sprintf(`{"design": %q, "threshold": 2}`, ".net a\nR1 in o 1\nC1 o 0 1\n.output o\n.endnet\n"), http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, body := postDesign(t, srv, tc.body)
+			if code != tc.want {
+				t.Errorf("code = %d, want %d (%v)", code, tc.want, body)
+			}
+			if _, ok := body["error"]; !ok {
+				t.Errorf("no error field: %v", body)
+			}
+		})
+	}
+	if code, _ := postDesign(t, srv, `{"design": ".net a\nR1 in o 1\nC1 o 0 1\n.output o\n.endnet\n"}`); code != http.StatusCreated {
+		t.Errorf("unconstrained design rejected: %d", code)
+	}
+}
+
+func TestDesignStoreTTLAndEviction(t *testing.T) {
+	st := newDesignStore(time.Minute, 2)
+	clock := time.Unix(0, 0)
+	st.now = func() time.Time { return clock }
+	a := st.create(&rcdelay.DesignReport{})
+	clock = clock.Add(time.Second)
+	b := st.create(&rcdelay.DesignReport{})
+	clock = clock.Add(time.Second)
+	// Third create evicts the LRU entry (a).
+	c := st.create(&rcdelay.DesignReport{})
+	if _, ok := st.get(a.id); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := st.get(b.id); !ok {
+		t.Error("fresh entry evicted")
+	}
+	// Expiry via TTL.
+	clock = clock.Add(2 * time.Minute)
+	if _, ok := st.get(c.id); ok {
+		t.Error("expired entry served")
+	}
+	st.sweep()
+	stats := st.stats()
+	if stats["active"].(int) != 0 {
+		t.Errorf("stats = %v", stats)
+	}
+	if !st.delete(st.create(&rcdelay.DesignReport{}).id) {
+		t.Error("delete failed")
+	}
+	if st.delete("ghost") {
+		t.Error("deleted ghost")
+	}
+}
+
+func TestHealthzIncludesDesigns(t *testing.T) {
+	srv := designServer()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var decoded map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := decoded["designs"]; !ok {
+		t.Errorf("healthz missing designs: %v", decoded)
+	}
+	if reqs := decoded["requests"].(map[string]any); reqs["design"] == nil {
+		t.Errorf("healthz missing design counter: %v", reqs)
+	}
+}

@@ -17,6 +17,11 @@
 //	POST   /session/{id}/edit   apply local edits (O(depth) each, not O(n))
 //	GET    /session/{id}/bounds current bound tables of every output
 //	DELETE /session/{id}        close a session
+//	POST   /design              analyze a multi-net chip design (levelized
+//	                            interval-arrival timing over the worker pool)
+//	GET    /design/{id}         design summary (WNS/TNS, verdict counts)
+//	GET    /design/{id}/slack   full endpoint slack table + critical paths
+//	DELETE /design/{id}         drop an analyzed design
 //	GET    /debug/vars          expvar counters (engine, cache, sessions)
 //
 // /analyze and /certify accept a single request object or a batch:
@@ -74,8 +79,10 @@ func main() {
 	flag.Parse()
 	srv := newServer(rcdelay.NewBatchEngine(rcdelay.BatchOptions{Workers: *workers, CacheSize: *cache}))
 	srv.sessions = newSessionStore(*sessionTTL, *maxSessions)
+	srv.designs = newDesignStore(*sessionTTL, *maxSessions)
 	srv.maxBody = *maxBody
 	go srv.sessions.janitor(make(chan struct{}))
+	go srv.designs.janitor(make(chan struct{}))
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -95,6 +102,7 @@ func main() {
 type server struct {
 	engine   *rcdelay.BatchEngine
 	sessions *sessionStore
+	designs  *designStore
 	maxBody  int64
 	mux      *http.ServeMux
 	start    time.Time
@@ -104,6 +112,8 @@ type server struct {
 		sessionReqs   atomic.Int64
 		editsApplied  atomic.Int64
 		boundsQueries atomic.Int64
+		designReqs    atomic.Int64
+		slackQueries  atomic.Int64
 	}
 }
 
@@ -120,6 +130,7 @@ func newServer(engine *rcdelay.BatchEngine) *server {
 	s := &server{
 		engine:   engine,
 		sessions: newSessionStore(0, 0), // zero values select the defaults
+		designs:  newDesignStore(0, 0),
 		maxBody:  defaultMaxBody,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
@@ -132,6 +143,10 @@ func newServer(engine *rcdelay.BatchEngine) *server {
 	s.mux.HandleFunc("GET /session/{id}/bounds", s.handleSessionBounds)
 	s.mux.HandleFunc("GET /session/{id}", s.handleSessionInfo)
 	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /design", s.handleDesignCreate)
+	s.mux.HandleFunc("GET /design/{id}/slack", s.handleDesignSlack)
+	s.mux.HandleFunc("GET /design/{id}", s.handleDesignInfo)
+	s.mux.HandleFunc("DELETE /design/{id}", s.handleDesignDelete)
 	s.mux.Handle("GET /debug/vars", expvar.Handler())
 	expvarServer.Store(s)
 	expvarOnce.Do(func() {
@@ -160,13 +175,16 @@ func (s *server) statsSnapshot() map[string]any {
 			"entries":   stats.Entries,
 		},
 		"sessions": s.sessions.stats(),
+		"designs":  s.designs.stats(),
 		"requests": map[string]any{
 			"analyze": s.counters.analyzeReqs.Load(),
 			"certify": s.counters.certifyReqs.Load(),
 			"session": s.counters.sessionReqs.Load(),
+			"design":  s.counters.designReqs.Load(),
 		},
 		"editsApplied":  s.counters.editsApplied.Load(),
 		"boundsQueries": s.counters.boundsQueries.Load(),
+		"slackQueries":  s.counters.slackQueries.Load(),
 	}
 }
 

@@ -1,8 +1,6 @@
 package main
 
 import (
-	"crypto/rand"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -18,144 +16,18 @@ import (
 // client mutates with POST /session/{id}/edit and queries with GET
 // /session/{id}/bounds, instead of resending the whole deck per probe.
 // The mutex serializes all access to the EditTree (which is single-writer).
+// Lifecycle (ids, TTL expiry, LRU eviction) lives in the shared ttlStore.
 type session struct {
-	mu       sync.Mutex
-	et       *rcdelay.EditTree
-	id       string
-	created  time.Time
-	lastUsed time.Time
-	edits    int
+	mu    sync.Mutex
+	et    *rcdelay.EditTree
+	edits int
 }
 
-// sessionStore owns the live sessions: TTL-based expiry (sessions idle
-// longer than ttl are evicted on the next sweep) plus an LRU cap so a flood
-// of clients cannot hold unbounded trees in memory.
-type sessionStore struct {
-	mu  sync.Mutex
-	m   map[string]*session
-	ttl time.Duration
-	max int
-	now func() time.Time // injected for tests
-
-	created, expired, closed, evicted int64
-}
+// sessionStore owns the live sessions.
+type sessionStore = ttlStore[*session]
 
 func newSessionStore(ttl time.Duration, max int) *sessionStore {
-	if ttl <= 0 {
-		ttl = defaultSessionTTL
-	}
-	if max <= 0 {
-		max = defaultMaxSessions
-	}
-	return &sessionStore{m: make(map[string]*session), ttl: ttl, max: max, now: time.Now}
-}
-
-func newSessionID() string {
-	var b [9]byte
-	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("rcserve: session id entropy: %v", err))
-	}
-	return hex.EncodeToString(b[:])
-}
-
-// create registers a new session, evicting the least-recently-used one if
-// the store is full.
-func (st *sessionStore) create(et *rcdelay.EditTree) *session {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.sweepLocked()
-	if len(st.m) >= st.max {
-		var lru *session
-		for _, s := range st.m {
-			if lru == nil || s.lastUsed.Before(lru.lastUsed) {
-				lru = s
-			}
-		}
-		delete(st.m, lru.id)
-		st.evicted++
-	}
-	now := st.now()
-	s := &session{et: et, id: newSessionID(), created: now, lastUsed: now}
-	st.m[s.id] = s
-	st.created++
-	return s
-}
-
-// get returns the session and refreshes its idle clock.
-func (st *sessionStore) get(id string) (*session, bool) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	s, ok := st.m[id]
-	if !ok {
-		return nil, false
-	}
-	if st.now().Sub(s.lastUsed) > st.ttl {
-		delete(st.m, id)
-		st.expired++
-		return nil, false
-	}
-	s.lastUsed = st.now()
-	return s, true
-}
-
-func (st *sessionStore) delete(id string) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, ok := st.m[id]; !ok {
-		return false
-	}
-	delete(st.m, id)
-	st.closed++
-	return true
-}
-
-// sweep evicts every session idle past the TTL; the janitor calls it
-// periodically, and create calls it opportunistically.
-func (st *sessionStore) sweep() {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.sweepLocked()
-}
-
-func (st *sessionStore) sweepLocked() {
-	cutoff := st.now().Add(-st.ttl)
-	for id, s := range st.m {
-		if s.lastUsed.Before(cutoff) {
-			delete(st.m, id)
-			st.expired++
-		}
-	}
-}
-
-// janitor sweeps until stop is closed (main never closes it; tests do).
-func (st *sessionStore) janitor(stop <-chan struct{}) {
-	interval := st.ttl / 4
-	if interval < time.Second {
-		interval = time.Second
-	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-t.C:
-			st.sweep()
-		case <-stop:
-			return
-		}
-	}
-}
-
-// stats snapshots the counters for /healthz and /debug/vars.
-func (st *sessionStore) stats() map[string]any {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return map[string]any{
-		"active":  len(st.m),
-		"created": st.created,
-		"expired": st.expired,
-		"closed":  st.closed,
-		"evicted": st.evicted,
-	}
+	return newTTLStore[*session](ttl, max)
 }
 
 // --- HTTP surface -----------------------------------------------------------
@@ -228,15 +100,16 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	sess := s.sessions.create(rcdelay.NewEditTree(tree))
-	writeJSON(w, http.StatusCreated, s.sessionInfo(sess))
+	ent := s.sessions.create(&session{et: rcdelay.NewEditTree(tree)})
+	writeJSON(w, http.StatusCreated, s.sessionInfo(ent))
 }
 
-func (s *server) sessionInfo(sess *session) sessionInfoJSON {
+func (s *server) sessionInfo(ent *entry[*session]) sessionInfoJSON {
+	sess := ent.val
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	info := sessionInfoJSON{
-		ID:    sess.id,
+		ID:    ent.id,
 		Nodes: sess.et.NumNodes(),
 		Gen:   sess.et.Gen(),
 		Edits: sess.edits,
@@ -247,19 +120,19 @@ func (s *server) sessionInfo(sess *session) sessionInfoJSON {
 	return info
 }
 
-func (s *server) lookupSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
-	sess, ok := s.sessions.get(r.PathValue("id"))
+func (s *server) lookupSession(w http.ResponseWriter, r *http.Request) (*entry[*session], bool) {
+	ent, ok := s.sessions.get(r.PathValue("id"))
 	if !ok {
 		httpError(w, "unknown or expired session", http.StatusNotFound)
 		return nil, false
 	}
-	return sess, true
+	return ent, true
 }
 
 func (s *server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 	s.counters.sessionReqs.Add(1)
-	if sess, ok := s.lookupSession(w, r); ok {
-		writeJSON(w, http.StatusOK, s.sessionInfo(sess))
+	if ent, ok := s.lookupSession(w, r); ok {
+		writeJSON(w, http.StatusOK, s.sessionInfo(ent))
 	}
 }
 
@@ -280,10 +153,11 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 // interactive clients get edit→times in one round trip.
 func (s *server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
 	s.counters.sessionReqs.Add(1)
-	sess, ok := s.lookupSession(w, r)
+	ent, ok := s.lookupSession(w, r)
 	if !ok {
 		return
 	}
+	sess := ent.val
 	var req editRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
@@ -297,7 +171,7 @@ func (s *server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	resp := editResponse{ID: sess.id}
+	resp := editResponse{ID: ent.id}
 	for i, spec := range req.Edits {
 		if err := applyEdit(sess.et, spec); err != nil {
 			resp.Error = fmt.Sprintf("edit %d (%s): %v", i, spec.Op, err)
@@ -500,10 +374,11 @@ type boundsResponse struct {
 func (s *server) handleSessionBounds(w http.ResponseWriter, r *http.Request) {
 	s.counters.sessionReqs.Add(1)
 	s.counters.boundsQueries.Add(1)
-	sess, ok := s.lookupSession(w, r)
+	ent, ok := s.lookupSession(w, r)
 	if !ok {
 		return
 	}
+	sess := ent.val
 	q := r.URL.Query()
 	thresholds, err := parseFloats(q.Get("thresholds"))
 	if err != nil {
@@ -517,7 +392,7 @@ func (s *server) handleSessionBounds(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
-	resp := boundsResponse{ID: sess.id, Gen: sess.et.Gen()}
+	resp := boundsResponse{ID: ent.id, Gen: sess.et.Gen()}
 	outs := sess.et.Outputs()
 	if name := q.Get("output"); name != "" {
 		id, ok := sess.et.Lookup(name)

@@ -295,15 +295,15 @@ func TestSessionTTLAndEviction(t *testing.T) {
 	st := newSessionStore(time.Minute, 2)
 	st.now = func() time.Time { return now }
 
-	a := st.create(rcdelay.NewEditTree(tree))
+	a := st.create(&session{et: rcdelay.NewEditTree(tree)})
 	now = now.Add(30 * time.Second)
-	b := st.create(rcdelay.NewEditTree(tree))
+	b := st.create(&session{et: rcdelay.NewEditTree(tree)})
 	now = now.Add(time.Second)
 	if _, ok := st.get(a.id); !ok { // touches a: b is now the LRU entry
 		t.Fatal("session a should be alive")
 	}
 	// a was just touched; c's creation must evict the LRU entry, b.
-	c := st.create(rcdelay.NewEditTree(tree))
+	c := st.create(&session{et: rcdelay.NewEditTree(tree)})
 	if _, ok := st.get(b.id); ok {
 		t.Error("LRU session b should have been evicted at capacity")
 	}

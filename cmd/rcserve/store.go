@@ -1,0 +1,150 @@
+package main
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// entry is one stored value with its lifecycle bookkeeping. The payload is
+// reachable as val; the id is the client-facing handle.
+type entry[T any] struct {
+	id       string
+	val      T
+	created  time.Time
+	lastUsed time.Time
+}
+
+// ttlStore owns live server-side state handed out by id — editing sessions,
+// analyzed designs — with one shared lifecycle discipline: TTL-based expiry
+// (entries idle longer than ttl are dropped on access or sweep) plus an LRU
+// cap so a flood of clients cannot hold unbounded state in memory.
+type ttlStore[T any] struct {
+	mu  sync.Mutex
+	m   map[string]*entry[T]
+	ttl time.Duration
+	max int
+	now func() time.Time // injected for tests
+
+	created, expired, closed, evicted int64
+}
+
+func newTTLStore[T any](ttl time.Duration, max int) *ttlStore[T] {
+	if ttl <= 0 {
+		ttl = defaultSessionTTL
+	}
+	if max <= 0 {
+		max = defaultMaxSessions
+	}
+	return &ttlStore[T]{m: make(map[string]*entry[T]), ttl: ttl, max: max, now: time.Now}
+}
+
+func newStoreID() string {
+	var b [9]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("rcserve: store id entropy: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// create registers a new entry, evicting the least-recently-used one if the
+// store is full.
+func (st *ttlStore[T]) create(v T) *entry[T] {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+	if len(st.m) >= st.max {
+		var lru *entry[T]
+		for _, e := range st.m {
+			if lru == nil || e.lastUsed.Before(lru.lastUsed) {
+				lru = e
+			}
+		}
+		delete(st.m, lru.id)
+		st.evicted++
+	}
+	now := st.now()
+	e := &entry[T]{id: newStoreID(), val: v, created: now, lastUsed: now}
+	st.m[e.id] = e
+	st.created++
+	return e
+}
+
+// get returns the entry and refreshes its idle clock.
+func (st *ttlStore[T]) get(id string) (*entry[T], bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.m[id]
+	if !ok {
+		return nil, false
+	}
+	if st.now().Sub(e.lastUsed) > st.ttl {
+		delete(st.m, id)
+		st.expired++
+		return nil, false
+	}
+	e.lastUsed = st.now()
+	return e, true
+}
+
+func (st *ttlStore[T]) delete(id string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.m[id]; !ok {
+		return false
+	}
+	delete(st.m, id)
+	st.closed++
+	return true
+}
+
+// sweep evicts every entry idle past the TTL; the janitor calls it
+// periodically, and create calls it opportunistically.
+func (st *ttlStore[T]) sweep() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.sweepLocked()
+}
+
+func (st *ttlStore[T]) sweepLocked() {
+	cutoff := st.now().Add(-st.ttl)
+	for id, e := range st.m {
+		if e.lastUsed.Before(cutoff) {
+			delete(st.m, id)
+			st.expired++
+		}
+	}
+}
+
+// janitor sweeps until stop is closed (main never closes it; tests do).
+func (st *ttlStore[T]) janitor(stop <-chan struct{}) {
+	interval := st.ttl / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			st.sweep()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// stats snapshots the counters for /healthz and /debug/vars.
+func (st *ttlStore[T]) stats() map[string]any {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return map[string]any{
+		"active":  len(st.m),
+		"created": st.created,
+		"expired": st.expired,
+		"closed":  st.closed,
+		"evicted": st.evicted,
+	}
+}

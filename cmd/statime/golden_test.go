@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Golden-file tests: the report formats are part of statime's contract
+// (scripts parse them), so their exact bytes are pinned under testdata/.
+// After an intentional format change, refresh with:
+//
+//	go test ./cmd/statime -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output drifted from golden file (rerun with -update if intentional)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+func TestGoldenNetReports(t *testing.T) {
+	for _, format := range []string{"text", "csv", "json"} {
+		t.Run(format, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, []string{filepath.Join("testdata", "fig7.ckt")}, 0.7, "500", format); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "fig7_"+format+".golden", buf.Bytes())
+		})
+	}
+}
+
+func TestGoldenDesignReports(t *testing.T) {
+	for _, format := range []string{"text", "csv", "json"} {
+		t.Run(format, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := runDesign(&buf, []string{filepath.Join("testdata", "chip.ckt")}, 0.7, "", format, 2); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "chip_"+format+".golden", buf.Bytes())
+		})
+	}
+}

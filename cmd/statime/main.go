@@ -1,19 +1,30 @@
-// Command statime runs bound-based static timing analysis over one or more
-// netlist files and emits the report as text, CSV or JSON — the downstream
-// tool a design flow would actually call.
+// Command statime runs bound-based static timing analysis over netlist
+// files and emits the report as text, CSV or JSON — the downstream tool a
+// design flow would actually call.
 //
 // Usage:
 //
 //	statime -threshold 0.7 -deadline 500 net1.ckt net2.ckt
 //	statime -threshold 0.5 -deadline 2n -format json bus.ckt
+//	statime -design -threshold 0.7 -deadline 700 -k 3 chip.ckt
+//
+// The default mode times each file as an independent net against the
+// deadline. With -design, the single input file is a multi-net design deck
+// (.net/.endnet sections glued by .stage cards): the chip-level engine
+// levelizes the stage DAG, propagates interval arrival times, and reports
+// per-endpoint slack plus the -k most critical paths; -deadline then serves
+// as the default required time for endpoints without a .require card (and
+// may be omitted).
 //
 // The deadline accepts SPICE suffixes (2n = 2e-9) and is interpreted in the
 // same units as the netlists' element products.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -28,15 +39,23 @@ func main() {
 		threshold = flag.Float64("threshold", 0.7, "switching threshold as a fraction of the step")
 		deadline  = flag.String("deadline", "", "required arrival time (SPICE suffixes allowed)")
 		format    = flag.String("format", "text", "output format: text, csv or json")
+		design    = flag.Bool("design", false, "treat the input as one multi-net design deck")
+		k         = flag.Int("k", 3, "critical paths to report in -design mode")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, flag.Args(), *threshold, *deadline, *format); err != nil {
+	var err error
+	if *design {
+		err = runDesign(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k)
+	} else {
+		err = run(os.Stdout, flag.Args(), *threshold, *deadline, *format)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "statime:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w *os.File, paths []string, threshold float64, deadlineStr, format string) error {
+func run(w io.Writer, paths []string, threshold float64, deadlineStr, format string) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("no netlist files given")
 	}
@@ -52,6 +71,51 @@ func run(w *os.File, paths []string, threshold float64, deadlineStr, format stri
 		return err
 	}
 	report, err := sta.Analyze(nets)
+	if err != nil {
+		return err
+	}
+	switch strings.ToLower(format) {
+	case "text":
+		_, err = fmt.Fprint(w, report.Summary())
+		return err
+	case "csv":
+		return report.WriteCSV(w)
+	case "json":
+		return report.WriteJSON(w)
+	}
+	return fmt.Errorf("unknown -format %q (want text, csv or json)", format)
+}
+
+// runDesign is the -design mode: one multi-net deck through the chip-level
+// timing engine.
+func runDesign(w io.Writer, paths []string, threshold float64, deadlineStr, format string, k int) error {
+	if len(paths) != 1 {
+		return fmt.Errorf("-design mode takes exactly one design deck, got %d files", len(paths))
+	}
+	var required float64
+	if deadlineStr != "" {
+		var err error
+		required, err = netlist.ParseValue(deadlineStr)
+		if err != nil {
+			return fmt.Errorf("bad -deadline: %w", err)
+		}
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		return err
+	}
+	design, err := rcdelay.ParseDesign(string(data))
+	if err != nil {
+		return fmt.Errorf("%s: %w", paths[0], err)
+	}
+	if design.Name == "" {
+		design.Name = strings.TrimSuffix(filepath.Base(paths[0]), filepath.Ext(paths[0]))
+	}
+	report, err := rcdelay.AnalyzeDesign(context.Background(), design, rcdelay.DesignOptions{
+		Threshold: threshold,
+		Required:  required,
+		K:         k,
+	})
 	if err != nil {
 		return err
 	}

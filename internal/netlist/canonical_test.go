@@ -1,9 +1,10 @@
-package netlist
+package netlist_test
 
 import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/netlist"
 	"repro/internal/randnet"
 	"repro/internal/rctree"
 )
@@ -36,9 +37,9 @@ func fanout(t *testing.T, names [2]string, swap bool) *rctree.Tree {
 // TestCanonicalInvariance: node names, sibling order and output declaration
 // order must not change the canonical deck.
 func TestCanonicalInvariance(t *testing.T) {
-	base, _ := Canonical(fanout(t, [2]string{"a", "b"}, false))
-	renamed, _ := Canonical(fanout(t, [2]string{"left", "right"}, false))
-	swapped, _ := Canonical(fanout(t, [2]string{"a", "b"}, true))
+	base, _ := netlist.Canonical(fanout(t, [2]string{"a", "b"}, false))
+	renamed, _ := netlist.Canonical(fanout(t, [2]string{"left", "right"}, false))
+	swapped, _ := netlist.Canonical(fanout(t, [2]string{"a", "b"}, true))
 	if base != renamed {
 		t.Errorf("renaming changed the canonical deck:\n%s\nvs\n%s", base, renamed)
 	}
@@ -62,7 +63,7 @@ func TestCanonicalDistinguishes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		deck, _ := Canonical(tree)
+		deck, _ := netlist.Canonical(tree)
 		return deck
 	}
 	if mk(8, true) == mk(9, true) {
@@ -78,9 +79,9 @@ func TestCanonicalDistinguishes(t *testing.T) {
 // renaming and sibling reordering, sensitivity to value and output changes,
 // and deck-equality ⇔ key-equality over random tree pairs.
 func TestCanonicalHashMatchesCanonical(t *testing.T) {
-	base, _ := CanonicalHash(fanout(t, [2]string{"a", "b"}, false))
-	renamed, _ := CanonicalHash(fanout(t, [2]string{"left", "right"}, false))
-	swapped, _ := CanonicalHash(fanout(t, [2]string{"a", "b"}, true))
+	base, _ := netlist.CanonicalHash(fanout(t, [2]string{"a", "b"}, false))
+	renamed, _ := netlist.CanonicalHash(fanout(t, [2]string{"left", "right"}, false))
+	swapped, _ := netlist.CanonicalHash(fanout(t, [2]string{"a", "b"}, true))
 	if base != renamed || base != swapped {
 		t.Errorf("hash not invariant under renaming/reordering: %s %s %s", base, renamed, swapped)
 	}
@@ -93,16 +94,16 @@ func TestCanonicalHashMatchesCanonical(t *testing.T) {
 	var entries []entry
 	for trial := 0; trial < 40; trial++ {
 		tree := randnet.Tree(rng, randnet.DefaultConfig(1+rng.Intn(25)))
-		deck, _ := Canonical(tree)
-		key, canon := CanonicalHash(tree)
+		deck, _ := netlist.Canonical(tree)
+		key, canon := netlist.CanonicalHash(tree)
 		entries = append(entries, entry{deck, key})
 		// Reparsing the canonical deck renames every node; the key must
 		// survive, and the canon mapping must cover all nodes uniquely.
-		parsed, err := Parse(deck)
+		parsed, err := netlist.Parse(deck)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if key2, _ := CanonicalHash(parsed); key2 != key {
+		if key2, _ := netlist.CanonicalHash(parsed); key2 != key {
 			t.Errorf("trial %d: key changed across canonical round-trip", trial)
 		}
 		seen := map[int]bool{}
@@ -132,12 +133,12 @@ func TestCanonicalRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	for trial := 0; trial < 25; trial++ {
 		tree := randnet.Tree(rng, randnet.DefaultConfig(1+rng.Intn(40)))
-		deck, canon := Canonical(tree)
-		parsed, err := Parse(deck)
+		deck, canon := netlist.Canonical(tree)
+		parsed, err := netlist.Parse(deck)
 		if err != nil {
 			t.Fatalf("trial %d: canonical deck does not parse: %v\n%s", trial, err, deck)
 		}
-		deck2, canon2 := Canonical(parsed)
+		deck2, canon2 := netlist.Canonical(parsed)
 		if deck != deck2 {
 			t.Fatalf("trial %d: canonical deck not a fixed point:\n%s\nvs\n%s", trial, deck, deck2)
 		}

@@ -65,6 +65,77 @@ func floatsClose(a, b float64) bool {
 	return math.Abs(a-b) <= 1e-9*scale
 }
 
+// FuzzParseDesign asserts the multi-net parser never panics and that any
+// design it accepts survives a WriteDesign→ParseDesign round trip: same
+// shape, same stages and requires, and per-net characteristic times intact.
+func FuzzParseDesign(f *testing.F) {
+	seeds := []string{
+		"",
+		".net a\nR1 in o 1\nC1 o 0 2\n.output o\n.endnet\n",
+		".design d\n.net a\n" + fig7Deck + "\n.endnet\n.net b\nU1 in far 3 4\nC1 far 0 1\n.output far\n.endnet\n.stage a n2 b 2.5\n.require b far 100\n.end\n",
+		".net a\n.endnet\n",
+		".net a\nR1 in o 1\nC1 o 0 1\n.output o\n.endnet\n.stage a o a 0\n", // self-loop stage: parses, cycles are the graph's problem
+		".stage x y z 1\n",
+		".require x y 1\n",
+		".net loop\nR1 in x 1\nR2 x in 3\n.endnet\n",
+		".design\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseDesign(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		deck := WriteDesign(d)
+		back, err := ParseDesign(deck)
+		if err != nil {
+			t.Fatalf("accepted design failed round trip: %v\noriginal:\n%s\nwritten:\n%s", err, src, deck)
+		}
+		if back.Name != d.Name {
+			t.Fatalf("round trip changed name %q -> %q", d.Name, back.Name)
+		}
+		if len(back.Nets) != len(d.Nets) || len(back.Stages) != len(d.Stages) || len(back.Requires) != len(d.Requires) {
+			t.Fatalf("round trip changed shape:\n%s\nvs\n%s", deck, WriteDesign(back))
+		}
+		// WriteDesign emits stages in canonical order, so the reparse must
+		// reproduce that ordering exactly.
+		want := canonicalStages(d.Stages)
+		for i := range back.Stages {
+			if back.Stages[i] != want[i] {
+				t.Fatalf("stage %d changed: %+v -> %+v", i, want[i], back.Stages[i])
+			}
+		}
+		for i := range d.Nets {
+			if back.Nets[i].Name != d.Nets[i].Name {
+				t.Fatalf("net %d renamed %q -> %q", i, d.Nets[i].Name, back.Nets[i].Name)
+			}
+			tree, bt := d.Nets[i].Tree, back.Nets[i].Tree
+			if bt.NumNodes() != tree.NumNodes() {
+				t.Fatalf("net %q node count %d -> %d", d.Nets[i].Name, tree.NumNodes(), bt.NumNodes())
+			}
+			for _, e := range tree.Outputs() {
+				want, err := tree.CharacteristicTimes(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				id, ok := bt.Lookup(tree.Name(e))
+				if !ok {
+					t.Fatalf("net %q output %q lost", d.Nets[i].Name, tree.Name(e))
+				}
+				got, err := bt.CharacteristicTimes(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !floatsClose(got.TD, want.TD) || !floatsClose(got.TP, want.TP) {
+					t.Fatalf("net %q times changed: %+v -> %+v", d.Nets[i].Name, want, got)
+				}
+			}
+		}
+	})
+}
+
 // FuzzParseValue: no panics, and suffix math stays finite for finite input.
 func FuzzParseValue(f *testing.F) {
 	for _, s := range []string{"1", "1.5k", "2meg", "-3u", "4n", "x", "1e309", "0.1f", ""} {

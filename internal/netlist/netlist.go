@@ -20,6 +20,7 @@ package netlist
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -289,7 +290,13 @@ func ParseValue(s string) (float64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("netlist: bad value %q", s)
 	}
-	return v * mult, nil
+	v *= mult
+	// ParseFloat accepts "infinity" and huge exponents; a non-finite element
+	// value can never round-trip through Write, so reject it here.
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, fmt.Errorf("netlist: non-finite value %q", s)
+	}
+	return v, nil
 }
 
 // Write renders a tree back into deck form. Values print in plain notation;

@@ -1,14 +1,43 @@
 package netlist
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"strings"
 	"testing"
 
-	"repro/internal/randnet"
 	"repro/internal/rctree"
 )
+
+// randTree builds a random mixed resistor/line tree with lumped caps and all
+// leaves as outputs (a local stand-in for randnet, which now depends on this
+// package and cannot be imported from its in-package tests).
+func randTree(rng *rand.Rand, nodes int) *rctree.Tree {
+	b := rctree.NewBuilder("in")
+	ids := []rctree.NodeID{rctree.Root}
+	for i := 0; i < nodes; i++ {
+		parent := ids[rng.Intn(len(ids))]
+		name := fmt.Sprintf("n%d", i+1)
+		r := rng.Float64()*100 + 1e-3
+		var id rctree.NodeID
+		if rng.Float64() < 0.4 {
+			id = b.Line(parent, name, r, rng.Float64()*10+1e-6)
+		} else {
+			id = b.Resistor(parent, name, r)
+		}
+		if rng.Float64() < 0.7 {
+			b.Capacitor(id, rng.Float64()*10+1e-6)
+		}
+		ids = append(ids, id)
+	}
+	b.Capacitor(ids[len(ids)-1], 1)
+	tr, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
 
 const fig7Deck = `
 * Figure 7 of the paper
@@ -166,7 +195,7 @@ func TestWriteParseRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 40; i++ {
-		trees = append(trees, randnet.Tree(rng, randnet.DefaultConfig(1+rng.Intn(25))))
+		trees = append(trees, randTree(rng, 1+rng.Intn(25)))
 	}
 	for ti, tr := range trees {
 		deck := Write(tr)

@@ -1,0 +1,97 @@
+package randnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+)
+
+// DesignConfig controls the shape of generated multi-net designs.
+type DesignConfig struct {
+	// Levels is the number of pipeline levels (>= 1).
+	Levels int
+	// Width is the number of nets per level (>= 1).
+	Width int
+	// Net configures each net's RC tree.
+	Net Config
+	// FaninMax bounds how many previous-level drivers feed each non-primary
+	// net (at least one is always wired so every non-primary net is
+	// reachable). 0 means 2.
+	FaninMax int
+	// DelayMax bounds the uniform intrinsic gate delays, drawn from
+	// (0, DelayMax]. 0 means 10.
+	DelayMax float64
+}
+
+// DefaultDesignConfig is a bushy multi-level pipeline with mid-sized nets.
+func DefaultDesignConfig(levels, width int) DesignConfig {
+	return DesignConfig{
+		Levels:   levels,
+		Width:    width,
+		Net:      DefaultConfig(20),
+		FaninMax: 2,
+		DelayMax: 10,
+	}
+}
+
+// Design generates a random layered design: Levels×Width random nets, each
+// net beyond level 0 driven by 1..FaninMax stage edges from random outputs
+// of random previous-level nets. Net l<i>n<j> sits at level i; the result is
+// acyclic by construction, with level-0 nets as the primary inputs.
+//
+// The random source is injected for reproducibility, as with Tree.
+func Design(rng *rand.Rand, cfg DesignConfig) *netlist.Design {
+	if rng == nil {
+		panic("randnet: nil random source; inject a seeded *rand.Rand")
+	}
+	if cfg.Levels < 1 {
+		cfg.Levels = 1
+	}
+	if cfg.Width < 1 {
+		cfg.Width = 1
+	}
+	if cfg.FaninMax < 1 {
+		cfg.FaninMax = 2
+	}
+	if cfg.DelayMax <= 0 {
+		cfg.DelayMax = 10
+	}
+	if cfg.Net.Nodes < 1 {
+		cfg.Net = DefaultConfig(20)
+	}
+	d := &netlist.Design{Name: fmt.Sprintf("rand%dx%d", cfg.Levels, cfg.Width)}
+	trees := make([][]*rctree.Tree, cfg.Levels)
+	for level := 0; level < cfg.Levels; level++ {
+		trees[level] = make([]*rctree.Tree, cfg.Width)
+		for j := 0; j < cfg.Width; j++ {
+			tree := Tree(rng, cfg.Net)
+			name := fmt.Sprintf("l%dn%d", level, j)
+			trees[level][j] = tree
+			d.Nets = append(d.Nets, netlist.DesignNet{Name: name, Tree: tree})
+			if level == 0 {
+				continue
+			}
+			fanin := 1 + rng.Intn(cfg.FaninMax)
+			for k := 0; k < fanin; k++ {
+				src := rng.Intn(cfg.Width)
+				driver := trees[level-1][src]
+				outs := driver.Outputs()
+				out := outs[rng.Intn(len(outs))]
+				d.Stages = append(d.Stages, netlist.Stage{
+					FromNet:    fmt.Sprintf("l%dn%d", level-1, src),
+					FromOutput: driver.Name(out),
+					ToNet:      name,
+					Delay:      (1 - rng.Float64()) * cfg.DelayMax, // (0, DelayMax]
+				})
+			}
+		}
+	}
+	return d
+}
+
+// DesignSeed generates a random design from a fresh source seeded with seed.
+func DesignSeed(seed int64, cfg DesignConfig) *netlist.Design {
+	return Design(rand.New(rand.NewSource(seed)), cfg)
+}

@@ -1,0 +1,69 @@
+package randnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestDesignShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := DefaultDesignConfig(4, 3)
+	d := Design(rng, cfg)
+	if len(d.Nets) != 12 {
+		t.Fatalf("nets = %d, want 12", len(d.Nets))
+	}
+	// Every non-level-0 net has at least one fanin stage; level-0 nets none.
+	fanin := map[string]int{}
+	for _, s := range d.Stages {
+		fanin[s.ToNet]++
+		if s.Delay <= 0 {
+			t.Errorf("stage %+v has non-positive delay", s)
+		}
+	}
+	for _, n := range d.Nets {
+		isPrimary := n.Name[:2] == "l0"
+		if isPrimary && fanin[n.Name] != 0 {
+			t.Errorf("primary net %q has fanin", n.Name)
+		}
+		if !isPrimary && fanin[n.Name] == 0 {
+			t.Errorf("net %q has no fanin", n.Name)
+		}
+	}
+	// The generated design must survive the deck round trip.
+	back, err := netlist.ParseDesign(netlist.WriteDesign(d))
+	if err != nil {
+		t.Fatalf("generated design rejected: %v", err)
+	}
+	if len(back.Nets) != len(d.Nets) || len(back.Stages) != len(d.Stages) {
+		t.Errorf("round trip changed shape")
+	}
+}
+
+func TestDesignSeedReproducible(t *testing.T) {
+	a := DesignSeed(9, DefaultDesignConfig(2, 2))
+	b := DesignSeed(9, DefaultDesignConfig(2, 2))
+	if netlist.WriteDesign(a) != netlist.WriteDesign(b) {
+		t.Error("same seed produced different designs")
+	}
+}
+
+func TestDesignDefaults(t *testing.T) {
+	d := Design(rand.New(rand.NewSource(1)), DesignConfig{})
+	if len(d.Nets) != 1 || len(d.Stages) != 0 {
+		t.Errorf("zero config: %d nets, %d stages", len(d.Nets), len(d.Stages))
+	}
+	if Design(rand.New(rand.NewSource(1)), DesignConfig{Levels: 2, Width: 1}) == nil {
+		t.Error("nil design")
+	}
+}
+
+func TestDesignNilRNGPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil rng accepted")
+		}
+	}()
+	Design(nil, DefaultDesignConfig(1, 1))
+}

@@ -1,0 +1,59 @@
+package timing
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/randnet"
+)
+
+// BenchmarkDesignSlack measures chip-level slack computation on a generated
+// 6-level × 40-net design (240 nets), three ways:
+//
+//   - sequential: one net at a time on the caller's goroutine, no engine —
+//     the naive baseline;
+//   - parallel: the production default (Options.Engine == nil), i.e. the
+//     levelized fan-out across the batch pool with content-hash memoization
+//     warm after the first iteration — the steady-state cost a server pays
+//     re-timing a design;
+//   - parallel-nocache: the same fan-out with memoization disabled, so every
+//     iteration pays the full per-net analysis and the gap to sequential is
+//     purely the level sharding (this one only wins wall-clock when
+//     GOMAXPROCS > 1).
+func BenchmarkDesignSlack(b *testing.B) {
+	cfg := randnet.DefaultDesignConfig(6, 40)
+	cfg.Net = randnet.DefaultConfig(60)
+	design := randnet.DesignSeed(123, cfg)
+	g, err := NewGraph(design)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if g.Nets() < 200 || g.Levels() < 5 {
+		b.Fatalf("generated design too small: %d nets, %d levels", g.Nets(), g.Levels())
+	}
+	opt := Options{Threshold: 0.7, Required: 1e5, K: 5}
+	run := func(b *testing.B, o Options) {
+		for i := 0; i < b.N; i++ {
+			if _, err := g.Analyze(context.Background(), o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		o := opt
+		o.Sequential = true
+		run(b, o)
+	})
+	b.Run("parallel", func(b *testing.B) {
+		o := opt
+		o.Engine = batch.New(batch.Options{})
+		run(b, o)
+	})
+	b.Run("parallel-nocache", func(b *testing.B) {
+		o := opt
+		o.Engine = batch.New(batch.Options{CacheSize: -1})
+		run(b, o)
+	})
+}

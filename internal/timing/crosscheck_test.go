@@ -1,0 +1,130 @@
+package timing
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/randnet"
+	"repro/internal/rctree"
+	"repro/internal/sim"
+)
+
+// simCrossing measures the exact threshold-crossing time of one output via
+// the eigendecomposition simulator (distributed lines pi-discretized), the
+// same independent evaluation path waveform/crosscheck_test.go leans on.
+func simCrossing(t *testing.T, tree *rctree.Tree, output string, th float64) float64 {
+	t.Helper()
+	lumped, mapping, err := sim.Discretize(tree, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckt, err := sim.NewCircuit(lumped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ckt.EigenResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := tree.Lookup(output)
+	if !ok {
+		t.Fatalf("no node %q", output)
+	}
+	i, err := ckt.Index(mapping[id])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.CrossingTime(i, th, 1e-12)
+}
+
+// TestArrivalIntervalsBracketSimulation cross-validates the chip-level
+// engine against the exact simulator on linear 2- and 3-stage chains: under
+// the staged step model, the measured cascade arrival is the sum of each
+// stage's exact crossing plus the gate delays, and the reported endpoint
+// interval must contain it. Random trees cover branchy and line-heavy nets.
+func TestArrivalIntervalsBracketSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const th = 0.5
+	for trial := 0; trial < 12; trial++ {
+		stages := 2 + trial%2 // alternate 2- and 3-stage chains
+		d := &netlist.Design{Name: fmt.Sprintf("chain%d", trial)}
+		simTotal := 0.0
+		for s := 0; s < stages; s++ {
+			cfg := randnet.DefaultConfig(1 + rng.Intn(8))
+			tree := randnet.Tree(rng, cfg)
+			// Chain through the first designated output; extra outputs stay
+			// as extra endpoints and must bracket too (checked for the last
+			// stage below).
+			name := fmt.Sprintf("s%d", s)
+			d.Nets = append(d.Nets, netlist.DesignNet{Name: name, Tree: tree})
+			out := tree.Name(tree.Outputs()[0])
+			if s > 0 {
+				gate := rng.Float64() * 20
+				d.Stages = append(d.Stages, netlist.Stage{
+					FromNet:    fmt.Sprintf("s%d", s-1),
+					FromOutput: d.Nets[s-1].Tree.Name(d.Nets[s-1].Tree.Outputs()[0]),
+					ToNet:      name,
+					Delay:      gate,
+				})
+				simTotal += gate
+			}
+			if s < stages-1 {
+				simTotal += simCrossing(t, tree, out, th)
+			}
+		}
+		rep, err := Analyze(context.Background(), d, Options{Threshold: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every endpoint of the final stage: cascade arrival = arrivals of
+		// the chain prefix + that output's own exact crossing.
+		last := d.Nets[stages-1].Tree
+		checked := 0
+		for _, e := range last.Outputs() {
+			name := last.Name(e)
+			cross := simTotal + simCrossing(t, last, name, th)
+			for _, ep := range rep.Endpoints {
+				if ep.Net != d.Nets[stages-1].Name || ep.Output != name {
+					continue
+				}
+				checked++
+				// Discretization leaves ~1/segments² relative error on nets
+				// with distributed lines; widen the interval accordingly.
+				tol := 1e-9 + 2e-3*cross
+				if cross < ep.Arrival.Min-tol || cross > ep.Arrival.Max+tol {
+					t.Errorf("trial %d endpoint %s/%s: sim crossing %g outside [%g, %g]",
+						trial, ep.Net, ep.Output, cross, ep.Arrival.Min, ep.Arrival.Max)
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("trial %d: no endpoint checked", trial)
+		}
+	}
+}
+
+// TestSingleNetIntervalMatchesBounds sanity-checks the degenerate one-stage
+// design: the endpoint interval is exactly the paper's [TMin, TMax].
+func TestSingleNetIntervalMatchesBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		tree := randnet.Tree(rng, randnet.DefaultConfig(1+rng.Intn(10)))
+		d := &netlist.Design{Nets: []netlist.DesignNet{{Name: "n", Tree: tree}}}
+		const th = 0.7
+		rep, err := Analyze(context.Background(), d, Options{Threshold: th})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ep := range rep.Endpoints {
+			cross := simCrossing(t, tree, ep.Output, th)
+			tol := 1e-9 + 2e-3*cross
+			if cross < ep.Arrival.Min-tol || cross > ep.Arrival.Max+tol {
+				t.Errorf("trial %d output %q: crossing %g outside [%g, %g]",
+					trial, ep.Output, cross, ep.Arrival.Min, ep.Arrival.Max)
+			}
+		}
+	}
+}

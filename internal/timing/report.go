@@ -1,0 +1,261 @@
+package timing
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// EndpointSlack is the timing record of one endpoint: a net output that
+// drives no further stage (or carries an explicit requirement).
+type EndpointSlack struct {
+	Net     string
+	Output  string
+	Arrival Interval
+	// Required is the required arrival time, +Inf when unconstrained.
+	Required float64
+	// Slack is Required − Arrival.Max (the guaranteed margin), +Inf when
+	// unconstrained. Negative means the bounds cannot certify the deadline.
+	Slack   float64
+	Verdict core.Verdict
+
+	net int // graph index, for path backtracking
+}
+
+// Constrained reports whether the endpoint has a finite requirement.
+func (e EndpointSlack) Constrained() bool { return !math.IsInf(e.Required, 1) }
+
+// PathHop is one net along a critical path.
+type PathHop struct {
+	// Net is the net the path traverses; Output is the designated output it
+	// leaves through.
+	Net    string
+	Output string
+	// InputArrival brackets when the net's input is driven, OutputArrival
+	// when the output crosses the threshold; NetDelay is the per-net
+	// [TMin, TMax] between them.
+	InputArrival  Interval
+	NetDelay      Interval
+	OutputArrival Interval
+	// StageDelay is the intrinsic delay of the gate driving the next hop
+	// (0 on the final hop).
+	StageDelay float64
+}
+
+// Path is one critical path, hops ordered from a primary-input net to the
+// endpoint.
+type Path struct {
+	Endpoint string
+	Slack    float64
+	Hops     []PathHop
+}
+
+// Report is the chip-level analysis of one design.
+type Report struct {
+	Design    string
+	Threshold float64
+	Nets      int
+	Stages    int
+	Levels    int
+	// Endpoints are sorted worst slack first (unconstrained endpoints after
+	// all constrained ones, by descending latest arrival).
+	Endpoints []EndpointSlack
+	// WNS is the worst (smallest) slack over constrained endpoints, +Inf
+	// when nothing is constrained. TNS is the total negative slack.
+	WNS float64
+	TNS float64
+	// Paths holds the K most critical paths, worst first.
+	Paths []Path
+}
+
+// CountByVerdict tallies constrained endpoints per verdict.
+func (r *Report) CountByVerdict() (passes, unknown, fails int) {
+	for _, e := range r.Endpoints {
+		if !e.Constrained() {
+			continue
+		}
+		switch e.Verdict {
+		case core.Passes:
+			passes++
+		case core.Fails:
+			fails++
+		default:
+			unknown++
+		}
+	}
+	return
+}
+
+// fmtG renders a float compactly, with +Inf as "-" (unconstrained).
+func fmtG(v float64) string {
+	if math.IsInf(v, 0) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Summary renders the fixed-width chip report: a header, the endpoint table
+// (worst slack first) and the critical paths.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	name := r.Design
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(&b, "design %s: %d nets, %d stages, %d levels, threshold %g\n",
+		name, r.Nets, r.Stages, r.Levels, r.Threshold)
+	p, u, f := r.CountByVerdict()
+	fmt.Fprintf(&b, "endpoints: %d (%d pass, %d unknown, %d fail)   WNS %s   TNS %s\n\n",
+		len(r.Endpoints), p, u, f, fmtG(r.WNS), fmtG(r.TNS))
+	fmt.Fprintf(&b, "%-12s %-10s %12s %12s %12s %12s %10s\n",
+		"net", "output", "arr.min", "arr.max", "required", "slack", "verdict")
+	for _, e := range r.Endpoints {
+		fmt.Fprintf(&b, "%-12s %-10s %12s %12s %12s %12s %10s\n",
+			e.Net, e.Output, fmtG(e.Arrival.Min), fmtG(e.Arrival.Max),
+			fmtG(e.Required), fmtG(e.Slack), e.Verdict)
+	}
+	for i, p := range r.Paths {
+		fmt.Fprintf(&b, "\ncritical path %d -> %s (slack %s):\n", i+1, p.Endpoint, fmtG(p.Slack))
+		for _, h := range p.Hops {
+			fmt.Fprintf(&b, "  %-12s %-10s in [%s, %s]  +net [%s, %s]  out [%s, %s]",
+				h.Net, h.Output,
+				fmtG(h.InputArrival.Min), fmtG(h.InputArrival.Max),
+				fmtG(h.NetDelay.Min), fmtG(h.NetDelay.Max),
+				fmtG(h.OutputArrival.Min), fmtG(h.OutputArrival.Max))
+			if h.StageDelay > 0 {
+				fmt.Fprintf(&b, "  +gate %s", fmtG(h.StageDelay))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// WriteCSV emits the endpoint table as CSV (header plus one row per
+// endpoint, worst slack first). Unconstrained endpoints leave required and
+// slack empty.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"net", "output", "arrival_min", "arrival_max", "required", "slack", "verdict"}); err != nil {
+		return fmt.Errorf("timing: csv: %w", err)
+	}
+	g := func(v float64) string {
+		if math.IsInf(v, 0) {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	for _, e := range r.Endpoints {
+		row := []string{
+			e.Net, e.Output,
+			g(e.Arrival.Min), g(e.Arrival.Max), g(e.Required), g(e.Slack),
+			e.Verdict.String(),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("timing: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Wire shapes: +Inf is not representable in JSON, so required and slack ride
+// as pointers that are nil for unconstrained endpoints.
+type jsonEndpoint struct {
+	Net      string   `json:"net"`
+	Output   string   `json:"output"`
+	Arrival  Interval `json:"arrival"`
+	Required *float64 `json:"required,omitempty"`
+	Slack    *float64 `json:"slack,omitempty"`
+	Verdict  string   `json:"verdict"`
+}
+
+type jsonHop struct {
+	Net           string   `json:"net"`
+	Output        string   `json:"output"`
+	InputArrival  Interval `json:"inputArrival"`
+	NetDelay      Interval `json:"netDelay"`
+	OutputArrival Interval `json:"outputArrival"`
+	StageDelay    float64  `json:"stageDelay,omitempty"`
+}
+
+type jsonPath struct {
+	Endpoint string    `json:"endpoint"`
+	Slack    *float64  `json:"slack,omitempty"`
+	Hops     []jsonHop `json:"hops"`
+}
+
+type jsonReport struct {
+	Design    string         `json:"design,omitempty"`
+	Threshold float64        `json:"threshold"`
+	Nets      int            `json:"nets"`
+	Stages    int            `json:"stages"`
+	Levels    int            `json:"levels"`
+	WNS       *float64       `json:"wns,omitempty"`
+	TNS       float64        `json:"tns"`
+	Passes    int            `json:"passes"`
+	Unknown   int            `json:"unknown"`
+	Fails     int            `json:"fails"`
+	Endpoints []jsonEndpoint `json:"endpoints"`
+	Paths     []jsonPath     `json:"paths,omitempty"`
+}
+
+// finitePtr maps +Inf (unconstrained) to nil for the JSON wire form.
+func finitePtr(v float64) *float64 {
+	if math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// wire converts the report to its JSON shape.
+func (r *Report) wire() jsonReport {
+	p, u, f := r.CountByVerdict()
+	out := jsonReport{
+		Design: r.Design, Threshold: r.Threshold,
+		Nets: r.Nets, Stages: r.Stages, Levels: r.Levels,
+		WNS: finitePtr(r.WNS), TNS: r.TNS,
+		Passes: p, Unknown: u, Fails: f,
+	}
+	for _, e := range r.Endpoints {
+		out.Endpoints = append(out.Endpoints, jsonEndpoint{
+			Net: e.Net, Output: e.Output, Arrival: e.Arrival,
+			Required: finitePtr(e.Required), Slack: finitePtr(e.Slack),
+			Verdict: e.Verdict.String(),
+		})
+	}
+	for _, path := range r.Paths {
+		jp := jsonPath{Endpoint: path.Endpoint, Slack: finitePtr(path.Slack)}
+		for _, h := range path.Hops {
+			jp.Hops = append(jp.Hops, jsonHop{
+				Net: h.Net, Output: h.Output,
+				InputArrival: h.InputArrival, NetDelay: h.NetDelay,
+				OutputArrival: h.OutputArrival, StageDelay: h.StageDelay,
+			})
+		}
+		out.Paths = append(out.Paths, jp)
+	}
+	return out
+}
+
+// WriteJSON emits the report as indented JSON with a stable schema.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.wire()); err != nil {
+		return fmt.Errorf("timing: json: %w", err)
+	}
+	return nil
+}
+
+// MarshalJSON makes the report JSON-safe anywhere it is embedded (the
+// rcserve design endpoints embed it in their envelopes).
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.wire())
+}

@@ -1,0 +1,415 @@
+package timing
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/batch"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+)
+
+// Interval is a closed time interval [Min, Max] bracketing an arrival.
+type Interval struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// Contains reports whether t lies in the interval (inclusive).
+func (iv Interval) Contains(t float64) bool { return iv.Min <= t && t <= iv.Max }
+
+// add shifts the interval by a scalar delay.
+func (iv Interval) add(d float64) Interval { return Interval{iv.Min + d, iv.Max + d} }
+
+// plus adds two intervals end to end.
+func (iv Interval) plus(o Interval) Interval { return Interval{iv.Min + o.Min, iv.Max + o.Max} }
+
+// hull widens the interval to cover o (min of mins, max of maxes).
+func (iv Interval) hull(o Interval) Interval {
+	return Interval{math.Min(iv.Min, o.Min), math.Max(iv.Max, o.Max)}
+}
+
+// Options configures an analysis. The zero value uses threshold 0.5, no
+// default required time, 5 critical paths, a private batch engine, and
+// level-parallel execution.
+type Options struct {
+	// Threshold is the receiving gates' switching threshold as a fraction of
+	// the step (0 means 0.5).
+	Threshold float64
+	// Required is the default required arrival time applied to endpoints
+	// without an explicit .require card; <= 0 leaves them unconstrained.
+	Required float64
+	// K is how many critical paths to backtrack (0 means 5; negative means
+	// none).
+	K int
+	// Engine is the batch engine the per-net bound computations fan across.
+	// nil builds a private engine with default options. Sharing rcserve's
+	// engine lets repeated nets hit its memoization cache.
+	Engine *batch.Engine
+	// Sequential disables the level-parallel fan-out and computes each net's
+	// bounds one at a time on the caller's goroutine.
+	Sequential bool
+}
+
+// faninEdge is one resolved stage edge entering a net.
+type faninEdge struct {
+	driver int     // index of the driving net
+	output string  // designated output of the driver the gate taps
+	delay  float64 // gate intrinsic delay
+}
+
+// gnode is one net in the timing graph.
+type gnode struct {
+	name   string
+	tree   *rctree.Tree
+	fanin  []faninEdge
+	fanout []int // indices of driven nets (one entry per stage edge)
+	level  int
+	// drives marks which outputs feed at least one stage edge; outputs not
+	// in the set are timing endpoints.
+	drives map[string]bool
+}
+
+// Graph is a levelized timing DAG built from a design. Build once, analyze
+// many times (e.g. under different thresholds); Graphs are immutable after
+// NewGraph and safe for concurrent Analyze calls.
+type Graph struct {
+	design *netlist.Design
+	nodes  []gnode
+	levels [][]int // net indices per level, each level sorted ascending
+}
+
+// NewGraph resolves a design into a levelized DAG. Stage edges must form no
+// cycle: every net's level is one past its deepest driver.
+func NewGraph(d *netlist.Design) (*Graph, error) {
+	if d == nil || len(d.Nets) == 0 {
+		return nil, fmt.Errorf("timing: design has no nets")
+	}
+	index := make(map[string]int, len(d.Nets))
+	g := &Graph{design: d, nodes: make([]gnode, len(d.Nets))}
+	for i, n := range d.Nets {
+		index[n.Name] = i
+		g.nodes[i] = gnode{name: n.Name, tree: n.Tree, drives: map[string]bool{}}
+	}
+	for _, s := range d.Stages {
+		from, ok := index[s.FromNet]
+		if !ok {
+			return nil, fmt.Errorf("timing: stage references unknown net %q", s.FromNet)
+		}
+		to, ok := index[s.ToNet]
+		if !ok {
+			return nil, fmt.Errorf("timing: stage references unknown net %q", s.ToNet)
+		}
+		// ParseDesign validates this too, but designs assembled in code reach
+		// here directly, and a dangling output name would otherwise read as a
+		// silent {0,0} arrival — an unsound report rather than an error.
+		if !isDesignatedOutput(g.nodes[from].tree, s.FromOutput) {
+			return nil, fmt.Errorf("timing: stage taps %q, which is not a designated output of net %q", s.FromOutput, s.FromNet)
+		}
+		g.nodes[to].fanin = append(g.nodes[to].fanin, faninEdge{driver: from, output: s.FromOutput, delay: s.Delay})
+		g.nodes[from].fanout = append(g.nodes[from].fanout, to)
+		g.nodes[from].drives[s.FromOutput] = true
+	}
+	// Kahn levelization: a net is placeable once every fanin edge has been
+	// consumed; its level is one past the deepest driver.
+	remaining := make([]int, len(g.nodes))
+	var queue []int
+	for i := range g.nodes {
+		remaining[i] = len(g.nodes[i].fanin)
+		if remaining[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	placed := 0
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		placed++
+		for g.nodes[i].level >= len(g.levels) {
+			g.levels = append(g.levels, nil)
+		}
+		g.levels[g.nodes[i].level] = append(g.levels[g.nodes[i].level], i)
+		for _, j := range g.nodes[i].fanout {
+			if l := g.nodes[i].level + 1; l > g.nodes[j].level {
+				g.nodes[j].level = l
+			}
+			remaining[j]--
+			if remaining[j] == 0 {
+				queue = append(queue, j)
+			}
+		}
+	}
+	if placed < len(g.nodes) {
+		for i := range g.nodes {
+			if remaining[i] > 0 {
+				return nil, fmt.Errorf("timing: stage edges form a cycle through net %q", g.nodes[i].name)
+			}
+		}
+	}
+	for _, level := range g.levels {
+		sort.Ints(level)
+	}
+	return g, nil
+}
+
+func isDesignatedOutput(t *rctree.Tree, name string) bool {
+	id, ok := t.Lookup(name)
+	if !ok {
+		return false
+	}
+	for _, o := range t.Outputs() {
+		if o == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Nets reports the number of nets in the graph.
+func (g *Graph) Nets() int { return len(g.nodes) }
+
+// Levels reports the number of pipeline levels (longest net chain).
+func (g *Graph) Levels() int { return len(g.levels) }
+
+// netTiming is the per-net working state of one analysis.
+type netTiming struct {
+	input Interval            // arrival interval at the net's driven input
+	out   map[string]Interval // arrival interval at each designated output
+	delay map[string]Interval // [TMin, TMax] of each output at the threshold
+	// worst is the fanin edge realizing input.Max, the critical-path
+	// predecessor (-1 for primary inputs).
+	worst int
+}
+
+// Analyze levelizes the per-net bound computations across the batch engine
+// and propagates interval arrivals; see the package comment for the model.
+func (g *Graph) Analyze(ctx context.Context, opt Options) (*Report, error) {
+	th := opt.Threshold
+	if th == 0 {
+		th = 0.5
+	}
+	if th <= 0 || th >= 1 {
+		return nil, fmt.Errorf("timing: threshold %g outside (0,1)", th)
+	}
+	k := opt.K
+	if k == 0 {
+		k = 5
+	}
+	engine := opt.Engine
+	if engine == nil && !opt.Sequential {
+		engine = batch.New(batch.Options{})
+	}
+
+	state := make([]netTiming, len(g.nodes))
+	var analyzer *core.Analyzer // sequential mode only
+	if opt.Sequential {
+		analyzer = core.NewAnalyzer()
+	}
+	for _, level := range g.levels {
+		// Arrivals first: every driver sits in a shallower level, so its
+		// output arrivals are already final.
+		for _, i := range level {
+			st := &state[i]
+			st.worst = -1
+			for ei, e := range g.nodes[i].fanin {
+				driver := state[e.driver]
+				cand := driver.out[e.output].add(e.delay)
+				if ei == 0 {
+					st.input = cand
+					st.worst = 0
+					continue
+				}
+				if cand.Max > st.input.Max {
+					st.worst = ei
+				}
+				st.input = st.input.hull(cand)
+			}
+		}
+		// Per-net bounds: the expensive part, fanned across the pool.
+		if err := g.computeDelays(ctx, level, state, th, engine, analyzer); err != nil {
+			return nil, err
+		}
+		for _, i := range level {
+			st := &state[i]
+			st.out = make(map[string]Interval, len(st.delay))
+			for name, d := range st.delay {
+				st.out[name] = st.input.plus(d)
+			}
+		}
+	}
+	return g.report(state, th, k, opt.Required), nil
+}
+
+// computeDelays fills state[i].delay for every net of the level: the
+// threshold-crossing interval [TMin, TMax] of each designated output.
+func (g *Graph) computeDelays(ctx context.Context, level []int, state []netTiming, th float64, engine *batch.Engine, analyzer *core.Analyzer) error {
+	fill := func(i int, results []core.Result) {
+		st := &state[i]
+		st.delay = make(map[string]Interval, len(results))
+		for _, r := range results {
+			st.delay[r.Name] = Interval{r.Bounds.TMin(th), r.Bounds.TMax(th)}
+		}
+	}
+	if analyzer != nil {
+		for _, i := range level {
+			results, err := analyzer.Analyze(g.nodes[i].tree)
+			if err != nil {
+				return fmt.Errorf("timing: net %q: %w", g.nodes[i].name, err)
+			}
+			fill(i, results)
+		}
+		return nil
+	}
+	jobs := make([]batch.Job, len(level))
+	for j, i := range level {
+		jobs[j] = batch.Job{Tree: g.nodes[i].tree, Tag: g.nodes[i].name, Thresholds: []float64{th}}
+	}
+	for j, res := range engine.Run(ctx, jobs) {
+		i := level[j]
+		if res.Err != nil {
+			return fmt.Errorf("timing: net %q: %w", g.nodes[i].name, res.Err)
+		}
+		st := &state[i]
+		st.delay = make(map[string]Interval, len(res.Outputs))
+		for _, rep := range res.Outputs {
+			st.delay[rep.Name] = Interval{rep.Delay[0].TMin, rep.Delay[0].TMax}
+		}
+	}
+	return nil
+}
+
+// report assembles endpoint slacks, WNS/TNS and the K critical paths.
+func (g *Graph) report(state []netTiming, th float64, k int, defRequired float64) *Report {
+	required := map[[2]string]float64{}
+	for _, r := range g.design.Requires {
+		required[[2]string{r.Net, r.Output}] = r.Time
+	}
+	rep := &Report{
+		Design:    g.design.Name,
+		Threshold: th,
+		Nets:      len(g.nodes),
+		Stages:    len(g.design.Stages),
+		Levels:    len(g.levels),
+		WNS:       math.Inf(1),
+	}
+	for i := range g.nodes {
+		node := &g.nodes[i]
+		for _, o := range node.tree.Outputs() {
+			name := node.tree.Name(o)
+			req, explicit := required[[2]string{node.name, name}]
+			if !explicit && node.drives[name] {
+				continue // interior output: drives a stage, no requirement
+			}
+			ep := EndpointSlack{
+				Net:      node.name,
+				Output:   name,
+				Arrival:  state[i].out[name],
+				Required: math.Inf(1),
+				Slack:    math.Inf(1),
+				Verdict:  core.Passes,
+				net:      i,
+			}
+			if !explicit && defRequired > 0 {
+				req, explicit = defRequired, true
+			}
+			if explicit {
+				ep.Required = req
+				ep.Slack = req - ep.Arrival.Max
+				switch {
+				case ep.Arrival.Max <= req:
+					ep.Verdict = core.Passes
+				case ep.Arrival.Min > req:
+					ep.Verdict = core.Fails
+				default:
+					ep.Verdict = core.Unknown
+				}
+				if ep.Slack < rep.WNS {
+					rep.WNS = ep.Slack
+				}
+				if ep.Slack < 0 {
+					rep.TNS += ep.Slack
+				}
+			}
+			rep.Endpoints = append(rep.Endpoints, ep)
+		}
+	}
+	// Sort an index permutation rather than the (large) endpoint structs:
+	// designs have nets×outputs endpoints and the struct moves dominate a
+	// direct sort.SliceStable on profiles.
+	perm := make([]int, len(rep.Endpoints))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		ea, eb := &rep.Endpoints[perm[a]], &rep.Endpoints[perm[b]]
+		// Constrained endpoints by ascending slack, then unconstrained by
+		// descending latest arrival; names break ties.
+		if ea.Slack != eb.Slack {
+			return ea.Slack < eb.Slack
+		}
+		if ea.Arrival.Max != eb.Arrival.Max {
+			return ea.Arrival.Max > eb.Arrival.Max
+		}
+		if ea.Net != eb.Net {
+			return ea.Net < eb.Net
+		}
+		return ea.Output < eb.Output
+	})
+	sorted := make([]EndpointSlack, len(rep.Endpoints))
+	for i, j := range perm {
+		sorted[i] = rep.Endpoints[j]
+	}
+	rep.Endpoints = sorted
+	for i := 0; i < len(rep.Endpoints) && i < k; i++ {
+		rep.Paths = append(rep.Paths, g.backtrack(state, rep.Endpoints[i]))
+	}
+	return rep
+}
+
+// backtrack reconstructs the critical path ending at ep: from the endpoint
+// net, follow each net's worst-arrival fanin edge back to a primary input,
+// then emit hops root-first.
+func (g *Graph) backtrack(state []netTiming, ep EndpointSlack) Path {
+	type rev struct {
+		net    int
+		output string  // output the path leaves the net through
+		delay  float64 // gate delay to the successor net
+	}
+	var chain []rev
+	cur, out, delay := ep.net, ep.Output, 0.0
+	for {
+		chain = append(chain, rev{cur, out, delay})
+		st := state[cur]
+		if st.worst < 0 {
+			break
+		}
+		e := g.nodes[cur].fanin[st.worst]
+		cur, out, delay = e.driver, e.output, e.delay
+	}
+	p := Path{Endpoint: ep.Net + "/" + ep.Output, Slack: ep.Slack}
+	for i := len(chain) - 1; i >= 0; i-- {
+		h := chain[i]
+		st := state[h.net]
+		p.Hops = append(p.Hops, PathHop{
+			Net:           g.nodes[h.net].name,
+			Output:        h.output,
+			InputArrival:  st.input,
+			NetDelay:      st.delay[h.output],
+			OutputArrival: st.out[h.output],
+			StageDelay:    h.delay,
+		})
+	}
+	return p
+}
+
+// Analyze is the one-call form: build the graph and analyze it.
+func Analyze(ctx context.Context, d *netlist.Design, opt Options) (*Report, error) {
+	g, err := NewGraph(d)
+	if err != nil {
+		return nil, err
+	}
+	return g.Analyze(ctx, opt)
+}

@@ -19,7 +19,13 @@
 //     the HTTP form of the same engine);
 //   - NewEditTree wraps a tree in an incremental overlay that absorbs local
 //     edits and re-certifies outputs in O(depth) instead of O(n) — the
-//     engine behind opt's sizing loops and rcserve's editing sessions.
+//     engine behind opt's sizing loops and rcserve's editing sessions;
+//   - ParseDesign and AnalyzeDesign lift the per-net bounds to chip level: a
+//     multi-net Design (nets glued by gate stage edges) levelizes into a DAG,
+//     per-net bounds fan across the batch pool, and interval arrival times
+//     propagate to report per-endpoint slack, WNS/TNS and critical paths
+//     (cmd/rcserve's /design endpoints and statime -design are the HTTP and
+//     CLI forms).
 //
 // Element units are the caller's choice: ohms with farads give seconds,
 // ohms with picofarads give picoseconds (the paper's §V convention).
@@ -35,6 +41,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/rctree"
 	"repro/internal/sim"
+	"repro/internal/timing"
 )
 
 // Core re-exported types. These are aliases, so values flow freely between
@@ -179,6 +186,56 @@ type (
 // NewBatchEngine returns a batch-analysis engine. The zero Options give
 // GOMAXPROCS workers and the default cache size.
 func NewBatchEngine(opt BatchOptions) *BatchEngine { return batch.New(opt) }
+
+// Chip-level timing types, re-exported from the internal engine.
+type (
+	// Design is the multi-net form of a chip: named RC-tree nets plus stage
+	// edges ("output X of net A drives the input of net B through a gate
+	// with intrinsic delay d") and endpoint requirements.
+	Design = netlist.Design
+	// DesignNet is one named net of a Design.
+	DesignNet = netlist.DesignNet
+	// Stage is one gate edge of a Design.
+	Stage = netlist.Stage
+	// Require pins a required arrival time on one endpoint.
+	Require = netlist.Require
+	// DesignOptions configures AnalyzeDesign (threshold, default required
+	// time, critical-path count, shared engine, sequential mode).
+	DesignOptions = timing.Options
+	// DesignReport is the chip-level analysis: per-endpoint arrival
+	// intervals and slack, WNS/TNS, and the K most critical paths.
+	DesignReport = timing.Report
+	// EndpointSlack is one endpoint's record within a DesignReport.
+	EndpointSlack = timing.EndpointSlack
+	// TimingGraph is the levelized DAG form of a Design; build once with
+	// NewTimingGraph and analyze repeatedly.
+	TimingGraph = timing.Graph
+	// ArrivalInterval is a closed [min, max] interval bracketing an arrival
+	// time.
+	ArrivalInterval = timing.Interval
+)
+
+// ParseDesign reads a multi-net design deck (.net/.endnet sections plus
+// .stage and .require cards) and returns the design it describes.
+func ParseDesign(src string) (*Design, error) { return netlist.ParseDesign(src) }
+
+// WriteDesign renders a design as a deck that round-trips through
+// ParseDesign.
+func WriteDesign(d *Design) string { return netlist.WriteDesign(d) }
+
+// NewTimingGraph levelizes a design into its timing DAG, rejecting cyclic
+// stage edges.
+func NewTimingGraph(d *Design) (*TimingGraph, error) { return timing.NewGraph(d) }
+
+// AnalyzeDesign computes chip-level slack for a multi-net design: every
+// net's output bounds are evaluated through the batch worker pool level by
+// level, and interval arrival times (min of the paper's lower bounds, max of
+// the upper bounds) propagate along the stage edges to every endpoint. The
+// zero DesignOptions use threshold 0.5 and a private engine; pass a shared
+// BatchEngine so repeated nets hit its memoization cache.
+func AnalyzeDesign(ctx context.Context, d *Design, opt DesignOptions) (*DesignReport, error) {
+	return timing.Analyze(ctx, d, opt)
+}
 
 // AnalyzeBatch analyzes every job on a one-shot engine with default
 // options: the jobs fan out across GOMAXPROCS workers, structurally

@@ -1,20 +1,26 @@
 #!/bin/sh
-# bench_trajectory.sh — run the full-vs-incremental sweep benchmarks and
-# record ns/op (plus the derived speedups) in BENCH_incremental.json at the
-# repo root. This file is the performance trajectory: re-run after perf work
-# and commit the result so regressions show up in review.
+# bench_trajectory.sh — run the trajectory benchmarks and record ns/op (plus
+# the derived speedups) at the repo root:
 #
-# Usage: scripts/bench_trajectory.sh [benchtime]   (default 200x)
+#   BENCH_incremental.json  full-vs-incremental EditTree sweeps
+#   BENCH_timing.json       sequential vs levelized-parallel chip slack
+#
+# These files are the performance trajectory: re-run after perf work and
+# commit the result so regressions show up in review.
+#
+# Usage: scripts/bench_trajectory.sh [benchtime] [timing_benchtime]
+#        (defaults 200x and 30x — the chip benchmark analyzes a 240-net
+#        design per iteration, so it runs fewer of them)
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-200x}"
-out="BENCH_incremental.json"
+timing_benchtime="${2:-30x}"
 
-raw="$(go test -run '^$' -bench 'BenchmarkIncremental' -benchtime "$benchtime" -count 1 ./internal/incr/)"
-echo "$raw"
-
-printf '%s\n' "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version | cut -d' ' -f3)" '
+# Shared awk prologue: collect "BenchmarkName iters ns/op" lines into ns[],
+# then emit the JSON header and benchmark table. Each caller appends its own
+# speedup section (which must open with a comma after the benchmarks block).
+collect='
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
@@ -22,23 +28,46 @@ printf '%s\n' "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion
     ns[name] = $3
     order[n++] = name
 }
-END {
+function header() {
     if (n == 0) { print "bench_trajectory: no benchmark output" > "/dev/stderr"; exit 1 }
     printf "{\n"
     printf "  \"generated\": \"%s\",\n", date
     printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"gomaxprocs\": %s,\n", maxprocs
     printf "  \"unit\": \"ns/op\",\n"
     printf "  \"benchmarks\": {\n"
     for (i = 0; i < n; i++) {
         printf "    \"%s\": %s%s\n", order[i], ns[order[i]], (i < n-1 ? "," : "")
     }
-    printf "  },\n"
-    printf "  \"speedup\": {\n"
+    printf "  }"
+}
+'
+date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+goversion="$(go version | cut -d' ' -f3)"
+maxprocs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+
+raw="$(go test -run '^$' -bench 'BenchmarkIncremental' -benchtime "$benchtime" -count 1 ./internal/incr/)"
+echo "$raw"
+printf '%s\n' "$raw" | awk -v date="$date" -v goversion="$goversion" -v maxprocs="$maxprocs" "$collect"'
+END {
+    header()
+    printf ",\n  \"speedup\": {\n"
     printf "    \"sweep\": %.1f,\n", ns["IncrementalSweep/full"] / ns["IncrementalSweep/incremental"]
     printf "    \"single_output\": %.1f\n", ns["IncrementalSingleOutput/full"] / ns["IncrementalSingleOutput/incremental"]
-    printf "  }\n"
-    printf "}\n"
-}' > "$out"
+    printf "  }\n}\n"
+}' > BENCH_incremental.json
+echo "wrote BENCH_incremental.json:"
+cat BENCH_incremental.json
 
-echo "wrote $out:"
-cat "$out"
+raw="$(go test -run '^$' -bench 'BenchmarkDesignSlack' -benchtime "$timing_benchtime" -count 1 ./internal/timing/)"
+echo "$raw"
+printf '%s\n' "$raw" | awk -v date="$date" -v goversion="$goversion" -v maxprocs="$maxprocs" "$collect"'
+END {
+    header()
+    printf ",\n  \"speedup\": {\n"
+    printf "    \"parallel_vs_sequential\": %.2f,\n", ns["DesignSlack/sequential"] / ns["DesignSlack/parallel"]
+    printf "    \"parallel_nocache_vs_sequential\": %.2f\n", ns["DesignSlack/sequential"] / ns["DesignSlack/parallel-nocache"]
+    printf "  }\n}\n"
+}' > BENCH_timing.json
+echo "wrote BENCH_timing.json:"
+cat BENCH_timing.json

@@ -1,0 +1,35 @@
+#!/bin/sh
+# coverage.sh — run the internal packages under -coverprofile, print the
+# per-package coverage summary plus the aggregate, and fail if any internal
+# package drops below the floor (default 70%). CI runs this; locally:
+#
+#   sh scripts/coverage.sh [floor]
+set -eu
+
+cd "$(dirname "$0")/.."
+floor="${1:-70}"
+
+out="$(go test -coverprofile=cover.out ./internal/...)"
+printf '%s\n' "$out"
+echo "----"
+go tool cover -func=cover.out | tail -1
+
+printf '%s\n' "$out" | awk -v floor="$floor" '
+/\[no test files\]/ {
+    printf "FAIL: %s has no test files (0%% coverage, floor is %s%%)\n", $2, floor
+    bad = 1
+}
+/coverage:/ {
+    pct = ""
+    for (i = 1; i <= NF; i++) if ($i == "coverage:") pct = $(i + 1)
+    if (pct == "[no") next   # "coverage: [no statements]" — nothing to cover
+    sub(/%/, "", pct)
+    if (pct + 0 < floor + 0) {
+        printf "FAIL: %s coverage %s%% is below the %s%% floor\n", $2, pct, floor
+        bad = 1
+    }
+}
+END {
+    if (bad) exit 1
+    printf "coverage floor: every internal package >= %s%%\n", floor
+}'
