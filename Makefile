@@ -12,7 +12,7 @@ race:
 vet:
 	go vet ./...
 
-# Per-package coverage summary over internal/... with the CI floor (70%).
+# Per-package coverage summary over internal/... with the CI floor (75%).
 cover:
 	sh scripts/coverage.sh
 
@@ -30,6 +30,7 @@ bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./...
 
 # Refresh BENCH_incremental.json and BENCH_timing.json (the perf
-# trajectories: full-vs-incremental edits, sequential-vs-parallel chip slack).
+# trajectories: full-vs-incremental edits, sequential-vs-parallel chip
+# slack, full-reanalyze-vs-dirty-cone ECO re-timing).
 bench-trajectory:
 	sh scripts/bench_trajectory.sh

@@ -5,19 +5,29 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sync"
 	"time"
 
 	rcdelay "repro"
 )
 
-// A designStore holds analyzed chip designs for slack queries: POST /design
-// runs the full levelized analysis once through the shared batch engine, and
-// GET /design/{id}/slack re-reads the stored report without recomputation.
-// Lifecycle (ids, TTL expiry, LRU eviction) lives in the shared ttlStore.
-type designStore = ttlStore[*rcdelay.DesignReport]
+// A designSession is one live chip design held server-side as an incremental
+// re-timing session: POST /design runs the full levelized analysis once
+// through the shared batch engine, POST /design/{id}/edit absorbs ECO edits
+// by re-timing only the dirty cone, and GET /design/{id}/slack reads the
+// current report. The mutex serializes all access to the session (which is
+// single-writer); lifecycle (ids, TTL expiry, LRU eviction) lives in the
+// shared ttlStore.
+type designSession struct {
+	mu    sync.Mutex
+	sess  *rcdelay.DesignSession
+	edits int
+}
+
+type designStore = ttlStore[*designSession]
 
 func newDesignStore(ttl time.Duration, max int) *designStore {
-	return newTTLStore[*rcdelay.DesignReport](ttl, max)
+	return newTTLStore[*designSession](ttl, max)
 }
 
 // --- HTTP surface -----------------------------------------------------------
@@ -42,6 +52,8 @@ type designSummaryJSON struct {
 	Levels    int      `json:"levels"`
 	Endpoints int      `json:"endpoints"`
 	Threshold float64  `json:"threshold"`
+	Gen       uint64   `json:"gen"`
+	Edits     int      `json:"edits"`
 	WNS       *float64 `json:"wns,omitempty"`
 	TNS       float64  `json:"tns"`
 	Passes    int      `json:"passes"`
@@ -49,8 +61,12 @@ type designSummaryJSON struct {
 	Fails     int      `json:"fails"`
 }
 
-func designSummary(e *entry[*rcdelay.DesignReport]) designSummaryJSON {
-	r := e.val
+// designSummary snapshots one session's headline numbers under its lock.
+func designSummary(e *entry[*designSession]) designSummaryJSON {
+	ds := e.val
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	r := ds.sess.Report()
 	p, u, f := r.CountByVerdict()
 	var wns *float64
 	if !math.IsInf(r.WNS, 0) { // +Inf: no constrained endpoint
@@ -60,15 +76,16 @@ func designSummary(e *entry[*rcdelay.DesignReport]) designSummaryJSON {
 		ID: e.id, Design: r.Design,
 		Nets: r.Nets, Stages: r.Stages, Levels: r.Levels,
 		Endpoints: len(r.Endpoints), Threshold: r.Threshold,
+		Gen: ds.sess.Gen(), Edits: ds.edits,
 		WNS: wns, TNS: r.TNS,
 		Passes: p, Unknown: u, Fails: f,
 	}
 }
 
-// handleDesignCreate parses and analyzes a design in one shot. The per-net
-// bound computations route through the server's shared batch engine, so
-// repeated nets — across designs or across clients — hit the shared
-// memoization cache.
+// handleDesignCreate parses a design and mounts an incremental re-timing
+// session on it. The initial per-net bound computations route through the
+// server's shared batch engine, so repeated nets — across designs or across
+// clients — hit the shared memoization cache.
 func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 	s.counters.designReqs.Add(1)
 	var req designRequest
@@ -87,7 +104,7 @@ func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	report, err := rcdelay.AnalyzeDesign(r.Context(), design, rcdelay.DesignOptions{
+	sess, err := rcdelay.NewDesignSession(r.Context(), design, rcdelay.DesignOptions{
 		Threshold: req.Threshold,
 		Required:  req.Required,
 		K:         req.K,
@@ -97,11 +114,11 @@ func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	ent := s.designs.create(report)
+	ent := s.designs.create(&designSession{sess: sess})
 	writeJSON(w, http.StatusCreated, designSummary(ent))
 }
 
-func (s *server) lookupDesign(w http.ResponseWriter, r *http.Request) (*entry[*rcdelay.DesignReport], bool) {
+func (s *server) lookupDesign(w http.ResponseWriter, r *http.Request) (*entry[*designSession], bool) {
 	e, ok := s.designs.get(r.PathValue("id"))
 	if !ok {
 		httpError(w, "unknown or expired design", http.StatusNotFound)
@@ -117,19 +134,91 @@ func (s *server) handleDesignInfo(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleDesignSlack returns the stored chip report: the summary plus the
-// full endpoint slack table (worst first) and the critical paths. The
-// report type carries its own JSON-safe marshaling.
-func (s *server) handleDesignSlack(w http.ResponseWriter, r *http.Request) {
+// designEditRequest is the POST /design/{id}/edit body: ECO edits applied in
+// order, each addressed by net (and node) name.
+type designEditRequest struct {
+	Edits []rcdelay.DesignEdit `json:"edits"`
+}
+
+// designEditResponse reports how much of the design one edit batch dirtied.
+// On a failing edit the applied prefix stays in effect (the session keeps a
+// consistent propagated state) and error carries the reason.
+type designEditResponse struct {
+	ID               string   `json:"id"`
+	Gen              uint64   `json:"gen"`
+	Applied          int      `json:"applied"`
+	DirtyNets        int      `json:"dirtyNets"`
+	VisitedNets      int      `json:"visitedNets"`
+	WNS              *float64 `json:"wns,omitempty"`
+	TNS              float64  `json:"tns"`
+	InvalidatedPaths []string `json:"invalidatedPaths,omitempty"`
+	Error            string   `json:"error,omitempty"`
+}
+
+// handleDesignEdit applies ECO edits under the session lock and re-times
+// only the dirty cone — the chip-level analogue of the /session edit
+// endpoint, with slack instead of characteristic times in the answer.
+func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
 	s.counters.designReqs.Add(1)
-	s.counters.slackQueries.Add(1)
-	e, ok := s.lookupDesign(w, r)
+	ent, ok := s.lookupDesign(w, r)
 	if !ok {
 		return
 	}
+	var req designEditRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		return
+	}
+	if len(req.Edits) == 0 {
+		httpError(w, "edit request carries no edits", http.StatusUnprocessableEntity)
+		return
+	}
+	ds := ent.val
+	ds.mu.Lock()
+	res, err := ds.sess.Apply(req.Edits)
+	ds.edits += res.Applied
+	var wns *float64
+	if !math.IsInf(res.WNS, 0) {
+		wns = &res.WNS
+	}
+	ds.mu.Unlock()
+	s.counters.designEdits.Add(int64(res.Applied))
+	resp := designEditResponse{
+		ID: ent.id, Gen: res.Gen, Applied: res.Applied,
+		DirtyNets: res.DirtyNets, VisitedNets: res.VisitedNets,
+		WNS: wns, TNS: res.TNS, InvalidatedPaths: res.InvalidatedPaths,
+	}
+	status := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleDesignSlack returns the session's current chip report: the full
+// endpoint slack table (worst first) and the critical paths, re-derived
+// incrementally after edits. The report type carries its own JSON-safe
+// marshaling.
+func (s *server) handleDesignSlack(w http.ResponseWriter, r *http.Request) {
+	s.counters.designReqs.Add(1)
+	s.counters.slackQueries.Add(1)
+	ent, ok := s.lookupDesign(w, r)
+	if !ok {
+		return
+	}
+	ds := ent.val
+	ds.mu.Lock()
+	// Reports are immutable once built (edits build fresh ones), so the
+	// snapshot can be marshaled outside the lock.
+	gen, report := ds.sess.Gen(), ds.sess.Report()
+	ds.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"id":     e.id,
-		"report": e.val,
+		"id":     ent.id,
+		"gen":    gen,
+		"report": report,
 	})
 }
 

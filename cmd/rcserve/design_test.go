@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -155,12 +156,12 @@ func TestDesignStoreTTLAndEviction(t *testing.T) {
 	st := newDesignStore(time.Minute, 2)
 	clock := time.Unix(0, 0)
 	st.now = func() time.Time { return clock }
-	a := st.create(&rcdelay.DesignReport{})
+	a := st.create(&designSession{})
 	clock = clock.Add(time.Second)
-	b := st.create(&rcdelay.DesignReport{})
+	b := st.create(&designSession{})
 	clock = clock.Add(time.Second)
 	// Third create evicts the LRU entry (a).
-	c := st.create(&rcdelay.DesignReport{})
+	c := st.create(&designSession{})
 	if _, ok := st.get(a.id); ok {
 		t.Error("LRU entry survived eviction")
 	}
@@ -177,7 +178,7 @@ func TestDesignStoreTTLAndEviction(t *testing.T) {
 	if stats["active"].(int) != 0 {
 		t.Errorf("stats = %v", stats)
 	}
-	if !st.delete(st.create(&rcdelay.DesignReport{}).id) {
+	if !st.delete(st.create(&designSession{}).id) {
 		t.Error("delete failed")
 	}
 	if st.delete("ghost") {
@@ -199,5 +200,198 @@ func TestHealthzIncludesDesigns(t *testing.T) {
 	}
 	if reqs := decoded["requests"].(map[string]any); reqs["design"] == nil {
 		t.Errorf("healthz missing design counter: %v", reqs)
+	}
+}
+
+func postEdits(t *testing.T, srv *server, id, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/design/"+id+"/edit", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var decoded map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("bad JSON (%d): %v\n%s", w.Code, err, w.Body.String())
+	}
+	return w.Code, decoded
+}
+
+func TestDesignEdit(t *testing.T) {
+	srv := designServer()
+	body, _ := json.Marshal(map[string]any{"design": chipDeck, "threshold": 0.7, "k": 2})
+	code, created := postDesign(t, srv, string(body))
+	if code != http.StatusCreated {
+		t.Fatalf("POST /design = %d: %v", code, created)
+	}
+	id := created["id"].(string)
+	wnsBefore := created["wns"].(float64)
+
+	// Slowing the driver must reach the downstream endpoint through the
+	// dirty cone and shrink the reported WNS.
+	code, resp := postEdits(t, srv, id, `{"edits": [{"op": "setR", "net": "drv", "node": "o", "r": 800}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("edit = %d: %v", code, resp)
+	}
+	if resp["applied"].(float64) != 1 || resp["gen"].(float64) != 1 {
+		t.Errorf("edit response = %v", resp)
+	}
+	if resp["dirtyNets"].(float64) != 2 {
+		t.Errorf("dirtyNets = %v, want 2 (drv + bus)", resp["dirtyNets"])
+	}
+	if wnsAfter := resp["wns"].(float64); wnsAfter >= wnsBefore {
+		t.Errorf("wns %g not reduced from %g after slowdown", wnsAfter, wnsBefore)
+	}
+
+	// The slack view reflects the edit and carries the new generation.
+	req := httptest.NewRequest(http.MethodGet, "/design/"+id+"/slack", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var slack map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &slack); err != nil {
+		t.Fatal(err)
+	}
+	if slack["gen"].(float64) != 1 {
+		t.Errorf("slack gen = %v", slack["gen"])
+	}
+	report := slack["report"].(map[string]any)
+	if report["wns"].(float64) != resp["wns"].(float64) {
+		t.Errorf("slack wns %v vs edit wns %v", report["wns"], resp["wns"])
+	}
+
+	// A failing edit reports the applied prefix and a 422.
+	code, resp = postEdits(t, srv, id,
+		`{"edits": [{"op": "setC", "net": "bus", "node": "far", "c": 0.02}, {"op": "setR", "net": "ghost", "node": "o", "r": 1}]}`)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("partial edit = %d: %v", code, resp)
+	}
+	if resp["applied"].(float64) != 1 || resp["error"] == nil {
+		t.Errorf("partial edit response = %v", resp)
+	}
+
+	// Error shapes: no edits, malformed JSON, unknown design.
+	if code, _ := postEdits(t, srv, id, `{"edits": []}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("empty edits = %d", code)
+	}
+	if code, _ := postEdits(t, srv, id, `{`); code != http.StatusBadRequest {
+		t.Errorf("bad json = %d", code)
+	}
+	if code, _ := postEdits(t, srv, "nope", `{"edits": [{"op": "setR", "net": "drv", "node": "o", "r": 1}]}`); code != http.StatusNotFound {
+		t.Errorf("unknown design = %d", code)
+	}
+
+	// The summary view tallies the applied edits.
+	req = httptest.NewRequest(http.MethodGet, "/design/"+id, nil)
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var info map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info["edits"].(float64) != 2 || info["gen"].(float64) != 2 {
+		t.Errorf("summary after edits = %v", info)
+	}
+}
+
+// TestDesignEditConcurrent hammers one design session with parallel edit and
+// slack requests. Every slack response must be an internally consistent
+// snapshot: its WNS/TNS must re-derive exactly from its own endpoint table,
+// whatever interleaving produced it. Run under -race this also proves the
+// per-session locking (a dedicated CI step does exactly that).
+func TestDesignEditConcurrent(t *testing.T) {
+	srv := designServer()
+	body, _ := json.Marshal(map[string]any{"design": chipDeck, "threshold": 0.7})
+	code, created := postDesign(t, srv, string(body))
+	if code != http.StatusCreated {
+		t.Fatalf("POST /design = %d: %v", code, created)
+	}
+	id := created["id"].(string)
+
+	const editors, readers, iters = 4, 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, editors+readers)
+	for e := 0; e < editors; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r := 300 + float64((e*iters+i)%17)*25
+				body := fmt.Sprintf(`{"edits": [{"op": "setR", "net": "drv", "node": "o", "r": %g}]}`, r)
+				req := httptest.NewRequest(http.MethodPost, "/design/"+id+"/edit", strings.NewReader(body))
+				w := httptest.NewRecorder()
+				srv.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("edit = %d: %s", w.Code, w.Body.String())
+					return
+				}
+			}
+		}(e)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				req := httptest.NewRequest(http.MethodGet, "/design/"+id+"/slack", nil)
+				w := httptest.NewRecorder()
+				srv.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("slack = %d: %s", w.Code, w.Body.String())
+					return
+				}
+				var resp struct {
+					Gen    uint64 `json:"gen"`
+					Report struct {
+						WNS       *float64 `json:"wns"`
+						TNS       float64  `json:"tns"`
+						Endpoints []struct {
+							Slack *float64 `json:"slack"`
+						} `json:"endpoints"`
+					} `json:"report"`
+				}
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					errs <- fmt.Errorf("slack json: %v", err)
+					return
+				}
+				wns, tns := 0.0, 0.0
+				first := true
+				for _, ep := range resp.Report.Endpoints {
+					if ep.Slack == nil {
+						continue
+					}
+					if first || *ep.Slack < wns {
+						wns, first = *ep.Slack, false
+					}
+					if *ep.Slack < 0 {
+						tns += *ep.Slack
+					}
+				}
+				if !first {
+					if resp.Report.WNS == nil || *resp.Report.WNS != wns {
+						errs <- fmt.Errorf("gen %d: wns %v inconsistent with endpoint table min %g", resp.Gen, resp.Report.WNS, wns)
+						return
+					}
+					if resp.Report.TNS != tns {
+						errs <- fmt.Errorf("gen %d: tns %g inconsistent with endpoint table sum %g", resp.Gen, resp.Report.TNS, tns)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the dust settles the session must still agree with itself.
+	req := httptest.NewRequest(http.MethodGet, "/design/"+id, nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var info map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info["edits"].(float64) != editors*iters {
+		t.Errorf("edits applied = %v, want %d", info["edits"], editors*iters)
 	}
 }

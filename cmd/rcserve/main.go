@@ -19,7 +19,10 @@
 //	DELETE /session/{id}        close a session
 //	POST   /design              analyze a multi-net chip design (levelized
 //	                            interval-arrival timing over the worker pool)
+//	                            and open an incremental re-timing session
 //	GET    /design/{id}         design summary (WNS/TNS, verdict counts)
+//	POST   /design/{id}/edit    apply ECO edits; only the edited nets and
+//	                            their downstream fanout cones are re-timed
 //	GET    /design/{id}/slack   full endpoint slack table + critical paths
 //	DELETE /design/{id}         drop an analyzed design
 //	GET    /debug/vars          expvar counters (engine, cache, sessions)
@@ -42,6 +45,13 @@
 // "n3", "r": 5}, ...]}) and re-read bounds — each probe costs O(depth) on
 // the server instead of a full reparse and O(n) reanalysis. Idle sessions
 // expire after -session-ttl.
+//
+// The design endpoints scale the same idea to chip level: POST /design pays
+// the full levelized analysis once, and POST /design/{id}/edit absorbs ECO
+// edits ({"edits": [{"op": "setR", "net": "drv", "node": "o", "r": 5}]}) by
+// re-timing only the edited nets' downstream cones, answering with the
+// updated WNS/TNS, the dirty-cone statistics, and which previously reported
+// critical paths the edit invalidated.
 package main
 
 import (
@@ -113,6 +123,7 @@ type server struct {
 		editsApplied  atomic.Int64
 		boundsQueries atomic.Int64
 		designReqs    atomic.Int64
+		designEdits   atomic.Int64
 		slackQueries  atomic.Int64
 	}
 }
@@ -144,6 +155,7 @@ func newServer(engine *rcdelay.BatchEngine) *server {
 	s.mux.HandleFunc("GET /session/{id}", s.handleSessionInfo)
 	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("POST /design", s.handleDesignCreate)
+	s.mux.HandleFunc("POST /design/{id}/edit", s.handleDesignEdit)
 	s.mux.HandleFunc("GET /design/{id}/slack", s.handleDesignSlack)
 	s.mux.HandleFunc("GET /design/{id}", s.handleDesignInfo)
 	s.mux.HandleFunc("DELETE /design/{id}", s.handleDesignDelete)
@@ -184,6 +196,7 @@ func (s *server) statsSnapshot() map[string]any {
 		},
 		"editsApplied":  s.counters.editsApplied.Load(),
 		"boundsQueries": s.counters.boundsQueries.Load(),
+		"designEdits":   s.counters.designEdits.Load(),
 		"slackQueries":  s.counters.slackQueries.Load(),
 	}
 }

@@ -57,3 +57,16 @@ func TestGoldenDesignReports(t *testing.T) {
 		})
 	}
 }
+
+func TestGoldenEcoReports(t *testing.T) {
+	for _, format := range []string{"text", "csv", "json"} {
+		t.Run(format, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := runEco(&buf, []string{filepath.Join("testdata", "chip.ckt")}, 0.7, "", format, 2,
+				filepath.Join("testdata", "chip.eco")); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "eco_"+format+".golden", buf.Bytes())
+		})
+	}
+}

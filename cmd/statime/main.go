@@ -7,6 +7,7 @@
 //	statime -threshold 0.7 -deadline 500 net1.ckt net2.ckt
 //	statime -threshold 0.5 -deadline 2n -format json bus.ckt
 //	statime -design -threshold 0.7 -deadline 700 -k 3 chip.ckt
+//	statime -eco fix.eco -threshold 0.7 chip.ckt
 //
 // The default mode times each file as an independent net against the
 // deadline. With -design, the single input file is a multi-net design deck
@@ -15,6 +16,14 @@
 // per-endpoint slack plus the -k most critical paths; -deadline then serves
 // as the default required time for endpoints without a .require card (and
 // may be omitted).
+//
+// With -eco FILE (which implies -design), the design is analyzed once, the
+// ECO edit list in FILE is replayed through an incremental re-timing
+// session — only the edited nets and their downstream fanout cones are
+// re-timed — and the report becomes a slack-delta table: every endpoint
+// before vs after the edits, plus the dirty-cone statistics. Edit lines look
+// like "setR drv.o 800", "addC bus.far 2p", "scaleDriver drv 0.5"; see the
+// timing package documentation for the full grammar.
 //
 // The deadline accepts SPICE suffixes (2n = 2e-9) and is interpreted in the
 // same units as the netlists' element products.
@@ -40,13 +49,17 @@ func main() {
 		deadline  = flag.String("deadline", "", "required arrival time (SPICE suffixes allowed)")
 		format    = flag.String("format", "text", "output format: text, csv or json")
 		design    = flag.Bool("design", false, "treat the input as one multi-net design deck")
+		eco       = flag.String("eco", "", "replay this ECO edit list against the design and report slack deltas (implies -design)")
 		k         = flag.Int("k", 3, "critical paths to report in -design mode")
 	)
 	flag.Parse()
 	var err error
-	if *design {
+	switch {
+	case *eco != "":
+		err = runEco(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k, *eco)
+	case *design:
 		err = runDesign(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k)
-	} else {
+	default:
 		err = run(os.Stdout, flag.Args(), *threshold, *deadline, *format)
 	}
 	if err != nil {
@@ -86,30 +99,61 @@ func run(w io.Writer, paths []string, threshold float64, deadlineStr, format str
 	return fmt.Errorf("unknown -format %q (want text, csv or json)", format)
 }
 
-// runDesign is the -design mode: one multi-net deck through the chip-level
-// timing engine.
-func runDesign(w io.Writer, paths []string, threshold float64, deadlineStr, format string, k int) error {
+// loadDesign is the shared prologue of the -design and -eco modes: exactly
+// one deck file, the optional -deadline as the default required time, and a
+// filename-derived design name when the deck names none.
+func loadDesign(mode string, paths []string, deadlineStr string) (*rcdelay.Design, float64, error) {
 	if len(paths) != 1 {
-		return fmt.Errorf("-design mode takes exactly one design deck, got %d files", len(paths))
+		return nil, 0, fmt.Errorf("%s mode takes exactly one design deck, got %d files", mode, len(paths))
 	}
 	var required float64
 	if deadlineStr != "" {
 		var err error
 		required, err = netlist.ParseValue(deadlineStr)
 		if err != nil {
-			return fmt.Errorf("bad -deadline: %w", err)
+			return nil, 0, fmt.Errorf("bad -deadline: %w", err)
 		}
 	}
 	data, err := os.ReadFile(paths[0])
 	if err != nil {
-		return err
+		return nil, 0, err
 	}
 	design, err := rcdelay.ParseDesign(string(data))
 	if err != nil {
-		return fmt.Errorf("%s: %w", paths[0], err)
+		return nil, 0, fmt.Errorf("%s: %w", paths[0], err)
 	}
 	if design.Name == "" {
 		design.Name = strings.TrimSuffix(filepath.Base(paths[0]), filepath.Ext(paths[0]))
+	}
+	return design, required, nil
+}
+
+// reporter is the text/csv/json surface the chip and ECO reports share.
+type reporter interface {
+	Summary() string
+	WriteCSV(io.Writer) error
+	WriteJSON(io.Writer) error
+}
+
+func writeReport(w io.Writer, format string, r reporter) error {
+	switch strings.ToLower(format) {
+	case "text":
+		_, err := fmt.Fprint(w, r.Summary())
+		return err
+	case "csv":
+		return r.WriteCSV(w)
+	case "json":
+		return r.WriteJSON(w)
+	}
+	return fmt.Errorf("unknown -format %q (want text, csv or json)", format)
+}
+
+// runDesign is the -design mode: one multi-net deck through the chip-level
+// timing engine.
+func runDesign(w io.Writer, paths []string, threshold float64, deadlineStr, format string, k int) error {
+	design, required, err := loadDesign("-design", paths, deadlineStr)
+	if err != nil {
+		return err
 	}
 	report, err := rcdelay.AnalyzeDesign(context.Background(), design, rcdelay.DesignOptions{
 		Threshold: threshold,
@@ -119,16 +163,41 @@ func runDesign(w io.Writer, paths []string, threshold float64, deadlineStr, form
 	if err != nil {
 		return err
 	}
-	switch strings.ToLower(format) {
-	case "text":
-		_, err = fmt.Fprint(w, report.Summary())
+	return writeReport(w, format, report)
+}
+
+// runEco is the -eco mode: analyze the design once, replay the edit list
+// through an incremental re-timing session, and report the slack deltas.
+func runEco(w io.Writer, paths []string, threshold float64, deadlineStr, format string, k int, ecoPath string) error {
+	editData, err := os.ReadFile(ecoPath)
+	if err != nil {
 		return err
-	case "csv":
-		return report.WriteCSV(w)
-	case "json":
-		return report.WriteJSON(w)
 	}
-	return fmt.Errorf("unknown -format %q (want text, csv or json)", format)
+	edits, err := rcdelay.ParseEcoEdits(string(editData))
+	if err != nil {
+		return fmt.Errorf("%s: %w", ecoPath, err)
+	}
+	if len(edits) == 0 {
+		return fmt.Errorf("%s: edit list is empty", ecoPath)
+	}
+	design, required, err := loadDesign("-eco", paths, deadlineStr)
+	if err != nil {
+		return err
+	}
+	sess, err := rcdelay.NewDesignSession(context.Background(), design, rcdelay.DesignOptions{
+		Threshold: threshold,
+		Required:  required,
+		K:         k,
+	})
+	if err != nil {
+		return err
+	}
+	before := sess.Report()
+	res, err := sess.Apply(edits)
+	if err != nil {
+		return fmt.Errorf("%s: %w", ecoPath, err)
+	}
+	return writeReport(w, format, rcdelay.NewEcoReport(before, sess.Report(), res))
 }
 
 func loadNets(paths []string, threshold, deadline float64) ([]sta.Net, error) {

@@ -106,3 +106,50 @@ func TestDeadlineSuffix(t *testing.T) {
 		t.Errorf("suffix deadline rejected: %v", err)
 	}
 }
+
+func TestRunEcoErrors(t *testing.T) {
+	dir := t.TempDir()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	chip := filepath.Join("testdata", "chip.ckt")
+	eco := filepath.Join("testdata", "chip.eco")
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := runEco(devnull, nil, 0.7, "", "text", 2, eco); err == nil {
+		t.Error("no design accepted")
+	}
+	if err := runEco(devnull, []string{chip}, 0.7, "", "text", 2, filepath.Join(dir, "missing.eco")); err == nil {
+		t.Error("missing eco file accepted")
+	}
+	if err := runEco(devnull, []string{chip}, 0.7, "", "text", 2, write("bad.eco", "warp a.b 1\n")); err == nil {
+		t.Error("bad eco op accepted")
+	}
+	if err := runEco(devnull, []string{chip}, 0.7, "", "text", 2, write("empty.eco", "* nothing\n")); err == nil {
+		t.Error("empty eco list accepted")
+	}
+	if err := runEco(devnull, []string{chip}, 0.7, "zzz", "text", 2, eco); err == nil {
+		t.Error("bad deadline accepted")
+	}
+	if err := runEco(devnull, []string{chip}, 0.7, "", "xml", 2, eco); err == nil {
+		t.Error("bad format accepted")
+	}
+	if err := runEco(devnull, []string{write("bad.ckt", "garbage")}, 0.7, "", "text", 2, eco); err == nil {
+		t.Error("bad design accepted")
+	}
+	// An edit list that fails mid-replay surfaces the edit error.
+	if err := runEco(devnull, []string{chip}, 0.7, "", "text", 2, write("fail.eco", "setR ghost.o 5\n")); err == nil {
+		t.Error("failing edit accepted")
+	}
+	// A deadline applies as the default requirement in eco mode too.
+	if err := runEco(devnull, []string{chip}, 0.7, "5k", "csv", 2, eco); err != nil {
+		t.Errorf("eco with deadline: %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+// Eco: incremental design re-timing. A chip design is analyzed once, then
+// an ECO (engineering change order) is absorbed through a DesignSession:
+// each edit updates one net's RC tree in O(depth), re-derives only that
+// net's Penfield–Rubinstein bounds, and re-propagates interval arrivals
+// only through its downstream fanout cone — the rest of the chip is never
+// touched. The slack-delta report shows what moved, by how much, and how
+// little of the design had to be re-timed.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	rcdelay "repro"
+)
+
+// The chiptimer example's pipeline: a driver fans out to two buses and the
+// slower bus feeds a sink. The sink endpoint misses its required time —
+// the ECO below fixes it.
+const chipDeck = `
+.design demo
+.net drv
+.input in
+R1 in o 380
+C1 o 0 0.04
+.output o
+.endnet
+.net bus_a
+.input in
+U1 in far 1800 0.11
+C1 far 0 0.013
+.output far
+.endnet
+.net bus_b
+.input in
+R1 in n1 120
+C1 n1 0 0.05
+R2 n1 far 300
+C2 far 0 0.08
+R3 n1 stub 90
+C3 stub 0 0.02
+.output far
+.endnet
+.net sink
+.input in
+R1 in o 220
+C1 o 0 0.06
+.output o
+.endnet
+.stage drv o bus_a 25
+.stage drv o bus_b 25
+.stage bus_b far sink 40
+.require bus_a far 700
+.require sink o 150
+.end
+`
+
+// The ECO in the statime -eco file grammar: upsize the driver (halve its
+// effective resistance) and unload bus_b by pruning its unused stub.
+const ecoList = `
+scaleDriver drv 0.5
+prune bus_b.stub
+`
+
+func main() {
+	design, err := rcdelay.ParseDesign(chipDeck)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The session pays the full levelized analysis once.
+	sess, err := rcdelay.NewDesignSession(context.Background(), design, rcdelay.DesignOptions{
+		Threshold: 0.7,
+		K:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := sess.Report()
+	fmt.Printf("before the ECO: WNS %.4g, TNS %.4g\n", before.WNS, before.TNS)
+
+	// Replay the ECO. Each edit costs O(depth) on its net; the re-timing
+	// sweep visits only the edited nets' downstream cones.
+	edits, err := rcdelay.ParseEcoEdits(ecoList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Apply(edits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied %d edits: %d/%d nets re-timed, WNS %.4g, TNS %.4g\n",
+		res.Applied, res.DirtyNets, sess.Nets(), res.WNS, res.TNS)
+	for _, p := range res.InvalidatedPaths {
+		fmt.Printf("critical path to %s invalidated by the ECO\n", p)
+	}
+
+	// The slack-delta report joins the before/after endpoint tables.
+	eco := rcdelay.NewEcoReport(before, sess.Report(), res)
+	fmt.Println()
+	fmt.Print(eco.Summary())
+
+	// One more probe, the interactive pattern: does a cheaper driver still
+	// meet timing? Scale it back up a little and read the updated WNS
+	// without re-analyzing the chip.
+	probe := []rcdelay.DesignEdit{{Op: "scaleDriver", Net: "drv", Factor: f(1.5)}}
+	res, err = sess.Apply(probe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict := "still meets timing"
+	if res.WNS < 0 {
+		verdict = "now fails timing"
+	}
+	fmt.Printf("\nprobe: driver scaled back 1.5x -> WNS %.4g (%s)\n", res.WNS, verdict)
+}
+
+func f(v float64) *float64 { return &v }

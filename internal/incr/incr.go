@@ -720,3 +720,14 @@ func (et *EditTree) NodeCap(id NodeID) float64 { return et.nodes[id].nodeC }
 
 // TotalCap returns the total live capacitance, lumped and distributed.
 func (et *EditTree) TotalCap() float64 { return et.s0[Root] }
+
+// SubtreeCap returns the total capacitance (lumped and distributed) of the
+// subtree rooted at id, read off the maintained aggregates in O(1) — the
+// natural pre-check before a Prune ("how much load would this remove?").
+// Pruned nodes report 0.
+func (et *EditTree) SubtreeCap(id NodeID) float64 {
+	if et.checkNode(id) != nil {
+		return 0
+	}
+	return et.s0[id]
+}

@@ -5,7 +5,10 @@ import (
 	"testing"
 
 	"repro/internal/batch"
+	"repro/internal/incr"
+	"repro/internal/netlist"
 	"repro/internal/randnet"
+	"repro/internal/rctree"
 )
 
 // BenchmarkDesignSlack measures chip-level slack computation on a generated
@@ -55,5 +58,93 @@ func BenchmarkDesignSlack(b *testing.B) {
 		o := opt
 		o.Engine = batch.New(batch.Options{CacheSize: -1})
 		run(b, o)
+	})
+}
+
+// BenchmarkDesignECO measures the cost of absorbing a single-net ECO edit on
+// the same 240-net design, two ways:
+//
+//   - full-reanalyze: the pre-session workflow — re-run the whole levelized
+//     analysis after the edit. The benchmark alternates between two prebuilt
+//     graphs differing in one net so a shared engine's memoization stays as
+//     warm as a production server's would (239 of 240 nets hit the cache);
+//     the residual cost is hashing every net, the full arrival sweep, and
+//     the report build.
+//   - dirty-cone: a Session absorbing the same alternating edit — one
+//     O(depth) EditTree update, per-output bound refresh, and arrival
+//     propagation only through the edited net's downstream cone.
+//
+// scripts/bench_trajectory.sh records the ratio in BENCH_timing.json.
+func BenchmarkDesignECO(b *testing.B) {
+	cfg := randnet.DefaultDesignConfig(6, 40)
+	cfg.Net = randnet.DefaultConfig(60)
+	design := randnet.DesignSeed(123, cfg)
+	const editNet = "l3n0"
+	tree := design.Net(editNet).Tree
+	node := tree.Name(rctree.NodeID(1))
+	_, r0, _ := tree.Edge(rctree.NodeID(1))
+	rA, rB := r0*1.25, r0*0.8
+
+	// The edited-variant design for the full-reanalysis baseline: same tree
+	// pointers everywhere except the edited net, so the shared cache keeps
+	// serving the other 239 nets.
+	variant := func(r float64) *netlist.Design {
+		et := incr.New(tree)
+		id, ok := et.Lookup(node)
+		if !ok {
+			b.Fatalf("no node %q", node)
+		}
+		if err := et.SetResistance(id, r); err != nil {
+			b.Fatal(err)
+		}
+		mat, _, err := et.Materialize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := &netlist.Design{Name: design.Name, Stages: design.Stages, Requires: design.Requires}
+		for _, n := range design.Nets {
+			if n.Name == editNet {
+				n.Tree = mat
+			}
+			d.Nets = append(d.Nets, n)
+		}
+		return d
+	}
+	ctx := context.Background()
+	opt := Options{Threshold: 0.7, Required: 1e5, K: 5}
+
+	b.Run("full-reanalyze", func(b *testing.B) {
+		gA, err := NewGraph(variant(rA))
+		if err != nil {
+			b.Fatal(err)
+		}
+		gB, err := NewGraph(variant(rB))
+		if err != nil {
+			b.Fatal(err)
+		}
+		o := opt
+		o.Engine = batch.New(batch.Options{})
+		graphs := [2]*Graph{gA, gB}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := graphs[i%2].Analyze(ctx, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dirty-cone", func(b *testing.B) {
+		o := opt
+		o.Engine = batch.New(batch.Options{})
+		s, err := NewSession(ctx, design, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs := [2]float64{rA, rB}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Apply([]Edit{{Op: "setR", Net: editNet, Node: node, R: &rs[i%2]}}); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }

@@ -33,4 +33,25 @@
 // Analyze is the one-call form; NewGraph + Graph.Analyze amortizes graph
 // construction across repeated analyses. Options.Sequential disables the
 // level-parallel fan-out (BenchmarkDesignSlack measures the gap).
+//
+// # Incremental re-timing (ECO sessions)
+//
+// A Session keeps the design hot across edits: every net mounts an incr
+// EditTree, and Apply absorbs ECO operations (setR, setC, addC, setLine,
+// scaleDriver, grow, prune, addOutput, removeOutput — addressed "net.node")
+// in O(depth) per edited net. Re-timing is a dirty-cone sweep: only the
+// edited nets re-derive their bound intervals, and arrivals re-propagate
+// level by level through their downstream fanout, early-exiting wherever an
+// input interval comes back unchanged — a mid-cone settle stops the wave.
+// Apply answers with the updated WNS/TNS (folded from per-net aggregates in
+// O(nets)), the dirty-cone statistics, and which previously reported
+// critical paths the edit invalidated; Report rebuilds the full endpoint
+// table and paths lazily. The property tests pin Session equivalence to a
+// from-scratch Analyze of the materialized design to 1e-9 over randomized
+// edit sequences, and BenchmarkDesignECO measures the dirty-cone speedup
+// against a full re-analysis.
+//
+// ParseEdits/FormatEdits define the textual ECO edit-list grammar
+// (statime -eco replays such files), and NewEcoReport joins a before/after
+// report pair into the slack-delta view.
 package timing

@@ -1,0 +1,51 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzEditOps asserts the ECO edit-list parser never panics and that any
+// list it accepts survives a FormatEdits→ParseEdits round trip with every
+// edit intact — the same contract FuzzParseDesign pins on the deck parser.
+func FuzzEditOps(f *testing.F) {
+	seeds := []string{
+		"",
+		"* comment\n# comment\n",
+		"setR drv.o 5k\nsetC bus.far 0.1 ; load tweak\n",
+		"addC a.b 2p\nsetLine a.b 10 2\nscaleDriver a 0.5\n",
+		"grow bus.far tap resistor 5\ngrow bus.far t2 line 5 2\n",
+		"prune a.b\naddOutput a.b\nremoveOutput a.b\n",
+		"SETR a.b 1\nScaleDriver x 2\n",
+		"setR a.b.c 1\n", // node names may themselves contain dots
+		"setR a 1\n",     // missing node
+		"grow a.b n resistor 1 2\n",
+		"setR a.b 1e999\n",
+		"scaleDriver a.b 1\n",
+		"setR a.\x00b 1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		edits, err := ParseEdits(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := FormatEdits(edits)
+		back, err := ParseEdits(text)
+		if err != nil {
+			t.Fatalf("accepted edits failed round trip: %v\noriginal:\n%s\nformatted:\n%s", err, src, text)
+		}
+		if len(back) != len(edits) {
+			t.Fatalf("round trip changed count %d -> %d\n%s", len(edits), len(back), text)
+		}
+		for i := range edits {
+			if !editsEqual(edits[i], back[i]) {
+				t.Fatalf("edit %d changed:\n%s\nvs\n%s", i,
+					strings.TrimSpace(FormatEdits(edits[i:i+1])),
+					strings.TrimSpace(FormatEdits(back[i:i+1])))
+			}
+		}
+	})
+}

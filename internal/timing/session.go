@@ -1,0 +1,651 @@
+package timing
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+)
+
+// Edit is one ECO operation on a design session, addressed by net name plus
+// (for node-level ops) a node name within that net. The op vocabulary is the
+// EditTree's: setR, setC, addC, setLine, scaleDriver, grow, prune, addOutput,
+// removeOutput. Numeric values ride in R/C/Factor pointers so "absent" and
+// "zero" stay distinguishable on the JSON wire.
+type Edit struct {
+	Op     string   `json:"op"`
+	Net    string   `json:"net"`
+	Node   string   `json:"node,omitempty"`
+	Parent string   `json:"parent,omitempty"`
+	Name   string   `json:"name,omitempty"`
+	Kind   string   `json:"kind,omitempty"` // "resistor" (default) or "line"
+	R      *float64 `json:"r,omitempty"`
+	C      *float64 `json:"c,omitempty"`
+	Factor *float64 `json:"factor,omitempty"`
+}
+
+// ApplyResult summarizes one Session.Apply: how much of the design the
+// dirty-cone sweep actually touched, and the headline numbers afterwards.
+type ApplyResult struct {
+	// Gen is the session generation after the edits (bumped once per Apply
+	// that changed anything).
+	Gen uint64 `json:"gen"`
+	// Applied counts the edits applied (all of them unless an error stopped
+	// the batch early; the applied prefix stays in effect).
+	Applied int `json:"applied"`
+	// DirtyNets counts nets whose timing state changed (edited nets plus the
+	// downstream cone that actually moved).
+	DirtyNets int `json:"dirtyNets"`
+	// VisitedNets counts nets the sweep examined; VisitedNets - DirtyNets is
+	// how many fanout nets early-exited with unchanged arrivals.
+	VisitedNets int `json:"visitedNets"`
+	// WNS and TNS are the updated worst/total negative slack (WNS is +Inf
+	// with no constrained endpoint; the JSON form omits it then).
+	WNS float64 `json:"-"`
+	TNS float64 `json:"tns"`
+	// InvalidatedPaths lists the endpoints of previously reported critical
+	// paths that traverse a dirty net — their hop-by-hop story is stale and
+	// the next Report backtracks them afresh.
+	InvalidatedPaths []string `json:"invalidatedPaths,omitempty"`
+}
+
+// MarshalJSON renders WNS as an omitted field when +Inf (no constrained
+// endpoint), following the report wire conventions.
+func (r ApplyResult) MarshalJSON() ([]byte, error) {
+	type plain ApplyResult // shed the method, keep the tags
+	return json.Marshal(struct {
+		plain
+		WNS *float64 `json:"wns,omitempty"`
+	}{plain(r), finitePtr(r.WNS)})
+}
+
+// Session is the incremental re-timing engine over one design: a Graph plus
+// one mutable EditTree per net. Apply absorbs ECO edits in O(depth) per
+// edited net and re-propagates interval arrivals only through the downstream
+// fanout cone, with early exit where arrivals settle — against the full
+// levelized sweep AnalyzeDesign pays (BenchmarkDesignECO measures the gap).
+//
+// A Session is not safe for concurrent use; wrap it in a mutex (as
+// cmd/rcserve does) to share one across request handlers.
+type Session struct {
+	g        *Graph
+	th       float64
+	k        int
+	required float64
+	trees    []*incr.EditTree
+	// protected[i] names net i's outputs that stage edges tap or .require
+	// cards pin; pruning or undesignating them would orphan the graph
+	// structure, so those edits are rejected.
+	protected  []map[string]bool
+	requiredAt map[[2]string]float64
+	state      []netTiming
+	// netMin/netNeg are per-net endpoint-slack aggregates (worst slack and
+	// summed negative slack), refreshed only for dirty nets so WNS/TNS after
+	// an Apply cost one O(nets) fold instead of an endpoint rescan.
+	netMin []float64
+	netNeg []float64
+	gen    uint64
+	report *Report // memoized; nil after any state change
+	// scratch for the dirty-cone sweep
+	queued  []bool
+	buckets [][]int
+}
+
+// NewSession builds the graph, mounts one EditTree per net, and runs the
+// initial full analysis (through opt.Engine's pool unless opt.Sequential).
+// Options are fixed for the session's lifetime.
+func NewSession(ctx context.Context, d *netlist.Design, opt Options) (*Session, error) {
+	g, err := NewGraph(d)
+	if err != nil {
+		return nil, err
+	}
+	return g.Session(ctx, opt)
+}
+
+// Session mounts an incremental re-timing session on an existing graph.
+func (g *Graph) Session(ctx context.Context, opt Options) (*Session, error) {
+	th, k, engine, analyzer, err := opt.resolve()
+	if err != nil {
+		return nil, err
+	}
+	state, err := g.computeState(ctx, th, engine, analyzer)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		g:          g,
+		th:         th,
+		k:          k,
+		required:   opt.Required,
+		trees:      make([]*incr.EditTree, len(g.nodes)),
+		protected:  make([]map[string]bool, len(g.nodes)),
+		requiredAt: map[[2]string]float64{},
+		state:      state,
+		netMin:     make([]float64, len(g.nodes)),
+		netNeg:     make([]float64, len(g.nodes)),
+		queued:     make([]bool, len(g.nodes)),
+		buckets:    make([][]int, len(g.levels)),
+	}
+	for i := range g.nodes {
+		s.trees[i] = incr.New(g.nodes[i].tree)
+		s.protected[i] = make(map[string]bool, len(g.nodes[i].drives))
+		for name := range g.nodes[i].drives {
+			s.protected[i][name] = true
+		}
+	}
+	for _, r := range g.design.Requires {
+		s.requiredAt[[2]string{r.Net, r.Output}] = r.Time
+		if i, ok := g.index[r.Net]; ok {
+			s.protected[i][r.Output] = true
+		}
+	}
+	for i := range g.nodes {
+		s.refreshSummary(i)
+	}
+	return s, nil
+}
+
+// Gen returns the session generation; it bumps once per Apply that changed
+// any timing state, so equal generations imply identical reports.
+func (s *Session) Gen() uint64 { return s.gen }
+
+// Threshold returns the session's switching threshold.
+func (s *Session) Threshold() float64 { return s.th }
+
+// Nets reports the number of nets in the session's design.
+func (s *Session) Nets() int { return len(s.g.nodes) }
+
+// netIndex resolves a net name.
+func (s *Session) netIndex(net string) (int, error) {
+	if net == "" {
+		return 0, fmt.Errorf("timing: edit names no net")
+	}
+	i, ok := s.g.index[net]
+	if !ok {
+		return 0, fmt.Errorf("timing: unknown net %q", net)
+	}
+	return i, nil
+}
+
+// NetDelay returns the current [TMin, TMax] delay interval of one net output.
+func (s *Session) NetDelay(net, output string) (Interval, bool) {
+	i, err := s.netIndex(net)
+	if err != nil {
+		return Interval{}, false
+	}
+	d, ok := s.state[i].delay[output]
+	return d, ok
+}
+
+// Arrival returns the current arrival interval at one net output.
+func (s *Session) Arrival(net, output string) (Interval, bool) {
+	i, err := s.netIndex(net)
+	if err != nil {
+		return Interval{}, false
+	}
+	a, ok := s.state[i].out[output]
+	return a, ok
+}
+
+// Apply performs the edits in order and re-times the affected cone. On the
+// first failing edit it stops and returns the error; the already-applied
+// prefix stays in effect and the propagated state remains consistent, so a
+// caller can inspect the partial result and keep going.
+func (s *Session) Apply(edits []Edit) (ApplyResult, error) {
+	var res ApplyResult
+	edited := map[int]bool{}
+	var firstErr error
+	for idx, e := range edits {
+		i, err := s.applyOne(e)
+		if err != nil {
+			firstErr = fmt.Errorf("timing: edit %d (%s): %w", idx, e.Op, err)
+			break
+		}
+		edited[i] = true
+		res.Applied++
+	}
+	if len(edited) > 0 {
+		if err := s.propagate(edited, &res); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		s.gen++
+	}
+	res.Gen = s.gen
+	res.WNS, res.TNS = s.summary()
+	return res, firstErr
+}
+
+// applyOne dispatches one edit onto its net's EditTree and returns the net
+// index. Structural guards keep the graph sound: outputs that stage edges
+// tap or requires pin cannot be pruned away or undesignated.
+func (s *Session) applyOne(e Edit) (int, error) {
+	i, err := s.netIndex(e.Net)
+	if err != nil {
+		return 0, err
+	}
+	et := s.trees[i]
+	resolve := func(name string) (incr.NodeID, error) {
+		if name == "" {
+			return 0, fmt.Errorf("missing node name")
+		}
+		id, ok := et.Lookup(name)
+		if !ok {
+			return 0, fmt.Errorf("unknown node %q in net %q", name, e.Net)
+		}
+		return id, nil
+	}
+	num := func(what string, p *float64) (float64, error) {
+		if p == nil {
+			return 0, fmt.Errorf("missing %q", what)
+		}
+		return *p, nil
+	}
+	// A net whose total capacitance hits zero has undefined characteristic
+	// times (the full analyzer rejects such a tree outright), so edits that
+	// would drain the last capacitance are refused up front.
+	drained := func(newTotal float64) error {
+		if newTotal <= 0 {
+			return fmt.Errorf("edit would leave net %q with no capacitance", e.Net)
+		}
+		return nil
+	}
+	switch e.Op {
+	case "setR":
+		id, err := resolve(e.Node)
+		if err != nil {
+			return 0, err
+		}
+		r, err := num("r", e.R)
+		if err != nil {
+			return 0, err
+		}
+		return i, et.SetResistance(id, r)
+	case "setC":
+		id, err := resolve(e.Node)
+		if err != nil {
+			return 0, err
+		}
+		c, err := num("c", e.C)
+		if err != nil {
+			return 0, err
+		}
+		if err := drained(et.TotalCap() - et.NodeCap(id) + c); err != nil {
+			return 0, err
+		}
+		return i, et.SetCapacitance(id, c)
+	case "addC":
+		id, err := resolve(e.Node)
+		if err != nil {
+			return 0, err
+		}
+		c, err := num("c", e.C)
+		if err != nil {
+			return 0, err
+		}
+		if err := drained(et.TotalCap() + c); err != nil {
+			return 0, err
+		}
+		return i, et.AddCapacitance(id, c)
+	case "setLine":
+		id, err := resolve(e.Node)
+		if err != nil {
+			return 0, err
+		}
+		r, err := num("r", e.R)
+		if err != nil {
+			return 0, err
+		}
+		c, err := num("c", e.C)
+		if err != nil {
+			return 0, err
+		}
+		_, _, oldC := et.Edge(id)
+		if err := drained(et.TotalCap() - oldC + c); err != nil {
+			return 0, err
+		}
+		return i, et.SetLine(id, r, c)
+	case "scaleDriver":
+		f, err := num("factor", e.Factor)
+		if err != nil {
+			return 0, err
+		}
+		return i, et.ScaleDriver(f)
+	case "grow":
+		parent, err := resolve(e.Parent)
+		if err != nil {
+			return 0, fmt.Errorf("parent: %w", err)
+		}
+		r, err := num("r", e.R)
+		if err != nil {
+			return 0, err
+		}
+		var c float64
+		if e.C != nil {
+			c = *e.C
+		}
+		kind, err := edgeKindOf(e.Kind, c)
+		if err != nil {
+			return 0, err
+		}
+		_, err = et.Grow(parent, e.Name, kind, r, c)
+		return i, err
+	case "prune":
+		id, err := resolve(e.Node)
+		if err != nil {
+			return 0, err
+		}
+		if name, bad := s.pruneWouldOrphan(i, id); bad {
+			return 0, fmt.Errorf("cannot prune %q: output %q is tapped by a stage or pinned by a require", e.Node, name)
+		}
+		if s.outputsUnder(i, id) == len(et.Outputs()) {
+			return 0, fmt.Errorf("cannot prune %q: net %q would be left without designated outputs", e.Node, e.Net)
+		}
+		if err := drained(et.TotalCap() - et.SubtreeCap(id)); err != nil {
+			return 0, err
+		}
+		return i, et.Prune(id)
+	case "addOutput":
+		id, err := resolve(e.Node)
+		if err != nil {
+			return 0, err
+		}
+		return i, et.AddOutput(id)
+	case "removeOutput":
+		id, err := resolve(e.Node)
+		if err != nil {
+			return 0, err
+		}
+		if s.protected[i][e.Node] {
+			return 0, fmt.Errorf("output %q is tapped by a stage or pinned by a require", e.Node)
+		}
+		if len(et.Outputs()) == 1 {
+			return 0, fmt.Errorf("cannot remove %q: net %q would be left without designated outputs", e.Node, e.Net)
+		}
+		if !et.RemoveOutput(id) {
+			return 0, fmt.Errorf("node %q is not an output", e.Node)
+		}
+		return i, nil
+	}
+	return 0, fmt.Errorf("unknown op %q", e.Op)
+}
+
+// edgeKindOf maps the wire-form kind string onto rctree's enum, defaulting
+// to "a line when C > 0, a resistor otherwise" as the session endpoints do.
+func edgeKindOf(kind string, c float64) (rctree.EdgeKind, error) {
+	switch kind {
+	case "", "resistor":
+		if kind == "" && c > 0 {
+			return rctree.EdgeLine, nil
+		}
+		return rctree.EdgeResistor, nil
+	case "line":
+		return rctree.EdgeLine, nil
+	}
+	return 0, fmt.Errorf("unknown edge kind %q (want resistor or line)", kind)
+}
+
+// pruneWouldOrphan reports whether pruning node q of net i would drop a
+// protected output (q itself or any output in its subtree), by walking each
+// protected output's root path — O(protected · depth), no child lists needed.
+func (s *Session) pruneWouldOrphan(i int, q incr.NodeID) (string, bool) {
+	et := s.trees[i]
+	for name := range s.protected[i] {
+		id, ok := et.Lookup(name)
+		if !ok {
+			continue
+		}
+		for x := id; ; {
+			if x == q {
+				return name, true
+			}
+			if x == incr.Root {
+				break
+			}
+			x = et.Parent(x)
+		}
+	}
+	return "", false
+}
+
+// outputsUnder counts net i's designated outputs lying at or below node q.
+// A prune that would sweep away every designated output is rejected, because
+// an output-less tree re-promotes all leaves on Materialize and the session
+// would silently diverge from a full re-analysis.
+func (s *Session) outputsUnder(i int, q incr.NodeID) int {
+	et := s.trees[i]
+	count := 0
+	for _, o := range et.Outputs() {
+		for x := o; ; {
+			if x == q {
+				count++
+				break
+			}
+			if x == incr.Root {
+				break
+			}
+			x = et.Parent(x)
+		}
+	}
+	return count
+}
+
+// recomputeDelay rebuilds net i's delay map from its EditTree: one O(depth)
+// characteristic-times query plus a bound evaluation per designated output.
+func (s *Session) recomputeDelay(i int) error {
+	et := s.trees[i]
+	outs := et.Outputs()
+	delay := make(map[string]Interval, len(outs))
+	for _, o := range outs {
+		tm, err := et.Times(o)
+		if err != nil {
+			return fmt.Errorf("timing: net %q output %q: %w", s.g.nodes[i].name, et.Name(o), err)
+		}
+		b, err := core.New(tm)
+		if err != nil {
+			return fmt.Errorf("timing: net %q output %q: %w", s.g.nodes[i].name, et.Name(o), err)
+		}
+		delay[et.Name(o)] = Interval{b.TMin(s.th), b.TMax(s.th)}
+	}
+	s.state[i].delay = delay
+	return nil
+}
+
+// propagate re-times the dirty cone: the edited nets re-derive their delay
+// maps from their EditTrees, then arrivals sweep level by level through the
+// downstream fanout, early-exiting any net whose input interval (and delay)
+// came back unchanged. Only fanouts tapping an output whose arrival actually
+// moved are enqueued, so a mid-cone settle stops the wave.
+func (s *Session) propagate(edited map[int]bool, res *ApplyResult) error {
+	var firstErr error
+	dirty := make(map[int]bool, len(edited))
+	push := func(i int) {
+		if !s.queued[i] {
+			s.queued[i] = true
+			l := s.g.nodes[i].level
+			s.buckets[l] = append(s.buckets[l], i)
+		}
+	}
+	for i := range edited {
+		push(i)
+	}
+	for l := range s.buckets {
+		// Deterministic sweep order (pushes land only in deeper levels).
+		sort.Ints(s.buckets[l])
+		for _, i := range s.buckets[l] {
+			s.queued[i] = false
+			res.VisitedNets++
+			st := &s.state[i]
+			in, worst := s.g.gatherInput(s.state, i)
+			delayDirty := edited[i]
+			if !delayDirty && in == st.input {
+				st.worst = worst // the critical fanin may flip without moving the hull
+				continue
+			}
+			st.input, st.worst = in, worst
+			if delayDirty {
+				if err := s.recomputeDelay(i); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+			}
+			changed := s.refreshOut(i, delayDirty)
+			if len(changed) > 0 || delayDirty {
+				dirty[i] = true
+				s.refreshSummary(i)
+			}
+			for _, fe := range s.g.nodes[i].fanout {
+				if changed[fe.output] {
+					push(fe.to)
+				}
+			}
+		}
+		s.buckets[l] = s.buckets[l][:0]
+	}
+	res.DirtyNets = len(dirty)
+	if s.report != nil {
+		for _, p := range s.report.Paths {
+			for _, h := range p.Hops {
+				if i, ok := s.g.index[h.Net]; ok && dirty[i] {
+					res.InvalidatedPaths = append(res.InvalidatedPaths, p.Endpoint)
+					break
+				}
+			}
+		}
+	}
+	s.report = nil
+	return firstErr
+}
+
+// refreshOut recomputes net i's output arrivals from the current input and
+// delay map, returning the set of output names whose interval moved. With
+// rebuild set (an edited net) the map is rebuilt so grown or pruned outputs
+// appear and vanish; otherwise it is updated in place.
+func (s *Session) refreshOut(i int, rebuild bool) map[string]bool {
+	st := &s.state[i]
+	changed := map[string]bool{}
+	if rebuild {
+		newOut := make(map[string]Interval, len(st.delay))
+		for name, d := range st.delay {
+			nv := st.input.plus(d)
+			newOut[name] = nv
+			if ov, ok := st.out[name]; !ok || ov != nv {
+				changed[name] = true
+			}
+		}
+		for name := range st.out {
+			if _, ok := newOut[name]; !ok {
+				changed[name] = true // output pruned (never stage-tapped: protected)
+			}
+		}
+		st.out = newOut
+		return changed
+	}
+	for name, d := range st.delay {
+		nv := st.input.plus(d)
+		if st.out[name] != nv {
+			st.out[name] = nv
+			changed[name] = true
+		}
+	}
+	return changed
+}
+
+// refreshSummary recomputes net i's endpoint-slack aggregates from its
+// current outputs (the same endpoint classification report uses).
+func (s *Session) refreshSummary(i int) {
+	minS, neg := math.Inf(1), 0.0
+	et := s.trees[i]
+	node := &s.g.nodes[i]
+	for _, o := range et.Outputs() {
+		name := et.Name(o)
+		req, explicit := s.requiredAt[[2]string{node.name, name}]
+		if !explicit && node.drives[name] {
+			continue
+		}
+		if !explicit {
+			if s.required <= 0 {
+				continue
+			}
+			req = s.required
+		}
+		slack := req - s.state[i].out[name].Max
+		if slack < minS {
+			minS = slack
+		}
+		if slack < 0 {
+			neg += slack
+		}
+	}
+	s.netMin[i], s.netNeg[i] = minS, neg
+}
+
+// summary folds the per-net aggregates into WNS/TNS — O(nets), independent
+// of endpoint count.
+func (s *Session) summary() (wns, tns float64) {
+	wns = math.Inf(1)
+	for i := range s.netMin {
+		if s.netMin[i] < wns {
+			wns = s.netMin[i]
+		}
+		tns += s.netNeg[i]
+	}
+	return wns, tns
+}
+
+// Report returns the full chip report for the current state — endpoint table
+// sorted worst-first, WNS/TNS, and freshly backtracked critical paths. The
+// report is memoized until the next state-changing Apply; treat it as
+// immutable.
+func (s *Session) Report() *Report {
+	if s.report == nil {
+		s.report = s.g.report(s.state, s.th, s.k, s.required, func(i int) []string {
+			et := s.trees[i]
+			outs := et.Outputs()
+			names := make([]string, len(outs))
+			for j, o := range outs {
+				names[j] = et.Name(o)
+			}
+			return names
+		})
+	}
+	return s.report
+}
+
+// Design materializes the current session state back into a standalone
+// design: every net's EditTree compacts to an immutable tree, and the stage
+// and require cards carry over unchanged (structural guards keep them valid).
+// AnalyzeDesign of the result agrees with the session's Report to numerical
+// tolerance — the property tests pin this down.
+func (s *Session) Design() (*netlist.Design, error) {
+	d := &netlist.Design{
+		Name:     s.g.design.Name,
+		Stages:   append([]netlist.Stage(nil), s.g.design.Stages...),
+		Requires: append([]netlist.Require(nil), s.g.design.Requires...),
+	}
+	for i, et := range s.trees {
+		t, _, err := et.Materialize()
+		if err != nil {
+			return nil, fmt.Errorf("timing: materialize net %q: %w", s.g.nodes[i].name, err)
+		}
+		d.Nets = append(d.Nets, netlist.DesignNet{Name: s.g.nodes[i].name, Tree: t})
+	}
+	return d, nil
+}
+
+// SplitAddr splits an ECO address "net.node" at its first dot. Node is empty
+// when the address carries no dot (net-level ops like scaleDriver).
+func SplitAddr(addr string) (net, node string) {
+	if i := strings.IndexByte(addr, '.'); i >= 0 {
+		return addr[:i], addr[i+1:]
+	}
+	return addr, ""
+}

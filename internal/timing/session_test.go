@@ -1,0 +1,458 @@
+package timing
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/incr"
+	"repro/internal/netlist"
+	"repro/internal/randnet"
+)
+
+// closeEnough compares to 1e-9 relative tolerance, treating equal
+// infinities as close.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+func intervalsClose(a, b Interval) bool {
+	return closeEnough(a.Min, b.Min) && closeEnough(a.Max, b.Max)
+}
+
+// assertMatchesFull materializes the session's current design, re-analyzes
+// it from scratch, and checks every net bound, arrival interval and endpoint
+// slack against the session's incremental state to 1e-9.
+func assertMatchesFull(t *testing.T, s *Session, required float64) {
+	t.Helper()
+	d, err := s.Design()
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	full, err := Analyze(context.Background(), d, Options{
+		Threshold: s.th, Required: required, K: s.k, Sequential: true,
+	})
+	if err != nil {
+		t.Fatalf("full analysis: %v", err)
+	}
+	// Per-net bounds: every designated output's [TMin, TMax].
+	for _, n := range d.Nets {
+		for _, o := range n.Tree.Outputs() {
+			name := n.Tree.Name(o)
+			wantMin, wantMax := boundsAt(t, n.Tree, name, s.th)
+			got, ok := s.NetDelay(n.Name, name)
+			if !ok {
+				t.Fatalf("net %s/%s: no incremental delay", n.Name, name)
+			}
+			if !closeEnough(got.Min, wantMin) || !closeEnough(got.Max, wantMax) {
+				t.Fatalf("net %s/%s delay = %+v, full = [%g, %g]", n.Name, name, got, wantMin, wantMax)
+			}
+		}
+	}
+	// Endpoint arrivals and slacks, keyed (sorting may permute ties).
+	sessRep := s.Report()
+	if len(sessRep.Endpoints) != len(full.Endpoints) {
+		t.Fatalf("endpoint count %d vs full %d", len(sessRep.Endpoints), len(full.Endpoints))
+	}
+	type key struct{ net, output string }
+	sessEp := map[key]EndpointSlack{}
+	for _, e := range sessRep.Endpoints {
+		sessEp[key{e.Net, e.Output}] = e
+	}
+	for _, want := range full.Endpoints {
+		got, ok := sessEp[key{want.Net, want.Output}]
+		if !ok {
+			t.Fatalf("endpoint %s/%s missing from session report", want.Net, want.Output)
+		}
+		if !intervalsClose(got.Arrival, want.Arrival) {
+			t.Fatalf("endpoint %s/%s arrival %+v vs full %+v", want.Net, want.Output, got.Arrival, want.Arrival)
+		}
+		if !closeEnough(got.Slack, want.Slack) {
+			t.Fatalf("endpoint %s/%s slack %g vs full %g", want.Net, want.Output, got.Slack, want.Slack)
+		}
+	}
+	if !closeEnough(sessRep.WNS, full.WNS) || !closeEnough(sessRep.TNS, full.TNS) {
+		t.Fatalf("WNS/TNS %g/%g vs full %g/%g", sessRep.WNS, sessRep.TNS, full.WNS, full.TNS)
+	}
+}
+
+func f64(v float64) *float64 { return &v }
+
+func newTestSession(t *testing.T, d *netlist.Design, opt Options) *Session {
+	t.Helper()
+	opt.Sequential = true
+	s, err := NewSession(context.Background(), d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionSingleEditMatchesFull(t *testing.T) {
+	a := simpleNet(t, "a", 10, 5)
+	b := simpleNet(t, "b", 20, 3)
+	d := &netlist.Design{
+		Name:     "chain",
+		Nets:     []netlist.DesignNet{a, b},
+		Stages:   []netlist.Stage{{FromNet: "a", FromOutput: "o", ToNet: "b", Delay: 7}},
+		Requires: []netlist.Require{{Net: "b", Output: "o", Time: 500}},
+	}
+	s := newTestSession(t, d, Options{Threshold: 0.5})
+	assertMatchesFull(t, s, 0)
+	base := s.Report()
+	res, err := s.Apply([]Edit{{Op: "setR", Net: "a", Node: "o", R: f64(40)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Gen != 1 {
+		t.Errorf("res = %+v", res)
+	}
+	if res.DirtyNets != 2 || res.VisitedNets != 2 {
+		t.Errorf("dirty/visited = %d/%d, want 2/2", res.DirtyNets, res.VisitedNets)
+	}
+	assertMatchesFull(t, s, 0)
+	after := s.Report()
+	if after.Endpoints[0].Arrival.Max <= base.Endpoints[0].Arrival.Max {
+		t.Errorf("quadrupled driver R did not slow the endpoint: %+v vs %+v",
+			after.Endpoints[0].Arrival, base.Endpoints[0].Arrival)
+	}
+	if !closeEnough(res.WNS, after.WNS) || !closeEnough(res.TNS, after.TNS) {
+		t.Errorf("apply WNS/TNS %g/%g vs report %g/%g", res.WNS, res.TNS, after.WNS, after.TNS)
+	}
+}
+
+func TestSessionFaninFlipAtMerge(t *testing.T) {
+	fast := simpleNet(t, "fast", 1, 1)
+	slow := simpleNet(t, "slow", 100, 10)
+	sink := simpleNet(t, "sink", 5, 2)
+	d := &netlist.Design{
+		Nets: []netlist.DesignNet{fast, slow, sink},
+		Stages: []netlist.Stage{
+			{FromNet: "fast", FromOutput: "o", ToNet: "sink", Delay: 1},
+			{FromNet: "slow", FromOutput: "o", ToNet: "sink", Delay: 2},
+		},
+		Requires: []netlist.Require{{Net: "sink", Output: "o", Time: 1e4}},
+	}
+	s := newTestSession(t, d, Options{Threshold: 0.5, K: 1})
+	if hops := s.Report().Paths[0].Hops; hops[0].Net != "slow" {
+		t.Fatalf("baseline critical path starts at %q, want slow", hops[0].Net)
+	}
+	// Make the former fast driver the dominant one: the merge's worst fanin
+	// must flip, and everything must still agree with a full re-analysis.
+	if _, err := s.Apply([]Edit{{Op: "setR", Net: "fast", Node: "o", R: f64(5000)}}); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesFull(t, s, 0)
+	if hops := s.Report().Paths[0].Hops; hops[0].Net != "fast" {
+		t.Errorf("critical path starts at %q after flip, want fast", hops[0].Net)
+	}
+	// Flip back via the other knob (scaleDriver on the slow net).
+	if _, err := s.Apply([]Edit{{Op: "scaleDriver", Net: "slow", Factor: f64(200)}}); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesFull(t, s, 0)
+	if hops := s.Report().Paths[0].Hops; hops[0].Net != "slow" {
+		t.Errorf("critical path starts at %q after flip back, want slow", hops[0].Net)
+	}
+}
+
+func TestSessionEarlyExit(t *testing.T) {
+	// sink's input hull is set by fast (min) and slow (max); mid sits strictly
+	// inside. Editing mid within the hull moves mid's arrival but not sink's
+	// input, so the sweep must visit sink and stop there.
+	fast := simpleNet(t, "fast", 1, 1)
+	mid := simpleNet(t, "mid", 10, 2)
+	slow := simpleNet(t, "slow", 100, 10)
+	sink := simpleNet(t, "sink", 5, 2)
+	leaf := simpleNet(t, "leaf", 2, 2)
+	d := &netlist.Design{
+		Nets: []netlist.DesignNet{fast, mid, slow, sink, leaf},
+		Stages: []netlist.Stage{
+			{FromNet: "fast", FromOutput: "o", ToNet: "sink", Delay: 1},
+			{FromNet: "mid", FromOutput: "o", ToNet: "sink", Delay: 1},
+			{FromNet: "slow", FromOutput: "o", ToNet: "sink", Delay: 1},
+			{FromNet: "sink", FromOutput: "o", ToNet: "leaf", Delay: 1},
+		},
+	}
+	s := newTestSession(t, d, Options{Threshold: 0.5})
+	res, err := s.Apply([]Edit{{Op: "setR", Net: "mid", Node: "o", R: f64(12)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirtyNets != 1 {
+		t.Errorf("dirty = %d, want 1 (mid only)", res.DirtyNets)
+	}
+	if res.VisitedNets != 2 {
+		t.Errorf("visited = %d, want 2 (mid + sink early exit)", res.VisitedNets)
+	}
+	assertMatchesFull(t, s, 0)
+
+	// Editing slow moves the hull max: the wave must reach the leaf.
+	res, err = s.Apply([]Edit{{Op: "setR", Net: "slow", Node: "o", R: f64(150)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirtyNets != 3 || res.VisitedNets != 3 {
+		t.Errorf("dirty/visited = %d/%d, want 3/3 (slow, sink, leaf)", res.DirtyNets, res.VisitedNets)
+	}
+	assertMatchesFull(t, s, 0)
+}
+
+func TestSessionStructuralGuards(t *testing.T) {
+	a := simpleNet(t, "a", 10, 5)
+	b := simpleNet(t, "b", 20, 3)
+	d := &netlist.Design{
+		Nets:     []netlist.DesignNet{a, b},
+		Stages:   []netlist.Stage{{FromNet: "a", FromOutput: "o", ToNet: "b", Delay: 7}},
+		Requires: []netlist.Require{{Net: "b", Output: "o", Time: 500}},
+	}
+	s := newTestSession(t, d, Options{})
+	cases := []struct {
+		name string
+		edit Edit
+		want string
+	}{
+		{"prune stage-tapped", Edit{Op: "prune", Net: "a", Node: "o"}, "tapped by a stage"},
+		{"removeOutput stage-tapped", Edit{Op: "removeOutput", Net: "a", Node: "o"}, "tapped by a stage"},
+		{"prune require-pinned", Edit{Op: "prune", Net: "b", Node: "o"}, "tapped by a stage"},
+		{"unknown net", Edit{Op: "setR", Net: "ghost", Node: "o", R: f64(1)}, "unknown net"},
+		{"unknown node", Edit{Op: "setR", Net: "a", Node: "ghost", R: f64(1)}, "unknown node"},
+		{"unknown op", Edit{Op: "warp", Net: "a"}, "unknown op"},
+		{"missing value", Edit{Op: "setR", Net: "a", Node: "o"}, "missing"},
+		{"no net", Edit{Op: "setR", Node: "o", R: f64(1)}, "names no net"},
+	}
+	for _, tc := range cases {
+		res, err := s.Apply([]Edit{tc.edit})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+		if res.Applied != 0 {
+			t.Errorf("%s: applied = %d", tc.name, res.Applied)
+		}
+	}
+	// Partial application: the first edit lands, the failing second leaves a
+	// consistent propagated state.
+	res, err := s.Apply([]Edit{
+		{Op: "setR", Net: "a", Node: "o", R: f64(15)},
+		{Op: "prune", Net: "a", Node: "o"},
+	})
+	if err == nil || res.Applied != 1 {
+		t.Fatalf("partial apply: res = %+v, err = %v", res, err)
+	}
+	assertMatchesFull(t, s, 0)
+}
+
+func TestSessionGrowPruneEndpoints(t *testing.T) {
+	a := simpleNet(t, "a", 10, 5)
+	b := simpleNet(t, "b", 20, 3)
+	d := &netlist.Design{
+		Nets:   []netlist.DesignNet{a, b},
+		Stages: []netlist.Stage{{FromNet: "a", FromOutput: "o", ToNet: "b", Delay: 7}},
+	}
+	s := newTestSession(t, d, Options{Required: 1e4})
+	if n := len(s.Report().Endpoints); n != 1 {
+		t.Fatalf("baseline endpoints = %d", n)
+	}
+	// Grow a tap on b and designate it: a new endpoint must appear and agree
+	// with the full analysis of the materialized design.
+	res, err := s.Apply([]Edit{
+		{Op: "grow", Net: "b", Parent: "o", Name: "tap", Kind: "line", R: f64(5), C: f64(2)},
+		{Op: "addOutput", Net: "b", Node: "tap"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 {
+		t.Fatalf("applied = %d", res.Applied)
+	}
+	if n := len(s.Report().Endpoints); n != 2 {
+		t.Fatalf("endpoints after grow = %d, want 2", n)
+	}
+	assertMatchesFull(t, s, 1e4)
+	// Prune it again: the endpoint disappears.
+	if _, err := s.Apply([]Edit{{Op: "prune", Net: "b", Node: "tap"}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Report().Endpoints); n != 1 {
+		t.Fatalf("endpoints after prune = %d, want 1", n)
+	}
+	assertMatchesFull(t, s, 1e4)
+}
+
+func TestSessionInvalidatedPaths(t *testing.T) {
+	fast := simpleNet(t, "fast", 1, 1)
+	slow := simpleNet(t, "slow", 100, 10)
+	sink := simpleNet(t, "sink", 5, 2)
+	d := &netlist.Design{
+		Nets: []netlist.DesignNet{fast, slow, sink},
+		Stages: []netlist.Stage{
+			{FromNet: "fast", FromOutput: "o", ToNet: "sink", Delay: 1},
+			{FromNet: "slow", FromOutput: "o", ToNet: "sink", Delay: 2},
+		},
+		Requires: []netlist.Require{{Net: "sink", Output: "o", Time: 1e4}},
+	}
+	s := newTestSession(t, d, Options{K: 1})
+	_ = s.Report() // memoize paths so the next Apply can invalidate them
+	res, err := s.Apply([]Edit{{Op: "setC", Net: "slow", Node: "o", C: f64(20)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvalidatedPaths) != 1 || res.InvalidatedPaths[0] != "sink/o" {
+		t.Errorf("invalidated = %v, want [sink/o]", res.InvalidatedPaths)
+	}
+	// Without a memoized report there is nothing to invalidate.
+	res, err = s.Apply([]Edit{{Op: "setC", Net: "slow", Node: "o", C: f64(25)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvalidatedPaths) != 0 {
+		t.Errorf("invalidated = %v, want none", res.InvalidatedPaths)
+	}
+}
+
+// TestApplyResultJSON: WNS rides the wire as an omitted-when-Inf field, like
+// the report's.
+func TestApplyResultJSON(t *testing.T) {
+	res := ApplyResult{Gen: 3, Applied: 1, WNS: -2.5, TNS: -2.5}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["wns"].(float64) != -2.5 || decoded["gen"].(float64) != 3 {
+		t.Errorf("wire form = %s", data)
+	}
+	res.WNS = math.Inf(1)
+	data, err = json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "wns") || strings.Contains(string(data), "Inf") {
+		t.Errorf("unconstrained WNS leaked: %s", data)
+	}
+}
+
+func TestSessionParallelInitMatchesSequential(t *testing.T) {
+	d := randnet.DesignSeed(7, randnet.DefaultDesignConfig(3, 4))
+	par, err := NewSession(context.Background(), d, Options{Required: 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := newTestSession(t, d, Options{Required: 1e4})
+	pr, sr := par.Report(), seq.Report()
+	if len(pr.Endpoints) != len(sr.Endpoints) {
+		t.Fatalf("endpoint counts differ: %d vs %d", len(pr.Endpoints), len(sr.Endpoints))
+	}
+	if pr.WNS != sr.WNS || pr.TNS != sr.TNS {
+		t.Errorf("parallel init WNS/TNS %g/%g vs sequential %g/%g", pr.WNS, pr.TNS, sr.WNS, sr.TNS)
+	}
+}
+
+// randomEdit draws one structurally plausible edit against the session's
+// current state. It may still be rejected (e.g. pruning a protected output);
+// the caller skips those.
+func randomEdit(rng *rand.Rand, s *Session, seq *int) Edit {
+	i := rng.Intn(len(s.trees))
+	et := s.trees[i]
+	net := s.g.nodes[i].name
+	// Collect live non-root node names through the public surface: slot IDs
+	// only grow by one per Grow, so a fixed scan bound covers them all.
+	var nodes []string
+	for id := 1; id < 64; id++ {
+		if name := et.Name(incr.NodeID(id)); name != "" {
+			nodes = append(nodes, name)
+		}
+	}
+	pick := func() string { return nodes[rng.Intn(len(nodes))] }
+	switch rng.Intn(7) {
+	case 0:
+		return Edit{Op: "setR", Net: net, Node: pick(), R: f64(1 + rng.Float64()*199)}
+	case 1:
+		return Edit{Op: "setC", Net: net, Node: pick(), C: f64(rng.Float64() * 20)}
+	case 2:
+		return Edit{Op: "addC", Net: net, Node: pick(), C: f64(rng.Float64() * 5)}
+	case 3:
+		return Edit{Op: "setLine", Net: net, Node: pick(), R: f64(1 + rng.Float64()*99), C: f64(rng.Float64() * 10)}
+	case 4:
+		return Edit{Op: "scaleDriver", Net: net, Factor: f64(0.2 + rng.Float64()*3)}
+	case 5:
+		*seq++
+		kind := "resistor"
+		var c *float64
+		if rng.Intn(2) == 0 {
+			kind = "line"
+			c = f64(0.5 + rng.Float64()*5)
+		}
+		return Edit{Op: "grow", Net: net, Parent: pick(), Name: fmt.Sprintf("g%d", *seq), Kind: kind, R: f64(1 + rng.Float64()*50), C: c}
+	default:
+		return Edit{Op: "prune", Net: net, Node: pick()}
+	}
+}
+
+// TestSessionPropertyRandomEdits is the headline equivalence property: over
+// 200+ randomized edit sequences on random layered designs, the incremental
+// session must agree with a from-scratch analysis of the materialized design
+// to 1e-9 on every net bound, arrival interval and endpoint slack — the
+// comparison runs after every edit, so mid-sequence drift cannot hide.
+func TestSessionPropertyRandomEdits(t *testing.T) {
+	seqs := 200
+	editsPerSeq := 6
+	if testing.Short() {
+		seqs = 25
+	}
+	cfg := randnet.DesignConfig{
+		Levels:   3,
+		Width:    3,
+		Net:      randnet.DefaultConfig(10),
+		FaninMax: 3,
+		DelayMax: 10,
+	}
+	for seed := 0; seed < seqs; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		d := randnet.Design(rng, cfg)
+		s, err := NewSession(context.Background(), d, Options{Threshold: 0.7, Required: 1e4, Sequential: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		growSeq := 0
+		applied := 0
+		for applied < editsPerSeq {
+			e := randomEdit(rng, s, &growSeq)
+			if _, err := s.Apply([]Edit{e}); err != nil {
+				if e.Op == "prune" {
+					continue // protected output; draw another edit
+				}
+				t.Fatalf("seed %d: apply %+v: %v", seed, e, err)
+			}
+			applied++
+			assertMatchesFullProperty(t, s, seed, applied)
+		}
+	}
+}
+
+// assertMatchesFullProperty is assertMatchesFull with a seed-stamped failure
+// message so a property counterexample is reproducible.
+func assertMatchesFullProperty(t *testing.T, s *Session, seed, step int) {
+	t.Helper()
+	if t.Failed() {
+		t.Fatalf("seed %d step %d: see failure above", seed, step)
+	}
+	assertMatchesFull(t, s, 1e4)
+	if t.Failed() {
+		t.Fatalf("counterexample: seed %d, step %d", seed, step)
+	}
+}

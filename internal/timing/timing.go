@@ -61,12 +61,20 @@ type faninEdge struct {
 	delay  float64 // gate intrinsic delay
 }
 
+// fanoutEdge is one resolved stage edge leaving a net; output names the
+// designated output the downstream gate taps, so incremental propagation can
+// skip fanouts whose tapped output did not move.
+type fanoutEdge struct {
+	to     int
+	output string
+}
+
 // gnode is one net in the timing graph.
 type gnode struct {
 	name   string
 	tree   *rctree.Tree
 	fanin  []faninEdge
-	fanout []int // indices of driven nets (one entry per stage edge)
+	fanout []fanoutEdge // driven nets (one entry per stage edge)
 	level  int
 	// drives marks which outputs feed at least one stage edge; outputs not
 	// in the set are timing endpoints.
@@ -79,7 +87,8 @@ type gnode struct {
 type Graph struct {
 	design *netlist.Design
 	nodes  []gnode
-	levels [][]int // net indices per level, each level sorted ascending
+	index  map[string]int // net name -> node index
+	levels [][]int        // net indices per level, each level sorted ascending
 }
 
 // NewGraph resolves a design into a levelized DAG. Stage edges must form no
@@ -89,7 +98,7 @@ func NewGraph(d *netlist.Design) (*Graph, error) {
 		return nil, fmt.Errorf("timing: design has no nets")
 	}
 	index := make(map[string]int, len(d.Nets))
-	g := &Graph{design: d, nodes: make([]gnode, len(d.Nets))}
+	g := &Graph{design: d, nodes: make([]gnode, len(d.Nets)), index: index}
 	for i, n := range d.Nets {
 		index[n.Name] = i
 		g.nodes[i] = gnode{name: n.Name, tree: n.Tree, drives: map[string]bool{}}
@@ -110,7 +119,7 @@ func NewGraph(d *netlist.Design) (*Graph, error) {
 			return nil, fmt.Errorf("timing: stage taps %q, which is not a designated output of net %q", s.FromOutput, s.FromNet)
 		}
 		g.nodes[to].fanin = append(g.nodes[to].fanin, faninEdge{driver: from, output: s.FromOutput, delay: s.Delay})
-		g.nodes[from].fanout = append(g.nodes[from].fanout, to)
+		g.nodes[from].fanout = append(g.nodes[from].fanout, fanoutEdge{to: to, output: s.FromOutput})
 		g.nodes[from].drives[s.FromOutput] = true
 	}
 	// Kahn levelization: a net is placeable once every fanin edge has been
@@ -132,7 +141,8 @@ func NewGraph(d *netlist.Design) (*Graph, error) {
 			g.levels = append(g.levels, nil)
 		}
 		g.levels[g.nodes[i].level] = append(g.levels[g.nodes[i].level], i)
-		for _, j := range g.nodes[i].fanout {
+		for _, e := range g.nodes[i].fanout {
+			j := e.to
 			if l := g.nodes[i].level + 1; l > g.nodes[j].level {
 				g.nodes[j].level = l
 			}
@@ -184,51 +194,76 @@ type netTiming struct {
 	worst int
 }
 
-// Analyze levelizes the per-net bound computations across the batch engine
-// and propagates interval arrivals; see the package comment for the model.
-func (g *Graph) Analyze(ctx context.Context, opt Options) (*Report, error) {
-	th := opt.Threshold
+// resolve applies the Options defaults: threshold 0.5, 5 critical paths, a
+// private engine unless sequential. The analyzer is non-nil exactly in
+// sequential mode.
+func (opt Options) resolve() (th float64, k int, engine *batch.Engine, analyzer *core.Analyzer, err error) {
+	th = opt.Threshold
 	if th == 0 {
 		th = 0.5
 	}
 	if th <= 0 || th >= 1 {
-		return nil, fmt.Errorf("timing: threshold %g outside (0,1)", th)
+		return 0, 0, nil, nil, fmt.Errorf("timing: threshold %g outside (0,1)", th)
 	}
-	k := opt.K
+	k = opt.K
 	if k == 0 {
 		k = 5
 	}
-	engine := opt.Engine
-	if engine == nil && !opt.Sequential {
-		engine = batch.New(batch.Options{})
-	}
-
-	state := make([]netTiming, len(g.nodes))
-	var analyzer *core.Analyzer // sequential mode only
+	engine = opt.Engine
 	if opt.Sequential {
 		analyzer = core.NewAnalyzer()
+	} else if engine == nil {
+		engine = batch.New(batch.Options{})
 	}
+	return th, k, engine, analyzer, nil
+}
+
+// gatherInput recomputes net i's input arrival interval and worst fanin edge
+// from its drivers' (already final) output arrivals. Primary-input nets get
+// the degenerate [0, 0] interval and worst -1.
+func (g *Graph) gatherInput(state []netTiming, i int) (Interval, int) {
+	var in Interval
+	worst := -1
+	for ei, e := range g.nodes[i].fanin {
+		cand := state[e.driver].out[e.output].add(e.delay)
+		if ei == 0 {
+			in, worst = cand, 0
+			continue
+		}
+		if cand.Max > in.Max {
+			worst = ei
+		}
+		in = in.hull(cand)
+	}
+	return in, worst
+}
+
+// Analyze levelizes the per-net bound computations across the batch engine
+// and propagates interval arrivals; see the package comment for the model.
+func (g *Graph) Analyze(ctx context.Context, opt Options) (*Report, error) {
+	th, k, engine, analyzer, err := opt.resolve()
+	if err != nil {
+		return nil, err
+	}
+	state, err := g.computeState(ctx, th, engine, analyzer)
+	if err != nil {
+		return nil, err
+	}
+	return g.report(state, th, k, opt.Required, g.treeOutputNames), nil
+}
+
+// computeState runs the full levelized sweep: per-net delay intervals (the
+// expensive part, fanned across the pool unless analyzer is set) and interval
+// arrival propagation. The returned slice is the complete working state a
+// Session continues from.
+func (g *Graph) computeState(ctx context.Context, th float64, engine *batch.Engine, analyzer *core.Analyzer) ([]netTiming, error) {
+	state := make([]netTiming, len(g.nodes))
 	for _, level := range g.levels {
 		// Arrivals first: every driver sits in a shallower level, so its
 		// output arrivals are already final.
 		for _, i := range level {
-			st := &state[i]
-			st.worst = -1
-			for ei, e := range g.nodes[i].fanin {
-				driver := state[e.driver]
-				cand := driver.out[e.output].add(e.delay)
-				if ei == 0 {
-					st.input = cand
-					st.worst = 0
-					continue
-				}
-				if cand.Max > st.input.Max {
-					st.worst = ei
-				}
-				st.input = st.input.hull(cand)
-			}
+			state[i].input, state[i].worst = g.gatherInput(state, i)
 		}
-		// Per-net bounds: the expensive part, fanned across the pool.
 		if err := g.computeDelays(ctx, level, state, th, engine, analyzer); err != nil {
 			return nil, err
 		}
@@ -240,7 +275,19 @@ func (g *Graph) Analyze(ctx context.Context, opt Options) (*Report, error) {
 			}
 		}
 	}
-	return g.report(state, th, k, opt.Required), nil
+	return state, nil
+}
+
+// treeOutputNames lists net i's designated output names in designation
+// order — the Analyze-time source; Sessions substitute their EditTrees'.
+func (g *Graph) treeOutputNames(i int) []string {
+	t := g.nodes[i].tree
+	outs := t.Outputs()
+	names := make([]string, len(outs))
+	for j, o := range outs {
+		names[j] = t.Name(o)
+	}
+	return names
 }
 
 // computeDelays fills state[i].delay for every net of the level: the
@@ -282,7 +329,9 @@ func (g *Graph) computeDelays(ctx context.Context, level []int, state []netTimin
 }
 
 // report assembles endpoint slacks, WNS/TNS and the K critical paths.
-func (g *Graph) report(state []netTiming, th float64, k int, defRequired float64) *Report {
+// outputNames supplies net i's designated output names (treeOutputNames at
+// Analyze time; a Session's current EditTree outputs after edits).
+func (g *Graph) report(state []netTiming, th float64, k int, defRequired float64, outputNames func(i int) []string) *Report {
 	required := map[[2]string]float64{}
 	for _, r := range g.design.Requires {
 		required[[2]string{r.Net, r.Output}] = r.Time
@@ -297,8 +346,7 @@ func (g *Graph) report(state []netTiming, th float64, k int, defRequired float64
 	}
 	for i := range g.nodes {
 		node := &g.nodes[i]
-		for _, o := range node.tree.Outputs() {
-			name := node.tree.Name(o)
+		for _, name := range outputNames(i) {
 			req, explicit := required[[2]string{node.name, name}]
 			if !explicit && node.drives[name] {
 				continue // interior output: drives a stage, no requirement

@@ -25,7 +25,11 @@
 //     per-net bounds fan across the batch pool, and interval arrival times
 //     propagate to report per-endpoint slack, WNS/TNS and critical paths
 //     (cmd/rcserve's /design endpoints and statime -design are the HTTP and
-//     CLI forms).
+//     CLI forms);
+//   - NewDesignSession keeps a design hot across ECO edits: every net mounts
+//     an EditTree, and Apply re-times only the edited nets' downstream fanout
+//     cones, returning updated slack and the invalidated critical paths
+//     (POST /design/{id}/edit and statime -eco are the HTTP and CLI forms).
 //
 // Element units are the caller's choice: ohms with farads give seconds,
 // ohms with picofarads give picoseconds (the paper's §V convention).
@@ -213,6 +217,18 @@ type (
 	// ArrivalInterval is a closed [min, max] interval bracketing an arrival
 	// time.
 	ArrivalInterval = timing.Interval
+	// DesignSession is the incremental re-timing engine: one EditTree per
+	// net, O(depth) ECO edits, dirty-cone arrival re-propagation. Not safe
+	// for concurrent use — wrap it in a mutex to share across goroutines.
+	DesignSession = timing.Session
+	// DesignEdit is one ECO operation on a design session, addressed by net
+	// (and node) name.
+	DesignEdit = timing.Edit
+	// DesignApplyResult summarizes one DesignSession.Apply: dirty-cone
+	// statistics, updated WNS/TNS and invalidated critical paths.
+	DesignApplyResult = timing.ApplyResult
+	// EcoReport is the before/after slack-delta view of one ECO edit list.
+	EcoReport = timing.EcoReport
 )
 
 // ParseDesign reads a multi-net design deck (.net/.endnet sections plus
@@ -235,6 +251,35 @@ func NewTimingGraph(d *Design) (*TimingGraph, error) { return timing.NewGraph(d)
 // BatchEngine so repeated nets hit its memoization cache.
 func AnalyzeDesign(ctx context.Context, d *Design, opt DesignOptions) (*DesignReport, error) {
 	return timing.Analyze(ctx, d, opt)
+}
+
+// NewDesignSession runs the initial full analysis of a design and mounts the
+// incremental re-timing session on it: every net becomes a mutable EditTree,
+// and Apply absorbs ECO edits (setR/setC/addC/setLine/scaleDriver/grow/
+// prune/addOutput/removeOutput, addressed net.node) by recomputing only the
+// edited nets' bounds and re-propagating arrivals through their downstream
+// fanout cones — BenchmarkDesignECO measures the gap to a full re-analysis.
+// cmd/rcserve's POST /design/{id}/edit and statime -eco are the HTTP and CLI
+// forms.
+func NewDesignSession(ctx context.Context, d *Design, opt DesignOptions) (*DesignSession, error) {
+	return timing.NewSession(ctx, d, opt)
+}
+
+// ParseEcoEdits reads a textual ECO edit list (one edit per line, SPICE
+// value suffixes allowed) — the statime -eco file format.
+func ParseEcoEdits(src string) ([]DesignEdit, error) { return timing.ParseEdits(src) }
+
+// FormatEcoEdits renders edits back into the ECO line grammar. Edits read by
+// ParseEcoEdits round-trip exactly; hand-assembled edits with missing values
+// or unknown ops render as lines a reparse rejects, so a malformed list
+// fails loudly instead of losing edits silently.
+func FormatEcoEdits(edits []DesignEdit) string { return timing.FormatEdits(edits) }
+
+// NewEcoReport joins a before and an after report of the same design into
+// the slack-delta view (per-endpoint slack movement, WNS/TNS before vs
+// after, dirty-cone statistics from the ApplyResult).
+func NewEcoReport(before, after *DesignReport, res DesignApplyResult) *EcoReport {
+	return timing.NewEcoReport(before, after, res)
 }
 
 // AnalyzeBatch analyzes every job on a one-shot engine with default

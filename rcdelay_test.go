@@ -1,6 +1,7 @@
 package rcdelay
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -206,5 +207,55 @@ func TestFacadeErrors(t *testing.T) {
 	}
 	if _, err := FormatExpression(tree, NodeID(99)); err == nil {
 		t.Error("FormatExpression accepted bad output")
+	}
+}
+
+// TestDesignSessionFacade drives the ECO surface end to end through the
+// façade: parse a design, open a session, replay a parsed edit list, and
+// render the slack-delta report.
+func TestDesignSessionFacade(t *testing.T) {
+	design, err := ParseDesign(`
+.design demo
+.net drv
+.input in
+R1 in o 380
+C1 o 0 0.04
+.output o
+.endnet
+.net bus
+.input in
+U1 in far 1800 0.11
+C1 far 0 0.013
+.output far
+.endnet
+.stage drv o bus 25
+.require bus far 700
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewDesignSession(context.Background(), design, DesignOptions{Threshold: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.Report()
+	edits, err := ParseEcoEdits("scaleDriver drv 0.5\naddC bus.far 0.01\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FormatEcoEdits(edits); !strings.Contains(got, "scaleDriver drv 0.5") {
+		t.Errorf("FormatEcoEdits = %q", got)
+	}
+	res, err := sess.Apply(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || res.Gen != sess.Gen() {
+		t.Errorf("res = %+v, gen %d", res, sess.Gen())
+	}
+	eco := NewEcoReport(before, sess.Report(), res)
+	if !strings.Contains(eco.Summary(), "eco demo") {
+		t.Errorf("eco summary:\n%s", eco.Summary())
 	}
 }

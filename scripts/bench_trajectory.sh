@@ -3,7 +3,8 @@
 # the derived speedups) at the repo root:
 #
 #   BENCH_incremental.json  full-vs-incremental EditTree sweeps
-#   BENCH_timing.json       sequential vs levelized-parallel chip slack
+#   BENCH_timing.json       sequential vs levelized-parallel chip slack,
+#                           plus full-reanalyze vs dirty-cone ECO re-timing
 #
 # These files are the performance trajectory: re-run after perf work and
 # commit the result so regressions show up in review.
@@ -59,14 +60,15 @@ END {
 echo "wrote BENCH_incremental.json:"
 cat BENCH_incremental.json
 
-raw="$(go test -run '^$' -bench 'BenchmarkDesignSlack' -benchtime "$timing_benchtime" -count 1 ./internal/timing/)"
+raw="$(go test -run '^$' -bench 'BenchmarkDesignSlack|BenchmarkDesignECO' -benchtime "$timing_benchtime" -count 1 ./internal/timing/)"
 echo "$raw"
 printf '%s\n' "$raw" | awk -v date="$date" -v goversion="$goversion" -v maxprocs="$maxprocs" "$collect"'
 END {
     header()
     printf ",\n  \"speedup\": {\n"
     printf "    \"parallel_vs_sequential\": %.2f,\n", ns["DesignSlack/sequential"] / ns["DesignSlack/parallel"]
-    printf "    \"parallel_nocache_vs_sequential\": %.2f\n", ns["DesignSlack/sequential"] / ns["DesignSlack/parallel-nocache"]
+    printf "    \"parallel_nocache_vs_sequential\": %.2f,\n", ns["DesignSlack/sequential"] / ns["DesignSlack/parallel-nocache"]
+    printf "    \"eco_dirty_cone_vs_full\": %.1f\n", ns["DesignECO/full-reanalyze"] / ns["DesignECO/dirty-cone"]
     printf "  }\n}\n"
 }' > BENCH_timing.json
 echo "wrote BENCH_timing.json:"

@@ -1,13 +1,13 @@
 #!/bin/sh
 # coverage.sh — run the internal packages under -coverprofile, print the
 # per-package coverage summary plus the aggregate, and fail if any internal
-# package drops below the floor (default 70%). CI runs this; locally:
+# package drops below the floor (default 75%). CI runs this; locally:
 #
 #   sh scripts/coverage.sh [floor]
 set -eu
 
 cd "$(dirname "$0")/.."
-floor="${1:-70}"
+floor="${1:-75}"
 
 out="$(go test -coverprofile=cover.out ./internal/...)"
 printf '%s\n' "$out"
