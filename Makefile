@@ -1,10 +1,17 @@
 # Developer entry points; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: test race bench bench-smoke bench-trajectory cover golden vet
+.PHONY: test race bench bench-smoke bench-trajectory cover golden vet clean
 
 test:
 	go test ./...
+
+# Remove generated droppings (the coverage profile and compiled test
+# binaries). scripts/coverage.sh also cleans up after itself, so cover.out
+# never outlives the run that produced it; this target is the guard for
+# anything that still leaks.
+clean:
+	rm -f cover.out *.test
 
 race:
 	go test -race ./...

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"sync"
@@ -220,6 +221,77 @@ func (s *server) handleDesignSlack(w http.ResponseWriter, r *http.Request) {
 		"gen":    gen,
 		"report": report,
 	})
+}
+
+// designCloseRequest is the POST /design/{id}/close body: the repair
+// budgets. All fields are optional (an empty body closes with the default
+// 32-move budget and no cost ceiling); sequential forces one-at-a-time
+// trial evaluation, which accepts the same moves, only slower.
+type designCloseRequest struct {
+	MaxMoves     int     `json:"maxMoves,omitempty"`
+	MaxCost      float64 `json:"maxCost,omitempty"`
+	TopEndpoints int     `json:"topEndpoints,omitempty"`
+	Sequential   bool    `json:"sequential,omitempty"`
+}
+
+// designCloseResponse answers with the closure report — accepted edits,
+// trajectory, Pareto frontier — plus the session generation afterwards. The
+// accepted edits stay applied to the live session, so a following GET
+// /design/{id}/slack reads the repaired design. When the run was cut short
+// (a cancelled request context), error carries the reason and report the
+// partial trajectory — the only record of the moves that did land.
+type designCloseResponse struct {
+	ID     string                 `json:"id"`
+	Gen    uint64                 `json:"gen"`
+	Report *rcdelay.ClosureReport `json:"report"`
+	Error  string                 `json:"error,omitempty"`
+}
+
+// handleDesignClose runs the automated timing-closure engine on the live
+// session under its lock: failing endpoints are mined for candidate repairs,
+// candidates are evaluated concurrently as what-if trials on session forks,
+// and the best slack-gain-per-cost moves are accepted until WNS >= 0 or a
+// budget runs out.
+func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
+	s.counters.designReqs.Add(1)
+	s.counters.closeReqs.Add(1)
+	ent, ok := s.lookupDesign(w, r)
+	if !ok {
+		return
+	}
+	var req designCloseRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && err != io.EOF {
+		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		return
+	}
+	ds := ent.val
+	ds.mu.Lock()
+	report, err := rcdelay.CloseSession(r.Context(), ds.sess, rcdelay.ClosureOptions{
+		MaxMoves:     req.MaxMoves,
+		MaxCost:      req.MaxCost,
+		TopEndpoints: req.TopEndpoints,
+		Sequential:   req.Sequential,
+	})
+	if report != nil {
+		// A cancelled run still applied its accepted prefix; account for it.
+		ds.edits += len(report.Edits)
+	}
+	gen := ds.sess.Gen()
+	ds.mu.Unlock()
+	if err != nil && report == nil {
+		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.counters.closureMoves.Add(int64(len(report.Moves)))
+	resp := designCloseResponse{ID: ent.id, Gen: gen, Report: report}
+	status := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
 }
 
 func (s *server) handleDesignDelete(w http.ResponseWriter, r *http.Request) {

@@ -395,3 +395,138 @@ func TestDesignEditConcurrent(t *testing.T) {
 		t.Errorf("edits applied = %v, want %d", info["edits"], editors*iters)
 	}
 }
+
+// failingDeck is a chip whose sink endpoint misses its required time — the
+// closure endpoint's natural fixture.
+const failingDeck = `
+.design fail
+.net drv
+.input in
+R1 in o 380
+C1 o 0 0.04
+.output o
+.endnet
+.net bus
+.input in
+R1 in n1 120
+C1 n1 0 0.05
+R2 n1 far 300
+C2 far 0 0.08
+R3 n1 stub 90
+C3 stub 0 0.02
+.output far
+.endnet
+.net sink
+.input in
+R1 in o 220
+C1 o 0 0.06
+.output o
+.endnet
+.stage drv o bus 25
+.stage bus far sink 40
+.require sink o 150
+.end
+`
+
+func TestDesignClose(t *testing.T) {
+	srv := designServer()
+	body, _ := json.Marshal(map[string]any{"design": failingDeck, "threshold": 0.7})
+	code, created := postDesign(t, srv, string(body))
+	if code != http.StatusCreated {
+		t.Fatalf("POST /design = %d: %v", code, created)
+	}
+	if created["wns"].(float64) >= 0 {
+		t.Fatalf("fixture passes timing: %v", created)
+	}
+	id := created["id"].(string)
+
+	req := httptest.NewRequest(http.MethodPost, "/design/"+id+"/close",
+		strings.NewReader(`{"maxMoves": 16}`))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST close = %d: %s", w.Code, w.Body.String())
+	}
+	var closed struct {
+		ID     string `json:"id"`
+		Gen    uint64 `json:"gen"`
+		Report struct {
+			Closed     bool    `json:"closed"`
+			Reason     string  `json:"reason"`
+			FinalWNS   float64 `json:"finalWns"`
+			Cost       float64 `json:"cost"`
+			EditScript string  `json:"editScript"`
+			Trajectory []struct {
+				Kind string `json:"kind"`
+			} `json:"trajectory"`
+			Pareto []struct {
+				Cost float64 `json:"cost"`
+				WNS  float64 `json:"wns"`
+			} `json:"pareto"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &closed); err != nil {
+		t.Fatalf("bad close JSON: %v\n%s", err, w.Body.String())
+	}
+	if closed.ID != id || closed.Gen == 0 {
+		t.Errorf("close envelope = %+v", closed)
+	}
+	if !closed.Report.Closed || closed.Report.FinalWNS < 0 {
+		t.Fatalf("engine did not close: %s", w.Body.String())
+	}
+	if len(closed.Report.Trajectory) == 0 || len(closed.Report.Pareto) < 2 || closed.Report.EditScript == "" {
+		t.Errorf("report missing pieces: %s", w.Body.String())
+	}
+
+	// The accepted edits stayed applied: the session now reports WNS >= 0
+	// at a bumped generation, and the edit counter absorbed them.
+	req = httptest.NewRequest(http.MethodGet, "/design/"+id, nil)
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var info map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info["wns"].(float64) < 0 {
+		t.Errorf("session still failing after close: %v", info)
+	}
+	if info["gen"].(float64) != float64(closed.Gen) || info["edits"].(float64) == 0 {
+		t.Errorf("session info = %v", info)
+	}
+	if got := srv.counters.closeReqs.Load(); got != 1 {
+		t.Errorf("closeReqs = %d", got)
+	}
+	if got := srv.counters.closureMoves.Load(); got != int64(len(closed.Report.Trajectory)) {
+		t.Errorf("closureMoves = %d, want %d", got, len(closed.Report.Trajectory))
+	}
+
+	// An empty body is fine (defaults); an already-closed design answers
+	// with zero moves.
+	req = httptest.NewRequest(http.MethodPost, "/design/"+id+"/close", strings.NewReader(""))
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("re-close = %d: %s", w.Code, w.Body.String())
+	}
+	closed.Report.Trajectory = nil // the decoder leaves absent fields alone
+	if err := json.Unmarshal(w.Body.Bytes(), &closed); err != nil {
+		t.Fatal(err)
+	}
+	if !closed.Report.Closed || closed.Report.Reason != "no failing endpoints" || len(closed.Report.Trajectory) != 0 {
+		t.Errorf("re-close report = %s", w.Body.String())
+	}
+
+	// Unknown design 404s; malformed body 400s.
+	req = httptest.NewRequest(http.MethodPost, "/design/nope/close", strings.NewReader("{}"))
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("close unknown = %d", w.Code)
+	}
+	req = httptest.NewRequest(http.MethodPost, "/design/"+id+"/close", strings.NewReader("{bad"))
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("close malformed = %d", w.Code)
+	}
+}

@@ -23,6 +23,9 @@
 //	GET    /design/{id}         design summary (WNS/TNS, verdict counts)
 //	POST   /design/{id}/edit    apply ECO edits; only the edited nets and
 //	                            their downstream fanout cones are re-timed
+//	POST   /design/{id}/close   automated timing closure: repair the design
+//	                            until WNS >= 0 or a budget runs out, and
+//	                            return the accepted edits + trajectory
 //	GET    /design/{id}/slack   full endpoint slack table + critical paths
 //	DELETE /design/{id}         drop an analyzed design
 //	GET    /debug/vars          expvar counters (engine, cache, sessions)
@@ -52,6 +55,15 @@
 // re-timing only the edited nets' downstream cones, answering with the
 // updated WNS/TNS, the dirty-cone statistics, and which previously reported
 // critical paths the edit invalidated.
+//
+// POST /design/{id}/close turns the session over to the automated
+// timing-closure engine: candidate repairs (driver sizing, wire
+// rebuffering, load trimming, stub pruning) are evaluated concurrently as
+// what-if trials against session forks and accepted by slack gain per unit
+// cost until WNS >= 0 or the requested budgets ({"maxMoves": 16,
+// "maxCost": 50}) run out. The answer carries the accepted ECO edit list
+// (which stays applied to the session), the move-by-move trajectory, and
+// the Pareto frontier of (cost, WNS) states the search visited.
 package main
 
 import (
@@ -125,6 +137,8 @@ type server struct {
 		designReqs    atomic.Int64
 		designEdits   atomic.Int64
 		slackQueries  atomic.Int64
+		closeReqs     atomic.Int64
+		closureMoves  atomic.Int64
 	}
 }
 
@@ -156,6 +170,7 @@ func newServer(engine *rcdelay.BatchEngine) *server {
 	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("POST /design", s.handleDesignCreate)
 	s.mux.HandleFunc("POST /design/{id}/edit", s.handleDesignEdit)
+	s.mux.HandleFunc("POST /design/{id}/close", s.handleDesignClose)
 	s.mux.HandleFunc("GET /design/{id}/slack", s.handleDesignSlack)
 	s.mux.HandleFunc("GET /design/{id}", s.handleDesignInfo)
 	s.mux.HandleFunc("DELETE /design/{id}", s.handleDesignDelete)
@@ -198,6 +213,8 @@ func (s *server) statsSnapshot() map[string]any {
 		"boundsQueries": s.counters.boundsQueries.Load(),
 		"designEdits":   s.counters.designEdits.Load(),
 		"slackQueries":  s.counters.slackQueries.Load(),
+		"closeRequests": s.counters.closeReqs.Load(),
+		"closureMoves":  s.counters.closureMoves.Load(),
 	}
 }
 

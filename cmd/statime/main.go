@@ -8,6 +8,7 @@
 //	statime -threshold 0.5 -deadline 2n -format json bus.ckt
 //	statime -design -threshold 0.7 -deadline 700 -k 3 chip.ckt
 //	statime -eco fix.eco -threshold 0.7 chip.ckt
+//	statime -close -budget 16 -threshold 0.7 chip.ckt
 //
 // The default mode times each file as an independent net against the
 // deadline. With -design, the single input file is a multi-net design deck
@@ -24,6 +25,16 @@
 // before vs after the edits, plus the dirty-cone statistics. Edit lines look
 // like "setR drv.o 800", "addC bus.far 2p", "scaleDriver drv 0.5"; see the
 // timing package documentation for the full grammar.
+//
+// With -close (which also implies -design), the automated timing-closure
+// engine repairs the design instead of just reporting on it: failing
+// endpoints are mined for candidate moves (driver sizing, wire rebuffering,
+// load trimming, stub pruning), candidates are evaluated concurrently as
+// what-if trials, and the best slack-gain-per-cost move is accepted until
+// WNS >= 0, the -budget move count, or the -maxcost ceiling is hit. The
+// report carries the accepted ECO edit list (replayable via -eco), the
+// closure trajectory, and the Pareto frontier of (cost, WNS) states
+// visited.
 //
 // The deadline accepts SPICE suffixes (2n = 2e-9) and is interpreted in the
 // same units as the netlists' element products.
@@ -50,13 +61,20 @@ func main() {
 		format    = flag.String("format", "text", "output format: text, csv or json")
 		design    = flag.Bool("design", false, "treat the input as one multi-net design deck")
 		eco       = flag.String("eco", "", "replay this ECO edit list against the design and report slack deltas (implies -design)")
+		doClose   = flag.Bool("close", false, "run automated timing closure on the design and report the repair (implies -design)")
+		budget    = flag.Int("budget", 0, "closure move budget with -close (0 = the engine default)")
+		maxCost   = flag.Float64("maxcost", 0, "closure cost ceiling with -close (0 = unlimited)")
 		k         = flag.Int("k", 3, "critical paths to report in -design mode")
 	)
 	flag.Parse()
 	var err error
 	switch {
+	case *eco != "" && *doClose:
+		err = fmt.Errorf("-eco and -close are mutually exclusive: replay an existing edit list or synthesize a new one, not both")
 	case *eco != "":
 		err = runEco(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k, *eco)
+	case *doClose:
+		err = runClose(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k, *budget, *maxCost)
 	case *design:
 		err = runDesign(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k)
 	default:
@@ -198,6 +216,29 @@ func runEco(w io.Writer, paths []string, threshold float64, deadlineStr, format 
 		return fmt.Errorf("%s: %w", ecoPath, err)
 	}
 	return writeReport(w, format, rcdelay.NewEcoReport(before, sess.Report(), res))
+}
+
+// runClose is the -close mode: repair the design's negative slack with the
+// automated closure engine and report the accepted edits plus the
+// trajectory.
+func runClose(w io.Writer, paths []string, threshold float64, deadlineStr, format string, k, budget int, maxCost float64) error {
+	design, required, err := loadDesign("-close", paths, deadlineStr)
+	if err != nil {
+		return err
+	}
+	report, err := rcdelay.CloseTiming(context.Background(), design, rcdelay.ClosureOptions{
+		Timing: rcdelay.DesignOptions{
+			Threshold: threshold,
+			Required:  required,
+			K:         k,
+		},
+		MaxMoves: budget,
+		MaxCost:  maxCost,
+	})
+	if err != nil {
+		return err
+	}
+	return writeReport(w, format, report)
 }
 
 func loadNets(paths []string, threshold, deadline float64) ([]sta.Net, error) {

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSmoke runs the example end to end with stdout silenced: examples are
+// living documentation, and a test keeps them compiling and executing under
+// `go test ./...` (which otherwise reports [no test files]).
+func TestSmoke(t *testing.T) {
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+	main()
+}

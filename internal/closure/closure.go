@@ -1,0 +1,588 @@
+package closure
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/incr"
+	"repro/internal/netlist"
+	"repro/internal/opt"
+	"repro/internal/rctree"
+	"repro/internal/timing"
+)
+
+// Cost-model constants (abstract area units; see the package documentation).
+const (
+	driverAreaCost = 8.0  // upsizing by 1/f costs driverAreaCost·(1/f−1)
+	repeaterCost   = 6.0  // one inserted repeater
+	trimCostBase   = 2.0  // load trim: base plus the capacitance removed
+	pruneCost      = 1.5  // ECO disruption of deleting a stub
+	tnsWeight      = 0.05 // TNS share of the combined objective
+)
+
+// Options configures a closure run. The zero value closes with a 32-move
+// budget, no cost ceiling, the 4 worst endpoints mined per iteration, and
+// concurrent trial evaluation across GOMAXPROCS workers.
+type Options struct {
+	// Timing mounts the session when closing a Design directly
+	// (CloseDesign); Close on an existing session ignores it.
+	Timing timing.Options
+	// MaxMoves caps accepted moves (0 means 32; negative means unlimited).
+	MaxMoves int
+	// MaxCost caps the cumulative cost of accepted moves (<= 0: unlimited).
+	MaxCost float64
+	// TopEndpoints is how many failing endpoints are mined for candidates
+	// per iteration (0 means 4).
+	TopEndpoints int
+	// ConeDepth caps how many nets of each endpoint's critical upstream
+	// cone generate candidates (0 means 4).
+	ConeDepth int
+	// Concurrency bounds the trial-evaluation workers (0 means GOMAXPROCS).
+	Concurrency int
+	// Sequential forces one-at-a-time trial evaluation. The accepted move
+	// sequence is identical either way; the knob exists for benchmarking
+	// and debugging.
+	Sequential bool
+}
+
+func (o Options) resolve() Options {
+	if o.MaxMoves == 0 {
+		o.MaxMoves = 32
+	}
+	if o.MaxCost <= 0 {
+		o.MaxCost = math.Inf(1)
+	}
+	if o.TopEndpoints <= 0 {
+		o.TopEndpoints = 4
+	}
+	if o.ConeDepth <= 0 {
+		o.ConeDepth = 4
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if o.Sequential {
+		o.Concurrency = 1
+	}
+	return o
+}
+
+// Move is one candidate (or accepted) repair: a short ECO edit list on a
+// single net, priced in abstract area units.
+type Move struct {
+	// Kind names the generator: upsizeDriver, tunedDriver, rebufferWire,
+	// trimLoad or pruneStub.
+	Kind string `json:"kind"`
+	// Net is the net the move edits.
+	Net string `json:"net"`
+	// Desc is a human-readable one-liner ("scale driver to 0.5x").
+	Desc string `json:"desc"`
+	// Cost is the move's price in the package cost model.
+	Cost float64 `json:"cost"`
+	// Edits is the move's ECO edit list, replayable through
+	// timing.ParseEdits/FormatEdits.
+	Edits []timing.Edit `json:"edits"`
+}
+
+// TrajectoryPoint records one accepted move and the design state after it.
+type TrajectoryPoint struct {
+	Move Move
+	// CumCost is the cumulative accepted cost including this move.
+	CumCost float64
+	// WNS and TNS are the design's slack numbers after the move.
+	WNS, TNS float64
+	// Gain is the combined objective improvement (ΔWNS + 0.05·ΔTNS) the
+	// move bought.
+	Gain float64
+	// Candidates counts the moves generated this iteration; Trials the
+	// what-if evaluations that completed without a structural-guard
+	// rejection (so Trials < Candidates flags moves the session refused).
+	Candidates, Trials int
+}
+
+// ParetoPoint is one non-dominated (cumulative cost, WNS) state visited
+// during the search — including trial states the greedy path rejected.
+type ParetoPoint struct {
+	Cost float64 `json:"cost"`
+	WNS  float64 `json:"wns"`
+}
+
+// Report is the outcome of one closure run.
+type Report struct {
+	Design     string
+	Threshold  float64
+	InitialWNS float64
+	InitialTNS float64
+	FinalWNS   float64
+	FinalTNS   float64
+	// Closed reports whether the engine reached WNS >= 0; Reason says why
+	// the loop stopped ("met", "move budget exhausted", "cost ceiling
+	// reached", "no improving candidate", "no candidates", "no failing
+	// endpoints", or "cancelled" when the context expired mid-run).
+	Closed bool
+	Reason string
+	// Cost is the cumulative cost of the accepted moves.
+	Cost float64
+	// Trials counts what-if session evaluations across all iterations;
+	// GuidedProbes/GuidedEdits count the opt bisection probes spent by the
+	// tunedDriver generator and the EditTree edits they performed.
+	Trials       int
+	GuidedProbes int
+	GuidedEdits  int
+	// Moves is the accepted trajectory, in acceptance order.
+	Moves []TrajectoryPoint
+	// Pareto is the non-dominated frontier of visited (cost, WNS) states,
+	// cost ascending.
+	Pareto []ParetoPoint
+	// Edits is the accepted edit list, flattened in application order —
+	// FormatEdits of this list replayed against the original design
+	// reproduces FinalWNS/FinalTNS.
+	Edits []timing.Edit
+}
+
+// Close runs the repair loop against an existing session. The session is
+// mutated: accepted moves stay applied, so on return it sits at the
+// report's final state (callers wanting a what-if run pass sess.Fork()).
+//
+// If ctx expires mid-run the loop stops, and Close returns the context
+// error together with the partial report — the moves accepted before the
+// cancellation are applied to the session, and the report (reason
+// "cancelled") is the only record of what they were, so callers should
+// surface it rather than discard it.
+func Close(ctx context.Context, sess *timing.Session, o Options) (*Report, error) {
+	o = o.resolve()
+	e := &engine{sess: sess, opt: o}
+	return e.run(ctx)
+}
+
+// CloseDesign mounts a session on the design (with o.Timing) and closes it.
+// The design itself is never mutated; the returned report's Edits replay
+// the repair onto it.
+func CloseDesign(ctx context.Context, d *netlist.Design, o Options) (*Report, error) {
+	sess, err := timing.NewSession(ctx, d, o.Timing)
+	if err != nil {
+		return nil, err
+	}
+	return Close(ctx, sess, o)
+}
+
+// engine is the per-run state of the accept loop.
+type engine struct {
+	sess    *timing.Session
+	opt     Options
+	rep     *Report
+	visited []ParetoPoint // every trial state, raw (pre-frontier)
+}
+
+func (e *engine) run(ctx context.Context) (*Report, error) {
+	base := e.sess.EndpointTable()
+	e.rep = &Report{
+		Design:     base.Design,
+		Threshold:  base.Threshold,
+		InitialWNS: base.WNS,
+		InitialTNS: base.TNS,
+		FinalWNS:   base.WNS,
+		FinalTNS:   base.TNS,
+	}
+	e.visited = append(e.visited, ParetoPoint{0, base.WNS})
+	wns, tns := base.WNS, base.TNS
+	if wns >= 0 {
+		e.rep.Closed = true
+		e.rep.Reason = "no failing endpoints"
+		e.rep.Pareto = frontier(e.visited)
+		return e.rep, nil
+	}
+	var runErr error
+	for {
+		if err := ctx.Err(); err != nil {
+			// The moves accepted so far are applied to the session; the
+			// partial report is the only record of them, so it rides along
+			// with the error.
+			e.rep.Reason = "cancelled"
+			runErr = err
+			break
+		}
+		if e.opt.MaxMoves >= 0 && len(e.rep.Moves) >= e.opt.MaxMoves {
+			e.rep.Reason = "move budget exhausted"
+			break
+		}
+		cands, costFiltered := e.generate(base)
+		if len(cands) == 0 {
+			if costFiltered {
+				e.rep.Reason = "cost ceiling reached"
+			} else {
+				e.rep.Reason = "no candidates"
+			}
+			break
+		}
+		results := e.evaluate(cands)
+		best, bestScore := -1, 0.0
+		for i, tr := range results {
+			if tr.err != nil {
+				continue
+			}
+			e.visited = append(e.visited, ParetoPoint{e.rep.Cost + cands[i].Cost, tr.res.WNS})
+			if tr.res.WNS < wns { // never regress the worst slack
+				continue
+			}
+			gain := (tr.res.WNS - wns) + tnsWeight*(tr.res.TNS-tns)
+			if gain <= 0 {
+				continue
+			}
+			if score := gain / cands[i].Cost; best < 0 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best < 0 {
+			e.rep.Reason = "no improving candidate"
+			break
+		}
+		winner := cands[best]
+		res, err := e.sess.Apply(winner.Edits)
+		if err != nil {
+			// The trial on an identical fork succeeded, so this is a bug,
+			// not a user input problem — surface it loudly.
+			return nil, fmt.Errorf("closure: accepted move failed on commit: %w", err)
+		}
+		gain := (res.WNS - wns) + tnsWeight*(res.TNS-tns)
+		wns, tns = res.WNS, res.TNS
+		ok := 0
+		for _, tr := range results {
+			if tr.err == nil {
+				ok++
+			}
+		}
+		e.rep.Cost += winner.Cost
+		e.rep.Edits = append(e.rep.Edits, winner.Edits...)
+		e.rep.Moves = append(e.rep.Moves, TrajectoryPoint{
+			Move: winner, CumCost: e.rep.Cost, WNS: wns, TNS: tns,
+			Gain: gain, Candidates: len(cands), Trials: ok,
+		})
+		base = e.sess.EndpointTable()
+		if wns >= 0 {
+			e.rep.Closed = true
+			e.rep.Reason = "met"
+			break
+		}
+	}
+	e.rep.FinalWNS, e.rep.FinalTNS = wns, tns
+	e.rep.Closed = wns >= 0
+	e.rep.Pareto = frontier(e.visited)
+	return e.rep, runErr
+}
+
+// trial is one candidate's what-if outcome.
+type trial struct {
+	res timing.ApplyResult
+	err error
+}
+
+// evaluate runs every candidate as an independent what-if trial on its own
+// session fork. Forks are taken sequentially (Fork mutates the parent's
+// copy-on-write bookkeeping); the Applies fan across the worker pool. The
+// result slice is indexed like cands, so scheduling cannot reorder anything.
+func (e *engine) evaluate(cands []Move) []trial {
+	forks := make([]*timing.Session, len(cands))
+	for i := range cands {
+		forks[i] = e.sess.Fork()
+	}
+	results := make([]trial, len(cands))
+	e.rep.Trials += len(cands)
+	if e.opt.Concurrency <= 1 || len(cands) == 1 {
+		for i, c := range cands {
+			res, err := forks[i].Apply(c.Edits)
+			results[i] = trial{res, err}
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < e.opt.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				res, err := forks[i].Apply(cands[i].Edits)
+				results[i] = trial{res, err}
+			}
+		}()
+	}
+	for i := range cands {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+// generate mines the report's worst failing endpoints for candidate moves.
+// Everything iterates deterministically (sorted endpoints, cone order,
+// ascending node IDs), so two runs over the same state produce the same
+// candidate list in the same order. costFiltered reports whether the cost
+// ceiling rejected at least one otherwise-viable candidate — it phrases the
+// stop reason when the list comes back empty.
+func (e *engine) generate(rep *timing.Report) (cands []Move, costFiltered bool) {
+	seen := map[string]bool{}
+	add := func(m Move) {
+		key := m.Kind + "|" + m.Net + "|" + m.Desc
+		if seen[key] {
+			return
+		}
+		if e.rep.Cost+m.Cost > e.opt.MaxCost {
+			costFiltered = true
+			return
+		}
+		seen[key] = true
+		cands = append(cands, m)
+	}
+	mined := 0
+	for _, ep := range rep.Endpoints {
+		if !(ep.Slack < 0) {
+			break // sorted worst-first: the rest pass or are unconstrained
+		}
+		if mined >= e.opt.TopEndpoints {
+			break
+		}
+		mined++
+		cone := e.sess.CriticalUpstream(ep.Net)
+		if len(cone) > e.opt.ConeDepth {
+			cone = cone[:e.opt.ConeDepth]
+		}
+		for _, net := range cone {
+			for _, f := range []float64{0.7, 0.5} {
+				add(Move{
+					Kind: "upsizeDriver", Net: net,
+					Desc: fmt.Sprintf("scale driver to %gx", f),
+					Cost: driverAreaCost * (1/f - 1),
+					Edits: []timing.Edit{{
+						Op: "scaleDriver", Net: net, Factor: ptr(f),
+					}},
+				})
+			}
+			if m, ok := e.pruneStub(net); ok {
+				add(m)
+			}
+		}
+		if m, ok := e.tunedDriver(ep); ok {
+			add(m)
+		}
+		if m, ok := e.rebufferWire(ep); ok {
+			add(m)
+		}
+		if m, ok := e.trimLoad(ep); ok {
+			add(m)
+		}
+	}
+	return cands, costFiltered
+}
+
+// tunedDriver bisects the endpoint net's driver scale for the largest
+// (cheapest) factor whose certified TMax still meets the endpoint's local
+// budget — opt.MaxParamStats probing a cloned EditTree, one SetResistance
+// per driver edge per probe.
+func (e *engine) tunedDriver(ep timing.EndpointSlack) (Move, bool) {
+	in, ok := e.sess.InputArrival(ep.Net)
+	if !ok || math.IsInf(ep.Required, 0) {
+		return Move{}, false
+	}
+	budget := ep.Required - in.Max
+	if budget <= 0 {
+		return Move{}, false // the input is already too late; upstream moves must act
+	}
+	et, ok := e.sess.CloneNetTree(ep.Net)
+	if !ok {
+		return Move{}, false
+	}
+	out, ok := et.Lookup(ep.Output)
+	if !ok {
+		return Move{}, false
+	}
+	// Probe by absolute assignment (SetResistance from a recorded base), not
+	// repeated ScaleDriver, so bisection steps do not compound.
+	kids := et.Children(incr.Root)
+	baseR := make([]float64, len(kids))
+	for i, v := range kids {
+		_, r, _ := et.Edge(v)
+		baseR[i] = r
+	}
+	th := e.sess.Threshold()
+	factor, stats, err := opt.MaxParamStats(0.02, 1, 1e-4, func(f float64) (bool, error) {
+		for i, v := range kids {
+			if err := et.SetResistance(v, baseR[i]*f); err != nil {
+				return false, err
+			}
+		}
+		tm, err := et.Times(out)
+		if err != nil {
+			return false, err
+		}
+		b, err := core.New(tm)
+		if err != nil {
+			return false, err
+		}
+		return b.TMax(th) <= budget, nil
+	})
+	e.rep.GuidedProbes += stats.Probes
+	e.rep.GuidedEdits += stats.Probes * opt.EditsPerProbe * len(kids)
+	if err != nil || factor >= 0.999 {
+		return Move{}, false // unsatisfiable by sizing alone, or already met
+	}
+	return Move{
+		Kind: "tunedDriver", Net: ep.Net,
+		Desc: fmt.Sprintf("bisected driver scale to %.4gx for %s", factor, ep.Output),
+		Cost: driverAreaCost * (1/factor - 1),
+		Edits: []timing.Edit{{
+			Op: "scaleDriver", Net: ep.Net, Factor: ptr(factor),
+		}},
+	}, true
+}
+
+// rebufferWire cuts the highest-resistance distributed line on the failing
+// output's root path to half length and lands the repeater's input
+// capacitance at the cut.
+func (e *engine) rebufferWire(ep timing.EndpointSlack) (Move, bool) {
+	et, ok := e.sess.ViewNetTree(ep.Net)
+	if !ok {
+		return Move{}, false
+	}
+	out, ok := et.Lookup(ep.Output)
+	if !ok {
+		return Move{}, false
+	}
+	bestID := incr.NodeID(-1)
+	var bestR, bestC float64
+	for v := out; v != incr.Root; v = et.Parent(v) {
+		kind, r, c := et.Edge(v)
+		if kind == rctree.EdgeLine && r > bestR {
+			bestID, bestR, bestC = v, r, c
+		}
+	}
+	if bestID < 0 {
+		return Move{}, false // no distributed line on the path
+	}
+	node := et.Name(bestID)
+	parent := et.Name(et.Parent(bestID))
+	repIn := 0.1 * bestC // the repeater loads the cut with ~10% of the wire's C
+	return Move{
+		Kind: "rebufferWire", Net: ep.Net,
+		Desc: fmt.Sprintf("halve line %s and repeat at %s", node, parent),
+		Cost: repeaterCost,
+		Edits: []timing.Edit{
+			{Op: "setLine", Net: ep.Net, Node: node, R: ptr(bestR / 2), C: ptr(bestC / 2)},
+			{Op: "addC", Net: ep.Net, Node: parent, C: ptr(repIn)},
+		},
+	}, true
+}
+
+// trimLoad shrinks the endpoint's lumped load capacitance to 70% — a
+// smaller receiving gate.
+func (e *engine) trimLoad(ep timing.EndpointSlack) (Move, bool) {
+	et, ok := e.sess.ViewNetTree(ep.Net)
+	if !ok {
+		return Move{}, false
+	}
+	out, ok := et.Lookup(ep.Output)
+	if !ok {
+		return Move{}, false
+	}
+	c := et.NodeCap(out)
+	if c <= 0 {
+		return Move{}, false
+	}
+	trimmed := 0.7 * c
+	return Move{
+		Kind: "trimLoad", Net: ep.Net,
+		Desc: fmt.Sprintf("trim load at %s to %.4g", ep.Output, trimmed),
+		Cost: trimCostBase + (c - trimmed),
+		Edits: []timing.Edit{
+			{Op: "setC", Net: ep.Net, Node: ep.Output, C: ptr(trimmed)},
+		},
+	}, true
+}
+
+// pruneStub finds the heaviest parasitic stub of the net — a subtree
+// containing no designated output and no protected name — and proposes
+// deleting it.
+func (e *engine) pruneStub(net string) (Move, bool) {
+	et, ok := e.sess.ViewNetTree(net)
+	if !ok {
+		return Move{}, false
+	}
+	// needed: every node on the root path of a designated output or a
+	// protected name. Anything outside that set is parasitic.
+	needed := map[incr.NodeID]bool{incr.Root: true}
+	mark := func(id incr.NodeID) {
+		for v := id; ; v = et.Parent(v) {
+			if needed[v] {
+				return
+			}
+			needed[v] = true
+			if v == incr.Root {
+				return
+			}
+		}
+	}
+	for _, o := range et.Outputs() {
+		mark(o)
+	}
+	for _, name := range e.sess.ProtectedOutputs(net) {
+		if id, ok := et.Lookup(name); ok {
+			mark(id)
+		}
+	}
+	best := incr.NodeID(-1)
+	var bestCap float64
+	for i := 1; i < et.Slots(); i++ {
+		id := incr.NodeID(i)
+		if et.Name(id) == "" || needed[id] { // dead slot or load-bearing
+			continue
+		}
+		if !needed[et.Parent(id)] {
+			continue // interior of a stub; its root is the candidate
+		}
+		if sc := et.SubtreeCap(id); sc > bestCap {
+			best, bestCap = id, sc
+		}
+	}
+	if best < 0 || bestCap <= 0 || et.TotalCap()-bestCap <= 0 {
+		return Move{}, false
+	}
+	node := et.Name(best)
+	return Move{
+		Kind: "pruneStub", Net: net,
+		Desc: fmt.Sprintf("prune stub %s (%.4g cap)", node, bestCap),
+		Cost: pruneCost,
+		Edits: []timing.Edit{
+			{Op: "prune", Net: net, Node: node},
+		},
+	}, true
+}
+
+// frontier reduces the visited states to the non-dominated (cost, WNS) set:
+// cost strictly ascending, WNS strictly ascending — every kept point buys
+// slack no cheaper point reached.
+func frontier(pts []ParetoPoint) []ParetoPoint {
+	sorted := append([]ParetoPoint(nil), pts...)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Cost != sorted[b].Cost {
+			return sorted[a].Cost < sorted[b].Cost
+		}
+		return sorted[a].WNS > sorted[b].WNS
+	})
+	var out []ParetoPoint
+	bestWNS := math.Inf(-1)
+	for _, p := range sorted {
+		if p.WNS > bestWNS {
+			out = append(out, p)
+			bestWNS = p.WNS
+		}
+	}
+	return out
+}
+
+func ptr(v float64) *float64 { return &v }

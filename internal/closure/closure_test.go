@@ -1,0 +1,386 @@
+package closure
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/randnet"
+	"repro/internal/timing"
+)
+
+// chipDeck is the familiar demo pipeline: the sink endpoint misses its
+// required time, bus_b carries a prunable stub, and the driver is weak —
+// every generator has something to find.
+const chipDeck = `
+.design demo
+.net drv
+.input in
+R1 in o 380
+C1 o 0 0.04
+.output o
+.endnet
+.net bus_a
+.input in
+U1 in far 1800 0.11
+C1 far 0 0.013
+.output far
+.endnet
+.net bus_b
+.input in
+R1 in n1 120
+C1 n1 0 0.05
+R2 n1 far 300
+C2 far 0 0.08
+R3 n1 stub 90
+C3 stub 0 0.02
+.output far
+.endnet
+.net sink
+.input in
+R1 in o 220
+C1 o 0 0.06
+.output o
+.endnet
+.stage drv o bus_a 25
+.stage drv o bus_b 25
+.stage bus_b far sink 40
+.require bus_a far 700
+.require sink o 150
+.end
+`
+
+func parseChip(t *testing.T) *netlist.Design {
+	t.Helper()
+	d, err := netlist.ParseDesign(chipDeck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// replayCheck formats the accepted edits, reparses them, replays them on a
+// fresh session over the original design, materializes, and runs a full
+// from-scratch AnalyzeDesign — the claimed final WNS/TNS must reproduce to
+// 1e-9 and no structural guard may fire.
+func replayCheck(t *testing.T, d *netlist.Design, rep *Report, topt timing.Options) {
+	t.Helper()
+	script := timing.FormatEdits(rep.Edits)
+	edits, err := timing.ParseEdits(script)
+	if err != nil {
+		t.Fatalf("reparse of accepted edits failed: %v\n%s", err, script)
+	}
+	sess, err := timing.NewSession(context.Background(), d, topt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edits) > 0 {
+		if _, err := sess.Apply(edits); err != nil {
+			t.Fatalf("replay violated a structural guard: %v\n%s", err, script)
+		}
+	}
+	repaired, err := sess.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := timing.Analyze(context.Background(), repaired, topt)
+	if err != nil {
+		t.Fatalf("full re-analysis of the repaired design: %v", err)
+	}
+	if !closeEnough(full.WNS, rep.FinalWNS) || !closeEnough(full.TNS, rep.FinalTNS) {
+		t.Fatalf("replayed WNS/TNS %g/%g, engine claimed %g/%g\n%s",
+			full.WNS, full.TNS, rep.FinalWNS, rep.FinalTNS, script)
+	}
+}
+
+// TestCloseChip: the demo chip starts failing and the engine drives it to
+// WNS >= 0; the accepted edit list replays to the same numbers.
+func TestCloseChip(t *testing.T) {
+	d := parseChip(t)
+	topt := timing.Options{Threshold: 0.7, K: 2, Sequential: true}
+	rep, err := CloseDesign(context.Background(), d, Options{Timing: topt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InitialWNS >= 0 {
+		t.Fatalf("chip starts passing (WNS %g); the fixture is broken", rep.InitialWNS)
+	}
+	if !rep.Closed || rep.FinalWNS < 0 {
+		t.Fatalf("engine did not close: %+v", rep)
+	}
+	if rep.Reason != "met" {
+		t.Errorf("reason = %q, want met", rep.Reason)
+	}
+	if len(rep.Moves) == 0 || len(rep.Edits) == 0 {
+		t.Fatalf("closed with no moves? %+v", rep)
+	}
+	if rep.Cost <= 0 || rep.Trials < len(rep.Moves) {
+		t.Errorf("accounting looks wrong: cost %g, trials %d", rep.Cost, rep.Trials)
+	}
+	if rep.FinalTNS != 0 {
+		t.Errorf("closed but TNS = %g", rep.FinalTNS)
+	}
+	replayCheck(t, d, rep, topt)
+	// The frontier must start at the initial state and end at a closed one,
+	// cost and WNS both ascending.
+	if len(rep.Pareto) < 2 {
+		t.Fatalf("pareto = %+v", rep.Pareto)
+	}
+	if rep.Pareto[0].Cost != 0 || rep.Pareto[0].WNS != rep.InitialWNS {
+		t.Errorf("pareto[0] = %+v, want the initial state", rep.Pareto[0])
+	}
+	for i := 1; i < len(rep.Pareto); i++ {
+		if rep.Pareto[i].Cost <= rep.Pareto[i-1].Cost || rep.Pareto[i].WNS <= rep.Pareto[i-1].WNS {
+			t.Errorf("pareto not strictly ascending at %d: %+v", i, rep.Pareto)
+		}
+	}
+	if last := rep.Pareto[len(rep.Pareto)-1]; last.WNS < rep.FinalWNS {
+		t.Errorf("frontier tip %+v below the final state WNS %g", last, rep.FinalWNS)
+	}
+}
+
+// failingRandomDesign draws a random layered design and picks a default
+// required time that makes its worst endpoints fail by a healthy margin.
+func failingRandomDesign(t *testing.T, seed int64) (*netlist.Design, float64) {
+	t.Helper()
+	cfg := randnet.DesignConfig{
+		Levels:   3,
+		Width:    3,
+		Net:      randnet.DefaultConfig(8 + int(seed%7)),
+		FaninMax: 2,
+		DelayMax: 10,
+	}
+	d := randnet.DesignSeed(seed, cfg)
+	probe, err := timing.Analyze(context.Background(), d, timing.Options{Threshold: 0.7, Required: 1e12, Sequential: true})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	maxArr := 0.0
+	for _, ep := range probe.Endpoints {
+		if ep.Arrival.Max > maxArr {
+			maxArr = ep.Arrival.Max
+		}
+	}
+	if maxArr <= 0 {
+		t.Fatalf("seed %d: degenerate design", seed)
+	}
+	return d, 0.8 * maxArr
+}
+
+// TestClosurePropertyRandomDesigns is the acceptance property: across 50+
+// randomized failing designs, (1) the accepted edit list replays through
+// ParseEdits + a fresh full AnalyzeDesign to the claimed WNS/TNS within
+// 1e-9 without tripping a structural guard, and (2) concurrent trial
+// evaluation accepts exactly the same move sequence as sequential.
+func TestClosurePropertyRandomDesigns(t *testing.T) {
+	designs := 50
+	if testing.Short() {
+		designs = 10
+	}
+	for seed := int64(0); seed < int64(designs); seed++ {
+		d, required := failingRandomDesign(t, seed)
+		topt := timing.Options{Threshold: 0.7, Required: required, Sequential: true}
+		base := Options{Timing: topt, MaxMoves: 5, TopEndpoints: 3, ConeDepth: 3}
+
+		seqOpt := base
+		seqOpt.Sequential = true
+		seq, err := CloseDesign(context.Background(), d, seqOpt)
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		// Force a real worker pool even on a single-CPU machine, so the
+		// determinism claim covers genuine goroutine interleaving.
+		concOpt := base
+		concOpt.Concurrency = 4
+		conc, err := CloseDesign(context.Background(), d, concOpt)
+		if err != nil {
+			t.Fatalf("seed %d concurrent: %v", seed, err)
+		}
+
+		// Determinism: identical accepted-move sequences, bit for bit.
+		if timing.FormatEdits(seq.Edits) != timing.FormatEdits(conc.Edits) {
+			t.Fatalf("seed %d: concurrent and sequential accepted different edits:\n%s\nvs\n%s",
+				seed, timing.FormatEdits(seq.Edits), timing.FormatEdits(conc.Edits))
+		}
+		if len(seq.Moves) != len(conc.Moves) {
+			t.Fatalf("seed %d: move counts differ: %d vs %d", seed, len(seq.Moves), len(conc.Moves))
+		}
+		for i := range seq.Moves {
+			a, b := seq.Moves[i], conc.Moves[i]
+			if a.Move.Kind != b.Move.Kind || a.Move.Net != b.Move.Net || a.Move.Cost != b.Move.Cost ||
+				a.WNS != b.WNS || a.TNS != b.TNS {
+				t.Fatalf("seed %d move %d differs: %+v vs %+v", seed, i, a, b)
+			}
+		}
+		if seq.FinalWNS != conc.FinalWNS || seq.FinalTNS != conc.FinalTNS {
+			t.Fatalf("seed %d: final WNS/TNS differ: %g/%g vs %g/%g",
+				seed, seq.FinalWNS, seq.FinalTNS, conc.FinalWNS, conc.FinalTNS)
+		}
+
+		// Replay: the formatted edit list reproduces the claimed numbers on
+		// a from-scratch analysis.
+		replayCheck(t, d, conc, topt)
+
+		// The engine must never leave the design worse than it found it.
+		if conc.FinalWNS < conc.InitialWNS {
+			t.Fatalf("seed %d: WNS regressed %g -> %g", seed, conc.InitialWNS, conc.FinalWNS)
+		}
+	}
+}
+
+// TestClosureStopsOnBudget: the stop conditions phrase themselves.
+func TestClosureStopsOnBudget(t *testing.T) {
+	d := parseChip(t)
+	topt := timing.Options{Threshold: 0.7, Sequential: true}
+	rep, err := CloseDesign(context.Background(), d, Options{Timing: topt, MaxMoves: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Closed && len(rep.Moves) > 1 {
+		t.Fatalf("budget 1 accepted %d moves", len(rep.Moves))
+	}
+	if !rep.Closed && rep.Reason != "move budget exhausted" {
+		t.Errorf("reason = %q", rep.Reason)
+	}
+	if len(rep.Moves) == 1 && rep.Moves[0].WNS <= rep.InitialWNS {
+		t.Errorf("the one budgeted move bought nothing: %+v", rep.Moves[0])
+	}
+
+	rep, err = CloseDesign(context.Background(), d, Options{Timing: topt, MaxCost: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Closed || len(rep.Moves) != 0 {
+		t.Fatalf("closed under a zero cost ceiling: %+v", rep)
+	}
+	if rep.Reason != "cost ceiling reached" {
+		t.Errorf("reason = %q, want cost ceiling reached", rep.Reason)
+	}
+}
+
+// TestClosureAlreadyClosed: a passing design is a no-op.
+func TestClosureAlreadyClosed(t *testing.T) {
+	d := parseChip(t)
+	rep, err := CloseDesign(context.Background(), d,
+		Options{Timing: timing.Options{Threshold: 0.7, Required: 1e9, Sequential: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deck's explicit .require cards still fail; raise them out of the
+	// way by closing the design's unconstrained form instead.
+	d.Requires = nil
+	rep, err = CloseDesign(context.Background(), d,
+		Options{Timing: timing.Options{Threshold: 0.7, Required: 1e9, Sequential: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Closed || rep.Reason != "no failing endpoints" || len(rep.Moves) != 0 {
+		t.Fatalf("passing design: %+v", rep)
+	}
+}
+
+// TestClosureContextCancel: a cancelled context stops the loop with the
+// context's error, and the partial report still rides along (it is the only
+// record of the moves the session already absorbed).
+func TestClosureContextCancel(t *testing.T) {
+	d := parseChip(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sess, err := timing.NewSession(context.Background(), d, timing.Options{Threshold: 0.7, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Close(ctx, sess, Options{})
+	if err == nil {
+		t.Fatal("cancelled context did not stop the loop")
+	}
+	if rep == nil || rep.Reason != "cancelled" {
+		t.Fatalf("partial report = %+v", rep)
+	}
+}
+
+// TestFrontier: dominated points vanish, the rest sort by cost with WNS
+// strictly improving.
+func TestFrontier(t *testing.T) {
+	pts := []ParetoPoint{
+		{0, -30}, {5, -10}, {5, -12}, {3, -25}, {8, -10}, {10, -2}, {7, -40},
+	}
+	got := frontier(pts)
+	want := []ParetoPoint{{0, -30}, {3, -25}, {5, -10}, {10, -2}}
+	if len(got) != len(want) {
+		t.Fatalf("frontier = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frontier[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestReportFormats: the three renderers agree on the same run and survive
+// round trips through their own consumers.
+func TestReportFormats(t *testing.T) {
+	d := parseChip(t)
+	topt := timing.Options{Threshold: 0.7, Sequential: true}
+	rep, err := CloseDesign(context.Background(), d, Options{Timing: topt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := rep.Summary()
+	for _, want := range []string{"closure demo", "closed: met", "pareto frontier", "accepted ECO edits"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary lacks %q:\n%s", want, text)
+		}
+	}
+	var csvBuf bytes.Buffer
+	if err := rep.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&csvBuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rep.Moves)+2 { // header + initial + moves
+		t.Errorf("csv rows = %d, want %d", len(rows), len(rep.Moves)+2)
+	}
+	if rows[1][1] != "initial" {
+		t.Errorf("csv row 1 = %v", rows[1])
+	}
+	var jsonBuf bytes.Buffer
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Closed     bool    `json:"closed"`
+		FinalWNS   float64 `json:"finalWns"`
+		EditScript string  `json:"editScript"`
+		Trajectory []struct {
+			Kind string `json:"kind"`
+		} `json:"trajectory"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !decoded.Closed || decoded.FinalWNS != rep.FinalWNS || len(decoded.Trajectory) != len(rep.Moves) {
+		t.Errorf("json round trip = %+v", decoded)
+	}
+	if _, err := timing.ParseEdits(decoded.EditScript); err != nil {
+		t.Errorf("editScript does not reparse: %v", err)
+	}
+}

@@ -1,0 +1,178 @@
+package closure
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/timing"
+)
+
+// fmtG renders a float compactly, with infinities as "-" (no constrained
+// endpoint), following the chip report's conventions.
+func fmtG(v float64) string {
+	if math.IsInf(v, 0) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Summary renders the fixed-width closure report: the headline movement,
+// the accepted trajectory, the Pareto frontier, and the replayable edit
+// list.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	name := r.Design
+	if name == "" {
+		name = "(unnamed)"
+	}
+	status := "stopped: " + r.Reason
+	if r.Closed {
+		status = "closed: " + r.Reason
+	}
+	fmt.Fprintf(&b, "closure %s: WNS %s -> %s   TNS %s -> %s   (%s)\n",
+		name, fmtG(r.InitialWNS), fmtG(r.FinalWNS), fmtG(r.InitialTNS), fmtG(r.FinalTNS), status)
+	fmt.Fprintf(&b, "%d moves, cost %s, %d trials, %d guided probes (%d EditTree edits)\n\n",
+		len(r.Moves), fmtG(r.Cost), r.Trials, r.GuidedProbes, r.GuidedEdits)
+	if len(r.Moves) > 0 {
+		fmt.Fprintf(&b, "%3s %-14s %-10s %10s %10s %12s %12s %6s %s\n",
+			"#", "kind", "net", "cost", "cum.cost", "wns", "tns", "cand", "move")
+		for i, m := range r.Moves {
+			fmt.Fprintf(&b, "%3d %-14s %-10s %10s %10s %12s %12s %6d %s\n",
+				i+1, m.Move.Kind, m.Move.Net, fmtG(m.Move.Cost), fmtG(m.CumCost),
+				fmtG(m.WNS), fmtG(m.TNS), m.Candidates, m.Move.Desc)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Pareto) > 0 {
+		fmt.Fprintf(&b, "pareto frontier (cost, wns):\n")
+		for _, p := range r.Pareto {
+			fmt.Fprintf(&b, "%12s %12s\n", fmtG(p.Cost), fmtG(p.WNS))
+		}
+	}
+	if len(r.Edits) > 0 {
+		fmt.Fprintf(&b, "\naccepted ECO edits:\n%s", timing.FormatEdits(r.Edits))
+	}
+	return b.String()
+}
+
+// WriteCSV emits the trajectory as CSV: a move-0 row for the initial state,
+// then one row per accepted move. Infinities (no constrained endpoint)
+// render empty, as in the chip report.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"move", "kind", "net", "desc", "cost", "cum_cost", "wns", "tns", "gain", "candidates", "trials",
+	}); err != nil {
+		return fmt.Errorf("closure: csv: %w", err)
+	}
+	g := func(v float64) string {
+		if math.IsInf(v, 0) {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	if err := cw.Write([]string{
+		"0", "initial", "", "", "0", "0", g(r.InitialWNS), g(r.InitialTNS), "", "", "",
+	}); err != nil {
+		return fmt.Errorf("closure: csv: %w", err)
+	}
+	for i, m := range r.Moves {
+		rec := []string{
+			strconv.Itoa(i + 1), m.Move.Kind, m.Move.Net, m.Move.Desc,
+			g(m.Move.Cost), g(m.CumCost), g(m.WNS), g(m.TNS), g(m.Gain),
+			strconv.Itoa(m.Candidates), strconv.Itoa(m.Trials),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("closure: csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Wire shapes: infinities ride as omitted pointers, as everywhere else on
+// the JSON surface.
+type jsonTrajectoryPoint struct {
+	Kind       string   `json:"kind"`
+	Net        string   `json:"net"`
+	Desc       string   `json:"desc"`
+	Cost       float64  `json:"cost"`
+	CumCost    float64  `json:"cumCost"`
+	WNS        *float64 `json:"wns,omitempty"`
+	TNS        float64  `json:"tns"`
+	Gain       float64  `json:"gain"`
+	Candidates int      `json:"candidates"`
+	Trials     int      `json:"trials"`
+}
+
+type jsonReport struct {
+	Design       string                `json:"design,omitempty"`
+	Threshold    float64               `json:"threshold"`
+	InitialWNS   *float64              `json:"initialWns,omitempty"`
+	InitialTNS   float64               `json:"initialTns"`
+	FinalWNS     *float64              `json:"finalWns,omitempty"`
+	FinalTNS     float64               `json:"finalTns"`
+	Closed       bool                  `json:"closed"`
+	Reason       string                `json:"reason"`
+	Cost         float64               `json:"cost"`
+	Trials       int                   `json:"trials"`
+	GuidedProbes int                   `json:"guidedProbes"`
+	GuidedEdits  int                   `json:"guidedEdits"`
+	Trajectory   []jsonTrajectoryPoint `json:"trajectory,omitempty"`
+	Pareto       []ParetoPoint         `json:"pareto,omitempty"`
+	Edits        []timing.Edit         `json:"edits,omitempty"`
+	// EditScript is the accepted edit list in the statime -eco line grammar,
+	// ready to replay.
+	EditScript string `json:"editScript,omitempty"`
+}
+
+func finitePtr(v float64) *float64 {
+	if math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func (r *Report) wire() jsonReport {
+	out := jsonReport{
+		Design: r.Design, Threshold: r.Threshold,
+		InitialWNS: finitePtr(r.InitialWNS), InitialTNS: r.InitialTNS,
+		FinalWNS: finitePtr(r.FinalWNS), FinalTNS: r.FinalTNS,
+		Closed: r.Closed, Reason: r.Reason, Cost: r.Cost,
+		Trials: r.Trials, GuidedProbes: r.GuidedProbes, GuidedEdits: r.GuidedEdits,
+		Pareto: r.Pareto, Edits: r.Edits,
+	}
+	for _, m := range r.Moves {
+		out.Trajectory = append(out.Trajectory, jsonTrajectoryPoint{
+			Kind: m.Move.Kind, Net: m.Move.Net, Desc: m.Move.Desc,
+			Cost: m.Move.Cost, CumCost: m.CumCost,
+			WNS: finitePtr(m.WNS), TNS: m.TNS, Gain: m.Gain,
+			Candidates: m.Candidates, Trials: m.Trials,
+		})
+	}
+	if len(r.Edits) > 0 {
+		out.EditScript = timing.FormatEdits(r.Edits)
+	}
+	return out
+}
+
+// WriteJSON emits the closure report as indented JSON with a stable schema.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.wire()); err != nil {
+		return fmt.Errorf("closure: json: %w", err)
+	}
+	return nil
+}
+
+// MarshalJSON makes the report embeddable in JSON envelopes (rcserve's
+// close endpoint returns it inline).
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.wire())
+}

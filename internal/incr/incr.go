@@ -84,6 +84,37 @@ func New(t *rctree.Tree) *EditTree {
 	return et
 }
 
+// Clone returns an independent deep copy of the overlay: same node IDs,
+// names, designated outputs and maintained aggregates, but no shared mutable
+// storage — edits to either side never show through to the other. The query
+// memo does not carry over (the clone re-derives it on demand). O(n).
+//
+// Clone is the building block for what-if trials: snapshot the tree, probe an
+// edit on the copy, and discard it — the original keeps serving readers. A
+// clone and its source may be read concurrently, but each side's mutations
+// (including Times, which fills a memo) must stay single-goroutine, as usual.
+func (et *EditTree) Clone() *EditTree {
+	c := &EditTree{
+		nodes:   append([]enode(nil), et.nodes...),
+		byName:  make(map[string]NodeID, len(et.byName)),
+		outputs: append([]NodeID(nil), et.outputs...),
+		s0:      append([]float64(nil), et.s0...),
+		s1:      append([]float64(nil), et.s1...),
+		gen:     et.gen,
+		alive:   et.alive,
+		edits:   et.edits,
+		maxMag:  et.maxMag,
+		cache:   make(map[NodeID]cachedTimes),
+	}
+	for i := range c.nodes {
+		c.nodes[i].children = append([]NodeID(nil), et.nodes[i].children...)
+	}
+	for name, id := range et.byName {
+		c.byName[name] = id
+	}
+	return c
+}
+
 // recomputeAggregates rebuilds s0 and s1 from the element values in one
 // bottom-up pass — the full-recompute fallback. Node storage is topological
 // (parents precede children, for grafted nodes too), so a reverse index walk
@@ -688,6 +719,21 @@ func (et *EditTree) Gen() uint64 { return et.gen }
 
 // NumNodes reports the number of live nodes, including the input.
 func (et *EditTree) NumNodes() int { return et.alive }
+
+// Slots reports the total number of NodeID slots ever allocated, dead ones
+// included — the exclusive upper bound for scanning IDs with Name/checkNode,
+// since pruned slots persist and grown nodes always take fresh ascending IDs.
+func (et *EditTree) Slots() int { return len(et.nodes) }
+
+// Children returns a copy of the live children of node id (empty for pruned
+// or out-of-range IDs) — with Parent, the full topology surface a read-only
+// consumer like the closure engine's stub scan needs.
+func (et *EditTree) Children(id NodeID) []NodeID {
+	if et.checkNode(id) != nil {
+		return nil
+	}
+	return append([]NodeID(nil), et.nodes[id].children...)
+}
 
 // Outputs returns a copy of the designated output IDs, in designation order.
 func (et *EditTree) Outputs() []NodeID { return append([]NodeID(nil), et.outputs...) }

@@ -547,3 +547,109 @@ func TestRebuildFallback(t *testing.T) {
 	}
 	timesClose(t, got, want, 1e-9, "after threshold rebuilds")
 }
+
+// TestCloneIndependence: a clone answers exactly what its source answers at
+// the moment of cloning, and edits to either side never show through to the
+// other — both compared against full recomputes of their own materialized
+// states.
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		tr := randnet.Tree(rng, randnet.DefaultConfig(5+rng.Intn(40)))
+		et := New(tr)
+		// Warm the source with a few edits so the clone copies a non-trivial
+		// aggregate state, not just the New() baseline.
+		for k := 0; k < 3; k++ {
+			id := NodeID(1 + rng.Intn(tr.NumNodes()-1))
+			if err := et.SetResistance(id, 1+rng.Float64()*50); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cl := et.Clone()
+		if cl.Gen() != et.Gen() || cl.NumNodes() != et.NumNodes() || cl.Slots() != et.Slots() {
+			t.Fatalf("clone metadata diverges: gen %d/%d nodes %d/%d slots %d/%d",
+				cl.Gen(), et.Gen(), cl.NumNodes(), et.NumNodes(), cl.Slots(), et.Slots())
+		}
+		for _, e := range et.Outputs() {
+			a, err := et.Times(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := cl.Times(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			timesClose(t, b, a, 0, "clone at snapshot")
+		}
+		// Diverge both sides with different edits; each must keep matching a
+		// full recompute of its own state.
+		id := NodeID(1 + rng.Intn(tr.NumNodes()-1))
+		if err := et.SetCapacitance(id, 30); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.SetResistance(id, 123); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Grow(Root, fmt.Sprintf("cl%d", trial), rctree.EdgeLine, 7, 3); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range et.Outputs() {
+			got, err := et.Times(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			timesClose(t, got, fullTimes(t, et, e), 1e-9, "source after divergence")
+		}
+		for _, e := range cl.Outputs() {
+			got, err := cl.Times(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			timesClose(t, got, fullTimes(t, cl, e), 1e-9, "clone after divergence")
+		}
+	}
+}
+
+// TestSlotsChildren: the topology read surface used by tree scans — Slots
+// bounds ID scans even across prunes, and Children mirrors Parent.
+func TestSlotsChildren(t *testing.T) {
+	b := rctree.NewBuilder("in")
+	n1 := b.Resistor(rctree.Root, "n1", 10)
+	n2 := b.Resistor(n1, "n2", 20)
+	b.Capacitor(n2, 5)
+	n3 := b.Resistor(n1, "n3", 30)
+	b.Capacitor(n3, 2)
+	b.Output(n2)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := New(tr)
+	if et.Slots() != 4 {
+		t.Fatalf("Slots = %d, want 4", et.Slots())
+	}
+	kids := et.Children(n1)
+	if len(kids) != 2 || kids[0] != n2 || kids[1] != n3 {
+		t.Fatalf("Children(n1) = %v, want [%d %d]", kids, n2, n3)
+	}
+	for _, k := range kids {
+		if et.Parent(k) != n1 {
+			t.Fatalf("Parent(%d) = %d, want %d", k, et.Parent(k), n1)
+		}
+	}
+	if err := et.Prune(n3); err != nil {
+		t.Fatal(err)
+	}
+	if et.Slots() != 4 {
+		t.Fatalf("Slots after prune = %d, want 4 (slots persist)", et.Slots())
+	}
+	if kids := et.Children(n1); len(kids) != 1 || kids[0] != n2 {
+		t.Fatalf("Children(n1) after prune = %v, want [%d]", kids, n2)
+	}
+	if et.Children(n3) != nil {
+		t.Fatalf("Children of a pruned node = %v, want nil", et.Children(n3))
+	}
+	if et.Children(NodeID(99)) != nil {
+		t.Fatal("Children out of range should be nil")
+	}
+}

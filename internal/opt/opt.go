@@ -54,36 +54,68 @@ func certifiedTimes(tm rctree.Times, b Budget) (bool, error) {
 	return bounds.TMax(b.V) <= b.Deadline, nil
 }
 
+// EditsPerProbe is the incremental price of one bisection probe in this
+// package's in-place searches: each probe performs exactly one EditTree edit
+// (a SetResistance or SetLine) plus one O(depth) requery. Consumers that
+// budget repair work — the closure engine accounts its bisection guidance
+// this way — multiply a search's Probes by this constant.
+const EditsPerProbe = 1
+
+// ProbeStats reports how much incremental work a bisection search performed.
+type ProbeStats struct {
+	// Probes counts constraint evaluations, including the lo/hi endpoint
+	// checks that may answer the search outright.
+	Probes int
+	// Edits is the EditTree edit count those probes cost in an in-place
+	// search (Probes · EditsPerProbe); searches that rebuild the network per
+	// probe (SizeDriver's build callback) spend no EditTree edits and report 0.
+	Edits int
+}
+
 // MaxParam finds, by bisection to relative tolerance tol, the largest p in
 // [lo, hi] for which ok(p) holds, assuming ok is monotone (true for small p,
 // false for large). It returns an error if ok(lo) is already false, and
 // returns hi if ok(hi) still holds.
 func MaxParam(lo, hi, tol float64, ok func(p float64) (bool, error)) (float64, error) {
+	p, _, err := MaxParamStats(lo, hi, tol, ok)
+	return p, err
+}
+
+// MaxParamStats is MaxParam with the probe count exposed: Stats.Probes is
+// how many times ok ran. The caller knows what one probe cost (EditsPerProbe
+// for the in-place searches here) and fills Edits accordingly; MaxParamStats
+// itself leaves it 0 because ok is opaque.
+func MaxParamStats(lo, hi, tol float64, ok func(p float64) (bool, error)) (float64, ProbeStats, error) {
+	var stats ProbeStats
 	if !(lo < hi) {
-		return 0, fmt.Errorf("opt: need lo < hi, got [%g, %g]", lo, hi)
+		return 0, stats, fmt.Errorf("opt: need lo < hi, got [%g, %g]", lo, hi)
 	}
 	if tol <= 0 {
 		tol = 1e-6
 	}
-	okLo, err := ok(lo)
+	probe := func(p float64) (bool, error) {
+		stats.Probes++
+		return ok(p)
+	}
+	okLo, err := probe(lo)
 	if err != nil {
-		return 0, err
+		return 0, stats, err
 	}
 	if !okLo {
-		return 0, fmt.Errorf("opt: constraint unsatisfiable even at p=%g", lo)
+		return 0, stats, fmt.Errorf("opt: constraint unsatisfiable even at p=%g", lo)
 	}
-	okHi, err := ok(hi)
+	okHi, err := probe(hi)
 	if err != nil {
-		return 0, err
+		return 0, stats, err
 	}
 	if okHi {
-		return hi, nil
+		return hi, stats, nil
 	}
 	for hi-lo > tol*(1+math.Abs(hi)) {
 		mid := (lo + hi) / 2
-		good, err := ok(mid)
+		good, err := probe(mid)
 		if err != nil {
-			return 0, err
+			return 0, stats, err
 		}
 		if good {
 			lo = mid
@@ -91,7 +123,7 @@ func MaxParam(lo, hi, tol float64, ok func(p float64) (bool, error)) (float64, e
 			hi = mid
 		}
 	}
-	return lo, nil
+	return lo, stats, nil
 }
 
 // SizeDriver returns the largest driver effective resistance (i.e. the
@@ -125,17 +157,25 @@ func SizeDriver(build func(rEff float64) (*rctree.Tree, rctree.NodeID, error),
 // rebuilding, no O(n) reanalysis. It returns the largest certified driver
 // resistance in [rLo, rHi], like SizeDriver.
 func SizeDriverTree(t *rctree.Tree, driverEdge, out rctree.NodeID, budget Budget, rLo, rHi float64) (float64, error) {
+	r, _, err := SizeDriverTreeStats(t, driverEdge, out, budget, rLo, rHi)
+	return r, err
+}
+
+// SizeDriverTreeStats is SizeDriverTree with the probe cost exposed: every
+// bisection probe costs exactly EditsPerProbe EditTree edits, and Stats
+// reports the totals.
+func SizeDriverTreeStats(t *rctree.Tree, driverEdge, out rctree.NodeID, budget Budget, rLo, rHi float64) (float64, ProbeStats, error) {
 	if err := budget.validate(); err != nil {
-		return 0, err
+		return 0, ProbeStats{}, err
 	}
 	// The driver element is by definition the one common to every root path,
 	// i.e. an edge leaving the input (mos.AttachDriver always builds it
 	// there). Anything deeper would silently bisect a wire segment instead.
 	if int(driverEdge) <= 0 || int(driverEdge) >= t.NumNodes() || t.Parent(driverEdge) != rctree.Root {
-		return 0, fmt.Errorf("opt: driverEdge %d must be a child of the input (its parent element is the driver resistance)", driverEdge)
+		return 0, ProbeStats{}, fmt.Errorf("opt: driverEdge %d must be a child of the input (its parent element is the driver resistance)", driverEdge)
 	}
 	et := incr.New(t)
-	return MaxParam(rLo, rHi, 1e-6, func(r float64) (bool, error) {
+	r, stats, err := MaxParamStats(rLo, rHi, 1e-6, func(r float64) (bool, error) {
 		if err := et.SetResistance(driverEdge, r); err != nil {
 			return false, err
 		}
@@ -145,6 +185,8 @@ func SizeDriverTree(t *rctree.Tree, driverEdge, out rctree.NodeID, budget Budget
 		}
 		return certifiedTimes(tm, budget)
 	})
+	stats.Edits = stats.Probes * EditsPerProbe
+	return r, stats, err
 }
 
 // Line describes a uniform wire by per-unit-length resistance and
@@ -188,22 +230,33 @@ func buildPointToPoint(d mos.Driver, l Line, length, loadC float64) (*rctree.Tre
 // line element in place (one incr.EditTree edit + one O(depth) requery)
 // instead of reassembling and reanalyzing the network.
 func MaxWireLength(d mos.Driver, l Line, loadC float64, budget Budget, maxLen float64) (float64, error) {
+	length, _, err := MaxWireLengthStats(d, l, loadC, budget, maxLen)
+	return length, err
+}
+
+// MaxWireLengthStats is MaxWireLength with the probe cost exposed: every
+// bisection probe costs exactly EditsPerProbe EditTree edits (one in-place
+// SetLine rescale), and Stats reports the totals. Note the lower bisection
+// bound is a near-zero-length wire, not zero: a zero-length line would be a
+// degenerate element the tree model rejects, so "even the shortest wire
+// fails" surfaces as the generic unsatisfiable-at-lo bisection error.
+func MaxWireLengthStats(d mos.Driver, l Line, loadC float64, budget Budget, maxLen float64) (float64, ProbeStats, error) {
 	if err := budget.validate(); err != nil {
-		return 0, err
+		return 0, ProbeStats{}, err
 	}
 	if err := l.validate(); err != nil {
-		return 0, err
+		return 0, ProbeStats{}, err
 	}
 	if maxLen <= 0 {
-		return 0, fmt.Errorf("opt: maxLen must be positive")
+		return 0, ProbeStats{}, fmt.Errorf("opt: maxLen must be positive")
 	}
 	t, out, err := buildPointToPoint(d, l, maxLen, loadC)
 	if err != nil {
-		return 0, err
+		return 0, ProbeStats{}, err
 	}
 	et := incr.New(t)
 	const tiny = 1e-9
-	return MaxParam(tiny*maxLen, maxLen, 1e-9, func(length float64) (bool, error) {
+	length, stats, err := MaxParamStats(tiny*maxLen, maxLen, 1e-9, func(length float64) (bool, error) {
 		if err := et.SetLine(out, l.RPerLen*length, l.CPerLen*length); err != nil {
 			return false, err
 		}
@@ -213,6 +266,8 @@ func MaxWireLength(d mos.Driver, l Line, loadC float64, budget Budget, maxLen fl
 		}
 		return certifiedTimes(tm, budget)
 	})
+	stats.Edits = stats.Probes * EditsPerProbe
+	return length, stats, err
 }
 
 // RepeaterPlan is the result of certified repeater insertion.
@@ -223,6 +278,9 @@ type RepeaterPlan struct {
 	// budget threshold; TotalTMax = Stages · PerStageTMax.
 	PerStageTMax float64
 	TotalTMax    float64
+	// Probes counts the candidate stage counts evaluated (== maxStages);
+	// each cost EditsPerProbe in-place EditTree edits.
+	Probes int
 }
 
 // InsertRepeaters chooses the number of identical repeater stages that
@@ -275,5 +333,6 @@ func InsertRepeaters(d mos.Driver, l Line, length, repeaterIn, loadC, v float64,
 			best = RepeaterPlan{Stages: k, PerStageTMax: per, TotalTMax: total}
 		}
 	}
+	best.Probes = maxStages
 	return best, nil
 }

@@ -269,3 +269,149 @@ func TestShortLineNoRepeaters(t *testing.T) {
 		t.Errorf("100 µm line chose %d stages, want 1", plan.Stages)
 	}
 }
+
+// TestMaxParamStatsProbeCount: the exported probe count matches what the
+// callback observed, and the endpoint-only answers cost exactly two probes.
+func TestMaxParamStatsProbeCount(t *testing.T) {
+	calls := 0
+	got, stats, err := MaxParamStats(0, 100, 1e-9, func(p float64) (bool, error) {
+		calls++
+		return p*p <= 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-math.Sqrt(10)) > 1e-6 {
+		t.Errorf("MaxParamStats = %g, want sqrt(10)", got)
+	}
+	if stats.Probes != calls || stats.Probes < 10 {
+		t.Errorf("Probes = %d (callback saw %d); a 1e-9 bisection needs dozens", stats.Probes, calls)
+	}
+	if stats.Edits != 0 {
+		t.Errorf("generic MaxParamStats reported %d edits; the callback is opaque", stats.Edits)
+	}
+	// All-true answers at the hi endpoint after exactly two probes.
+	_, stats, err = MaxParamStats(0, 5, 1e-9, func(float64) (bool, error) { return true, nil })
+	if err != nil || stats.Probes != 2 {
+		t.Errorf("all-true probes = %d, %v; want 2", stats.Probes, err)
+	}
+	// Unsatisfiable-at-lo answers after exactly one.
+	_, stats, _ = MaxParamStats(1, 5, 1e-9, func(float64) (bool, error) { return false, nil })
+	if stats.Probes != 1 {
+		t.Errorf("unsatisfiable probes = %d, want 1", stats.Probes)
+	}
+}
+
+// TestProbeCostExports: the in-place searches report their EditTree edit
+// spend as Probes · EditsPerProbe, and InsertRepeaters reports one probe per
+// candidate stage count.
+func TestProbeCostExports(t *testing.T) {
+	budget := Budget{V: 0.7, Deadline: 2000}
+	length, stats, err := MaxWireLengthStats(mos.Superbuffer(), polyLine, 0.013, budget, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length <= 0 || length >= 1e6 {
+		t.Fatalf("length = %g", length)
+	}
+	if stats.Probes < 10 || stats.Edits != stats.Probes*EditsPerProbe {
+		t.Errorf("wire stats = %+v, want Edits = Probes*%d", stats, EditsPerProbe)
+	}
+	tr, out, err := buildNet(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err = SizeDriverTreeStats(tr, rctree.NodeID(1), out, Budget{V: 0.7, Deadline: 2000}, 10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Probes < 3 || stats.Edits != stats.Probes*EditsPerProbe {
+		t.Errorf("driver stats = %+v, want Edits = Probes*%d", stats, EditsPerProbe)
+	}
+	plan, err := InsertRepeaters(mos.Superbuffer(), polyLine, 2000, 0.013, 0.013, 0.7, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Probes != 8 {
+		t.Errorf("repeater Probes = %d, want maxStages 8", plan.Probes)
+	}
+}
+
+// TestMaxWireLengthZeroLengthEdge: a budget no wire can meet — not even a
+// near-zero-length one — falls through to the generic unsatisfiable-at-lo
+// bisection error rather than returning a zero or negative length; a budget
+// generous enough for the full span returns maxLen after the two endpoint
+// probes alone.
+func TestMaxWireLengthZeroLengthEdge(t *testing.T) {
+	// The driver alone (against its own output cap plus the load) already
+	// blows a 1e-6 ps deadline, so the zero-length limit fails too.
+	_, stats, err := MaxWireLengthStats(mos.Superbuffer(), polyLine, 0.013,
+		Budget{V: 0.7, Deadline: 1e-6}, 1e4)
+	if err == nil {
+		t.Fatal("impossible budget certified a wire length")
+	}
+	if stats.Probes != 1 {
+		t.Errorf("impossible budget probes = %d, want 1 (lo endpoint only)", stats.Probes)
+	}
+	// A kilometer of slack: the hi endpoint certifies and the search stops.
+	length, stats, err := MaxWireLengthStats(mos.Superbuffer(), polyLine, 0.013,
+		Budget{V: 0.7, Deadline: 1e12}, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if length != 1e4 {
+		t.Errorf("generous budget length = %g, want maxLen", length)
+	}
+	if stats.Probes != 2 {
+		t.Errorf("generous budget probes = %d, want 2 (both endpoints)", stats.Probes)
+	}
+}
+
+// TestSizeDriverTreeSingleNodeEdges: degenerate trees around the driver
+// edge. A single-node tree (just the input) has no driver edge at all; a
+// two-node tree whose only element IS the driver edge is the smallest legal
+// search and still answers through the generic bisection bounds.
+func TestSizeDriverTreeSingleNodeEdges(t *testing.T) {
+	// Single-node tree: only the input, nothing to size.
+	lone, err := rctree.NewBuilder("in").Build()
+	if err == nil {
+		if _, _, err := SizeDriverTreeStats(lone, rctree.NodeID(1), rctree.Root,
+			Budget{V: 0.5, Deadline: 100}, 1, 10); err == nil {
+			t.Error("single-node tree accepted a driver edge")
+		}
+	}
+	// Two-node tree: driver edge straight into the (only) loaded output.
+	b := rctree.NewBuilder("in")
+	o := b.Resistor(rctree.Root, "o", 100)
+	b.Capacitor(o, 1)
+	b.Output(o)
+	tiny, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RC = r·1; deadline 50 at v=0.5 certifies r up to ~50/ln2 ≈ 72.1.
+	r, stats, err := SizeDriverTreeStats(tiny, o, o, Budget{V: 0.5, Deadline: 50}, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 50 / math.Ln2
+	if math.Abs(r-want) > 1e-3*want {
+		t.Errorf("two-node sizing = %g, want %g", r, want)
+	}
+	if stats.Probes < 10 {
+		t.Errorf("two-node sizing probes = %d; expected a real bisection", stats.Probes)
+	}
+	// A node deeper than the input is rejected as the driver edge.
+	b2 := rctree.NewBuilder("in")
+	n1 := b2.Resistor(rctree.Root, "n1", 10)
+	n2 := b2.Resistor(n1, "n2", 10)
+	b2.Capacitor(n2, 1)
+	b2.Output(n2)
+	deep, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SizeDriverTreeStats(deep, n2, n2, Budget{V: 0.5, Deadline: 50}, 1, 10); err == nil {
+		t.Error("deep edge accepted as the driver")
+	}
+}

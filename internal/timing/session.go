@@ -91,6 +91,13 @@ type Session struct {
 	// an Apply cost one O(nets) fold instead of an endpoint rescan.
 	netMin []float64
 	netNeg []float64
+	// owned[i] marks trees[i] as exclusively this session's, and
+	// stateOwned[i] the same for state[i]'s arrival map. Fork clears both
+	// flags on both sides; applyOne clones a shared tree and refreshOut a
+	// shared map before their first mutation — copy-on-write, so a fork
+	// costs O(nets) flag-and-struct copies instead of O(design) data.
+	owned      []bool
+	stateOwned []bool
 	gen    uint64
 	report *Report // memoized; nil after any state change
 	// scratch for the dirty-cone sweep
@@ -130,11 +137,15 @@ func (g *Graph) Session(ctx context.Context, opt Options) (*Session, error) {
 		state:      state,
 		netMin:     make([]float64, len(g.nodes)),
 		netNeg:     make([]float64, len(g.nodes)),
+		owned:      make([]bool, len(g.nodes)),
+		stateOwned: make([]bool, len(g.nodes)),
 		queued:     make([]bool, len(g.nodes)),
 		buckets:    make([][]int, len(g.levels)),
 	}
 	for i := range g.nodes {
 		s.trees[i] = incr.New(g.nodes[i].tree)
+		s.owned[i] = true
+		s.stateOwned[i] = true
 		s.protected[i] = make(map[string]bool, len(g.nodes[i].drives))
 		for name := range g.nodes[i].drives {
 			s.protected[i][name] = true
@@ -150,6 +161,75 @@ func (g *Graph) Session(ctx context.Context, opt Options) (*Session, error) {
 		s.refreshSummary(i)
 	}
 	return s, nil
+}
+
+// Fork returns an independent what-if copy of the session in O(nets): the
+// per-net timing state is deep-copied, while the EditTrees — the bulk of a
+// session's memory — are shared copy-on-write, cloned only when one side
+// first edits that net. Edits to a fork never show through to the parent and
+// vice versa, so a fork is the natural trial vehicle: fork, Apply a candidate
+// ECO, read the resulting WNS/TNS, discard.
+//
+// Forks of the same parent may Apply concurrently with each other (each on
+// its own goroutine): an Apply mutates only the fork's own state and its
+// privately cloned trees, and merely reads trees still shared. Each
+// individual Session, parent included, remains single-writer as always, and
+// Fork itself must not race an Apply on the same session.
+func (s *Session) Fork() *Session {
+	f := &Session{
+		g:          s.g,
+		th:         s.th,
+		k:          s.k,
+		required:   s.required,
+		trees:      append([]*incr.EditTree(nil), s.trees...),
+		protected:  s.protected,  // immutable after NewSession
+		requiredAt: s.requiredAt, // immutable after NewSession
+		state:      append([]netTiming(nil), s.state...),
+		netMin:     append([]float64(nil), s.netMin...),
+		netNeg:     append([]float64(nil), s.netNeg...),
+		owned:      make([]bool, len(s.trees)),
+		stateOwned: make([]bool, len(s.trees)),
+		gen:        s.gen,
+		report:     s.report, // reports are immutable once built
+		queued:     make([]bool, len(s.g.nodes)),
+		buckets:    make([][]int, len(s.g.levels)),
+	}
+	// The copied netTiming structs still point at the parent's arrival and
+	// delay maps. Delay maps are only ever replaced wholesale, so sharing
+	// them is safe forever; arrival maps are cloned by refreshOut before
+	// their first in-place write. The parent's trees and maps are shared
+	// now too: its next mutation must also clone first, or it would touch
+	// data a live fork reads.
+	for i := range s.owned {
+		s.owned[i] = false
+		s.stateOwned[i] = false
+	}
+	return f
+}
+
+// ownOut returns net i's arrival map for in-place mutation, cloning it
+// first if it is still shared with a fork (or a fork's parent).
+func (s *Session) ownOut(i int) map[string]Interval {
+	st := &s.state[i]
+	if !s.stateOwned[i] {
+		m := make(map[string]Interval, len(st.out))
+		for k, v := range st.out {
+			m[k] = v
+		}
+		st.out = m
+		s.stateOwned[i] = true
+	}
+	return st.out
+}
+
+// ownTree returns net i's EditTree for mutation, cloning it first if it is
+// still shared with a fork (or a fork's parent).
+func (s *Session) ownTree(i int) *incr.EditTree {
+	if !s.owned[i] {
+		s.trees[i] = s.trees[i].Clone()
+		s.owned[i] = true
+	}
+	return s.trees[i]
 }
 
 // Gen returns the session generation; it bumps once per Apply that changed
@@ -194,6 +274,79 @@ func (s *Session) Arrival(net, output string) (Interval, bool) {
 	return a, ok
 }
 
+// InputArrival returns the current arrival interval at the net's driven
+// input ([0, 0] for a primary-input net).
+func (s *Session) InputArrival(net string) (Interval, bool) {
+	i, err := s.netIndex(net)
+	if err != nil {
+		return Interval{}, false
+	}
+	return s.state[i].input, true
+}
+
+// CriticalUpstream returns the names of the nets along the worst-arrival
+// fanin chain ending at net — net itself first, walking each net's critical
+// fanin edge back to a primary input. This is the cone a repair engine mines
+// for candidate moves: any net on it contributes to the endpoint's latest
+// arrival.
+func (s *Session) CriticalUpstream(net string) []string {
+	i, err := s.netIndex(net)
+	if err != nil {
+		return nil
+	}
+	var cone []string
+	for {
+		cone = append(cone, s.g.nodes[i].name)
+		w := s.state[i].worst
+		if w < 0 {
+			return cone
+		}
+		i = s.g.nodes[i].fanin[w].driver
+	}
+}
+
+// CloneNetTree returns an independent clone of one net's current EditTree —
+// a safe probe vehicle for move generators that want to bisect a parameter
+// without touching the session (opt.MaxParam over a cloned tree is the
+// intended pairing).
+func (s *Session) CloneNetTree(net string) (*incr.EditTree, bool) {
+	i, err := s.netIndex(net)
+	if err != nil {
+		return nil, false
+	}
+	return s.trees[i].Clone(), true
+}
+
+// ViewNetTree returns one net's live EditTree for topology inspection
+// (Lookup, Parent, Children, Edge, NodeCap, SubtreeCap, Outputs) without
+// the O(n) clone CloneNetTree pays. The view is strictly read-only: callers
+// must not invoke mutating methods — nor Times, which fills a memo — and
+// must not hold the view across an Apply, which may swap the tree out under
+// copy-on-write. Probing edits belongs on a CloneNetTree copy.
+func (s *Session) ViewNetTree(net string) (*incr.EditTree, bool) {
+	i, err := s.netIndex(net)
+	if err != nil {
+		return nil, false
+	}
+	return s.trees[i], true
+}
+
+// ProtectedOutputs lists net's outputs that stage edges tap or .require
+// cards pin — the ones structural guards will refuse to prune or
+// undesignate — in sorted order.
+func (s *Session) ProtectedOutputs(net string) []string {
+	i, err := s.netIndex(net)
+	if err != nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.protected[i]))
+	for name := range s.protected[i] {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Apply performs the edits in order and re-times the affected cone. On the
 // first failing edit it stops and returns the error; the already-applied
 // prefix stays in effect and the propagated state remains consistent, so a
@@ -230,7 +383,7 @@ func (s *Session) applyOne(e Edit) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	et := s.trees[i]
+	et := s.ownTree(i)
 	resolve := func(name string) (incr.NodeID, error) {
 		if name == "" {
 			return 0, fmt.Errorf("missing node name")
@@ -547,12 +700,13 @@ func (s *Session) refreshOut(i int, rebuild bool) map[string]bool {
 			}
 		}
 		st.out = newOut
+		s.stateOwned[i] = true // freshly built, private by construction
 		return changed
 	}
 	for name, d := range st.delay {
 		nv := st.input.plus(d)
 		if st.out[name] != nv {
-			st.out[name] = nv
+			s.ownOut(i)[name] = nv
 			changed[name] = true
 		}
 	}
@@ -607,17 +761,35 @@ func (s *Session) summary() (wns, tns float64) {
 // immutable.
 func (s *Session) Report() *Report {
 	if s.report == nil {
-		s.report = s.g.report(s.state, s.th, s.k, s.required, func(i int) []string {
-			et := s.trees[i]
-			outs := et.Outputs()
-			names := make([]string, len(outs))
-			for j, o := range outs {
-				names[j] = et.Name(o)
-			}
-			return names
-		})
+		s.report = s.g.report(s.state, s.th, s.k, s.required, s.outputNames)
 	}
 	return s.report
+}
+
+// EndpointTable returns the chip report without critical-path backtracking:
+// the endpoint slack table sorted worst-first, WNS/TNS, and an empty Paths.
+// Iterative consumers like the closure engine, which re-read slacks after
+// every edit but never walk paths, use it to skip Report's O(K·depth)
+// backtracks. A memoized full Report is returned as-is (it is a superset);
+// the endpoint-only form itself is not memoized.
+func (s *Session) EndpointTable() *Report {
+	if s.report != nil {
+		return s.report
+	}
+	return s.g.report(s.state, s.th, 0, s.required, s.outputNames)
+}
+
+// outputNames lists net i's current designated output names, off the
+// session's EditTrees (Analyze-time reports read the immutable trees
+// instead).
+func (s *Session) outputNames(i int) []string {
+	et := s.trees[i]
+	outs := et.Outputs()
+	names := make([]string, len(outs))
+	for j, o := range outs {
+		names[j] = et.Name(o)
+	}
+	return names
 }
 
 // Design materializes the current session state back into a standalone

@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/incr"
@@ -454,5 +455,163 @@ func assertMatchesFullProperty(t *testing.T, s *Session, seed, step int) {
 	assertMatchesFull(t, s, 1e4)
 	if t.Failed() {
 		t.Fatalf("counterexample: seed %d, step %d", seed, step)
+	}
+}
+
+// TestSessionForkIndependence: a fork answers exactly what the parent
+// answered at the fork point, edits to either side never leak to the other,
+// and both sides keep agreeing with full re-analyses of their own
+// materialized designs — the copy-on-write contract Fork promises.
+func TestSessionForkIndependence(t *testing.T) {
+	d := randnet.DesignSeed(21, randnet.DefaultDesignConfig(3, 3))
+	s := newTestSession(t, d, Options{Threshold: 0.7, Required: 1e4})
+	base := s.Report()
+	f := s.Fork()
+	if got := f.Report(); got.WNS != base.WNS || got.TNS != base.TNS {
+		t.Fatalf("fork WNS/TNS %g/%g, parent %g/%g", got.WNS, got.TNS, base.WNS, base.TNS)
+	}
+	// Edit the fork only: the parent must not move.
+	if _, err := f.Apply([]Edit{{Op: "scaleDriver", Net: "l0n0", Factor: f64(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Report(); got.WNS != base.WNS || got.TNS != base.TNS {
+		t.Fatalf("parent moved after fork edit: WNS %g -> %g", base.WNS, got.WNS)
+	}
+	assertMatchesFull(t, f, 1e4)
+	// Edit the parent on the same net (it must clone its shared tree first)
+	// and on another net; the fork must not see either.
+	forkRep := f.Report()
+	if _, err := s.Apply([]Edit{
+		{Op: "scaleDriver", Net: "l0n0", Factor: f64(0.5)},
+		{Op: "setC", Net: "l1n1", Node: d.Nets[4].Tree.Name(d.Nets[4].Tree.Outputs()[0]), C: f64(9)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Report(); got.WNS != forkRep.WNS || got.TNS != forkRep.TNS {
+		t.Fatalf("fork moved after parent edit: WNS %g -> %g", forkRep.WNS, got.WNS)
+	}
+	assertMatchesFull(t, s, 1e4)
+	assertMatchesFull(t, f, 1e4)
+}
+
+// TestSessionForkTrialMatchesCommit: applying a candidate to a fork predicts
+// exactly what committing it to the parent produces — the what-if contract a
+// closure engine relies on.
+func TestSessionForkTrialMatchesCommit(t *testing.T) {
+	d := randnet.DesignSeed(5, randnet.DefaultDesignConfig(3, 4))
+	s := newTestSession(t, d, Options{Threshold: 0.7, Required: 1e3})
+	edits := []Edit{{Op: "scaleDriver", Net: "l1n2", Factor: f64(0.4)}}
+	trial := s.Fork()
+	tres, err := trial.Apply(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cres, err := s.Apply(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.WNS != cres.WNS || tres.TNS != cres.TNS {
+		t.Fatalf("trial WNS/TNS %g/%g vs commit %g/%g", tres.WNS, tres.TNS, cres.WNS, cres.TNS)
+	}
+}
+
+// TestSessionForkConcurrentTrials: many forks of one parent Apply at the
+// same time (the closure engine's evaluation pattern). Under -race this
+// checks that forks only read what they share; functionally each trial must
+// equal the same edit applied alone.
+func TestSessionForkConcurrentTrials(t *testing.T) {
+	d := randnet.DesignSeed(11, randnet.DefaultDesignConfig(4, 4))
+	s := newTestSession(t, d, Options{Threshold: 0.7, Required: 1e3})
+	const trials = 16
+	factors := make([]float64, trials)
+	want := make([]float64, trials)
+	for i := range factors {
+		factors[i] = 0.3 + 0.1*float64(i)
+		f := s.Fork()
+		res, err := f.Apply([]Edit{{Op: "scaleDriver", Net: "l2n1", Factor: f64(factors[i])}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.WNS
+	}
+	forks := make([]*Session, trials)
+	for i := range forks {
+		forks[i] = s.Fork()
+	}
+	var wg sync.WaitGroup
+	got := make([]float64, trials)
+	errs := make([]error, trials)
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := forks[i].Apply([]Edit{{Op: "scaleDriver", Net: "l2n1", Factor: f64(factors[i])}})
+			got[i], errs[i] = res.WNS, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < trials; i++ {
+		if errs[i] != nil {
+			t.Fatalf("trial %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Errorf("trial %d: concurrent WNS %g, isolated %g", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSessionClosureAccessors covers the read surface the closure engine
+// mines: input arrivals, the critical upstream cone, protected outputs, and
+// per-net tree clones.
+func TestSessionClosureAccessors(t *testing.T) {
+	fast := simpleNet(t, "fast", 1, 1)
+	slow := simpleNet(t, "slow", 100, 10)
+	sink := simpleNet(t, "sink", 5, 2)
+	d := &netlist.Design{
+		Nets: []netlist.DesignNet{fast, slow, sink},
+		Stages: []netlist.Stage{
+			{FromNet: "fast", FromOutput: "o", ToNet: "sink", Delay: 1},
+			{FromNet: "slow", FromOutput: "o", ToNet: "sink", Delay: 2},
+		},
+		Requires: []netlist.Require{{Net: "sink", Output: "o", Time: 10}},
+	}
+	s := newTestSession(t, d, Options{})
+	if in, ok := s.InputArrival("fast"); !ok || in != (Interval{}) {
+		t.Errorf("primary input arrival = %+v, %v", in, ok)
+	}
+	if in, ok := s.InputArrival("sink"); !ok || in.Max <= 0 {
+		t.Errorf("sink input arrival = %+v, %v", in, ok)
+	}
+	if _, ok := s.InputArrival("ghost"); ok {
+		t.Error("InputArrival on an unknown net should fail")
+	}
+	if cone := s.CriticalUpstream("sink"); len(cone) != 2 || cone[0] != "sink" || cone[1] != "slow" {
+		t.Errorf("CriticalUpstream(sink) = %v, want [sink slow]", cone)
+	}
+	if cone := s.CriticalUpstream("ghost"); cone != nil {
+		t.Errorf("CriticalUpstream(ghost) = %v", cone)
+	}
+	if got := s.ProtectedOutputs("slow"); len(got) != 1 || got[0] != "o" {
+		t.Errorf("ProtectedOutputs(slow) = %v, want [o]", got)
+	}
+	cl, ok := s.CloneNetTree("slow")
+	if !ok {
+		t.Fatal("CloneNetTree(slow) failed")
+	}
+	// Editing the clone must not disturb the session.
+	id, _ := cl.Lookup("o")
+	if err := cl.SetResistance(id, 1e4); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := s.NetDelay("slow", "o")
+	if _, err := s.Apply([]Edit{{Op: "setC", Net: "fast", Node: "o", C: f64(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.NetDelay("slow", "o")
+	if before != after {
+		t.Errorf("slow delay moved after clone edit: %+v -> %+v", before, after)
+	}
+	if _, ok := s.CloneNetTree("ghost"); ok {
+		t.Error("CloneNetTree on an unknown net should fail")
 	}
 }

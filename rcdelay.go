@@ -29,7 +29,15 @@
 //   - NewDesignSession keeps a design hot across ECO edits: every net mounts
 //     an EditTree, and Apply re-times only the edited nets' downstream fanout
 //     cones, returning updated slack and the invalidated critical paths
-//     (POST /design/{id}/edit and statime -eco are the HTTP and CLI forms).
+//     (POST /design/{id}/edit and statime -eco are the HTTP and CLI forms);
+//   - CloseTiming runs the automated timing-closure engine: failing endpoints
+//     are mined for candidate repairs (driver sizing, wire rebuffering, load
+//     trimming, stub pruning), candidates are evaluated concurrently as
+//     what-if trials on session forks, and the best slack-gain-per-cost move
+//     is accepted until WNS reaches zero or a budget runs out. The result is
+//     a replayable ECO edit list, the closure trajectory, and the Pareto
+//     frontier of (cost, WNS) states visited (POST /design/{id}/close and
+//     statime -close are the HTTP and CLI forms).
 //
 // Element units are the caller's choice: ohms with farads give seconds,
 // ohms with picofarads give picoseconds (the paper's §V convention).
@@ -40,6 +48,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/batch"
+	"repro/internal/closure"
 	"repro/internal/core"
 	"repro/internal/incr"
 	"repro/internal/netlist"
@@ -281,6 +290,57 @@ func FormatEcoEdits(edits []DesignEdit) string { return timing.FormatEdits(edits
 func NewEcoReport(before, after *DesignReport, res DesignApplyResult) *EcoReport {
 	return timing.NewEcoReport(before, after, res)
 }
+
+// Timing-closure types, re-exported from the internal engine.
+type (
+	// ClosureOptions configures CloseTiming: move budget, cost ceiling,
+	// endpoints mined per iteration, trial concurrency, and (via Timing)
+	// the analysis options the session mounts with.
+	ClosureOptions = closure.Options
+	// ClosureReport is the outcome of one closure run: the accepted ECO
+	// edit list, the move-by-move trajectory, and the Pareto frontier of
+	// (cost, WNS) states visited.
+	ClosureReport = closure.Report
+	// ClosureMove is one accepted or candidate repair move.
+	ClosureMove = closure.Move
+	// ClosureTrajectoryPoint is one accepted move plus the design state
+	// after it.
+	ClosureTrajectoryPoint = closure.TrajectoryPoint
+	// ClosureParetoPoint is one non-dominated (cost, WNS) state.
+	ClosureParetoPoint = closure.ParetoPoint
+)
+
+// CloseTiming runs automated timing closure on a design with negative
+// slack: it mounts an incremental re-timing session (opt.Timing), generates
+// candidate repair moves on the failing endpoints' critical cones — driver
+// upscaling and opt-bisected driver sizing, wire rebuffering via
+// setLine+addC, load trimming via setC, parasitic-stub pruning — evaluates
+// the candidates concurrently as what-if trials on session forks, and
+// accepts the best slack-gain-per-cost move until WNS >= 0, the move budget,
+// or the cost ceiling is reached. The accepted edit list replays through
+// ParseEcoEdits/NewDesignSession (or statime -eco) to reproduce the reported
+// final WNS/TNS; the trajectory and Pareto frontier expose the cost/benefit
+// curve behind the greedy path. The input design is never mutated.
+//
+// The accepted move sequence is deterministic: concurrent and sequential
+// trial evaluation produce identical results.
+func CloseTiming(ctx context.Context, d *Design, opt ClosureOptions) (*ClosureReport, error) {
+	return closure.CloseDesign(ctx, d, opt)
+}
+
+// CloseSession runs the same closure loop against an existing design
+// session (rcserve's POST /design/{id}/close form). The session is mutated:
+// accepted moves stay applied, so on return it sits at the report's final
+// state.
+func CloseSession(ctx context.Context, sess *DesignSession, opt ClosureOptions) (*ClosureReport, error) {
+	return closure.Close(ctx, sess, opt)
+}
+
+// ForkDesignSession returns an independent what-if copy of a session in
+// O(nets): EditTrees and arrival maps are shared copy-on-write, so trials
+// are cheap and forks of the same parent may Apply concurrently with each
+// other (each fork on its own goroutine).
+func ForkDesignSession(sess *DesignSession) *DesignSession { return sess.Fork() }
 
 // AnalyzeBatch analyzes every job on a one-shot engine with default
 // options: the jobs fan out across GOMAXPROCS workers, structurally

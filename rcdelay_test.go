@@ -259,3 +259,72 @@ C1 far 0 0.013
 		t.Errorf("eco summary:\n%s", eco.Summary())
 	}
 }
+
+func TestCloseTimingFacade(t *testing.T) {
+	design, err := ParseDesign(`
+.design fixme
+.net drv
+.input in
+R1 in o 380
+C1 o 0 0.04
+.output o
+.endnet
+.net bus
+.input in
+R1 in n1 120
+C1 n1 0 0.05
+R2 n1 far 300
+C2 far 0 0.08
+R3 n1 stub 90
+C3 stub 0 0.02
+.output far
+.endnet
+.net sink
+.input in
+R1 in o 220
+C1 o 0 0.06
+.output o
+.endnet
+.stage drv o bus 25
+.stage bus far sink 40
+.require sink o 150
+.end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := CloseTiming(context.Background(), design, ClosureOptions{
+		Timing: DesignOptions{Threshold: 0.7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Closed || report.FinalWNS < 0 || len(report.Edits) == 0 {
+		t.Fatalf("CloseTiming did not repair the chip: %+v", report)
+	}
+	if !strings.Contains(report.Summary(), "closure fixme") {
+		t.Errorf("summary:\n%s", report.Summary())
+	}
+
+	// CloseSession form: fork a fresh session, close the fork, and confirm
+	// the original stayed failing — the Fork/what-if contract through the
+	// façade.
+	sess, err := NewDesignSession(context.Background(), design, DesignOptions{Threshold: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fork := ForkDesignSession(sess)
+	forkRep, err := CloseSession(context.Background(), fork, ClosureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !forkRep.Closed {
+		t.Fatalf("fork close: %+v", forkRep)
+	}
+	if fork.Report().WNS < 0 {
+		t.Error("closed fork still reports negative WNS")
+	}
+	if sess.Report().WNS >= 0 {
+		t.Error("closing the fork repaired the original session too")
+	}
+}

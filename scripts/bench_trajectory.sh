@@ -4,7 +4,8 @@
 #
 #   BENCH_incremental.json  full-vs-incremental EditTree sweeps
 #   BENCH_timing.json       sequential vs levelized-parallel chip slack,
-#                           plus full-reanalyze vs dirty-cone ECO re-timing
+#                           full-reanalyze vs dirty-cone ECO re-timing, and
+#                           sequential vs concurrent closure-trial evaluation
 #
 # These files are the performance trajectory: re-run after perf work and
 # commit the result so regressions show up in review.
@@ -60,7 +61,7 @@ END {
 echo "wrote BENCH_incremental.json:"
 cat BENCH_incremental.json
 
-raw="$(go test -run '^$' -bench 'BenchmarkDesignSlack|BenchmarkDesignECO' -benchtime "$timing_benchtime" -count 1 ./internal/timing/)"
+raw="$(go test -run '^$' -bench 'BenchmarkDesignSlack|BenchmarkDesignECO|BenchmarkClosure' -benchtime "$timing_benchtime" -count 1 ./internal/timing/ ./internal/closure/)"
 echo "$raw"
 printf '%s\n' "$raw" | awk -v date="$date" -v goversion="$goversion" -v maxprocs="$maxprocs" "$collect"'
 END {
@@ -68,7 +69,8 @@ END {
     printf ",\n  \"speedup\": {\n"
     printf "    \"parallel_vs_sequential\": %.2f,\n", ns["DesignSlack/sequential"] / ns["DesignSlack/parallel"]
     printf "    \"parallel_nocache_vs_sequential\": %.2f,\n", ns["DesignSlack/sequential"] / ns["DesignSlack/parallel-nocache"]
-    printf "    \"eco_dirty_cone_vs_full\": %.1f\n", ns["DesignECO/full-reanalyze"] / ns["DesignECO/dirty-cone"]
+    printf "    \"eco_dirty_cone_vs_full\": %.1f,\n", ns["DesignECO/full-reanalyze"] / ns["DesignECO/dirty-cone"]
+    printf "    \"closure_concurrent_vs_sequential\": %.2f\n", ns["Closure/sequential"] / ns["Closure/concurrent"]
     printf "  }\n}\n"
 }' > BENCH_timing.json
 echo "wrote BENCH_timing.json:"

@@ -9,6 +9,10 @@ set -eu
 cd "$(dirname "$0")/.."
 floor="${1:-75}"
 
+# The profile is a scratch artifact: never leave it in the working tree,
+# whichever way the run ends (make clean is the backstop).
+trap 'rm -f cover.out' EXIT
+
 out="$(go test -coverprofile=cover.out ./internal/...)"
 printf '%s\n' "$out"
 echo "----"
