@@ -84,9 +84,10 @@ func designSummary(e *entry[*designSession]) designSummaryJSON {
 }
 
 // handleDesignCreate parses a design and mounts an incremental re-timing
-// session on it. The initial per-net bound computations route through the
-// server's shared batch engine, so repeated nets — across designs or across
-// clients — hit the shared memoization cache.
+// session on it. The initial full analysis rides the flat arena core —
+// self-contained, allocation-lean and parallel-schedulable — rather than the
+// server's shared batch engine; the engine (and its cross-client memoization
+// cache) still serves the /analyze tree-batch endpoint.
 func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 	s.counters.designReqs.Add(1)
 	var req designRequest
@@ -109,7 +110,6 @@ func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 		Threshold: req.Threshold,
 		Required:  req.Required,
 		K:         req.K,
-		Engine:    s.engine,
 	})
 	if err != nil {
 		httpError(w, err.Error(), http.StatusUnprocessableEntity)

@@ -102,13 +102,18 @@ func TestDesignCreateAndSlack(t *testing.T) {
 		t.Errorf("hops = %v", hops)
 	}
 
-	// Repeated POST of the same design hits the shared engine cache.
-	before := srv.engine.CacheStats().Hits
-	if code, _ := postDesign(t, srv, string(body)); code != http.StatusCreated {
+	// Repeated POST of the same design re-analyzes on the arena core:
+	// identical numbers, and the shared tree-batch engine is never consulted.
+	before := srv.engine.CacheStats()
+	code, second := postDesign(t, srv, string(body))
+	if code != http.StatusCreated {
 		t.Fatalf("second POST = %d", code)
 	}
-	if srv.engine.CacheStats().Hits <= before {
-		t.Error("second analysis missed the shared cache")
+	if second["wns"] != created["wns"] {
+		t.Errorf("second analysis wns %v != first %v", second["wns"], created["wns"])
+	}
+	if srv.engine.CacheStats() != before {
+		t.Error("design analysis touched the tree-batch engine")
 	}
 
 	// DELETE then 404.

@@ -41,6 +41,16 @@ func New(tm rctree.Times) (*Bounds, error) {
 	return &Bounds{tm: tm}, nil
 }
 
+// Eval is the by-value form of New for hot paths that must not allocate:
+// the returned Bounds lives on the caller's stack and its methods may be
+// called on the addressable local directly. Validation matches New.
+func Eval(tm rctree.Times) (Bounds, error) {
+	if err := tm.Validate(); err != nil {
+		return Bounds{}, err
+	}
+	return Bounds{tm: tm}, nil
+}
+
 // MustNew is New for statically known times; it panics on error.
 func MustNew(tm rctree.Times) *Bounds {
 	b, err := New(tm)

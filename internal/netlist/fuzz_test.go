@@ -1,9 +1,66 @@
 package netlist
 
 import (
+	"fmt"
 	"math"
+	"reflect"
+	"strings"
 	"testing"
+
+	"repro/internal/rctree"
 )
+
+// deepChainDeck builds a single-net deck whose tree is one long RC ladder —
+// the degenerate topology that maximizes path length (and once overflowed
+// recursive walkers).
+func deepChainDeck(n int) string {
+	var b strings.Builder
+	prev := "in"
+	for i := 1; i <= n; i++ {
+		cur := fmt.Sprintf("n%d", i)
+		fmt.Fprintf(&b, "R%d %s %s 1\nC%d %s 0 0.5\n", i, prev, cur, i, cur)
+		prev = cur
+	}
+	fmt.Fprintf(&b, ".output %s\n", prev)
+	return b.String()
+}
+
+// wideFanoutDeck builds a single-net deck whose tree is one star — the
+// degenerate topology that maximizes a node's child count.
+func wideFanoutDeck(n int) string {
+	var b strings.Builder
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "R%d in n%d 2\nC%d n%d 0 1\n", i, i, i, i)
+		if i%7 == 0 {
+			fmt.Fprintf(&b, ".output n%d\n", i)
+		}
+	}
+	return b.String()
+}
+
+// deepStageChainDesign builds a design-level chain: n nets staged head to
+// tail, so the timing graph has n levels of one net each.
+func deepStageChainDesign(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, ".net s%d\nR1 in o 1\nC1 o 0 1\n.output o\n.endnet\n", i)
+	}
+	for i := 1; i < n; i++ {
+		fmt.Fprintf(&b, ".stage s%d o s%d 1.5\n", i-1, i)
+	}
+	return b.String()
+}
+
+// wideStageFanoutDesign builds a design-level star: one driver net staging
+// into n sinks, so one net's fanout cone covers the whole graph.
+func wideStageFanoutDesign(n int) string {
+	var b strings.Builder
+	b.WriteString(".net drv\nR1 in o 1\nC1 o 0 1\n.output o\n.endnet\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, ".net k%d\nR1 in o 2\nC1 o 0 2\n.output o\n.endnet\n.stage drv o k%d 1\n", i, i)
+	}
+	return b.String()
+}
 
 // FuzzParse asserts the parser never panics and that any deck it accepts
 // survives a Write→Parse round trip with characteristic times intact.
@@ -20,6 +77,8 @@ func FuzzParse(f *testing.F) {
 		"R1 in in 5",
 		"X? ???",
 		".output ghost\nR1 in a 1\nC1 a 0 1",
+		deepChainDeck(80),
+		wideFanoutDeck(60),
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -79,6 +138,12 @@ func FuzzParseDesign(f *testing.F) {
 		".require x y 1\n",
 		".net loop\nR1 in x 1\nR2 x in 3\n.endnet\n",
 		".design\n",
+		// Degenerate topologies: deep chains and wide fanout, at both the
+		// tree level (inside one net) and the stage-graph level.
+		".net deep\n" + deepChainDeck(80) + ".endnet\n",
+		".net wide\n" + wideFanoutDeck(60) + ".endnet\n",
+		deepStageChainDesign(24),
+		wideStageFanoutDesign(24),
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -131,6 +196,53 @@ func FuzzParseDesign(f *testing.F) {
 				if !floatsClose(got.TD, want.TD) || !floatsClose(got.TP, want.TP) {
 					t.Fatalf("net %q times changed: %+v -> %+v", d.Nets[i].Name, want, got)
 				}
+			}
+		}
+	})
+}
+
+// FuzzArenaRoundTrip pins the flat-arena encoding against the parser's full
+// input space: for every tree the parser accepts, arena build →
+// materialize → rebuild must be lossless and idempotent, with characteristic
+// times preserved exactly (the arena pass and the tree pass share iteration
+// order, so the sums match bit for bit).
+func FuzzArenaRoundTrip(f *testing.F) {
+	seeds := []string{
+		fig7Deck,
+		".input a\nR1 a b 1\nC1 b 0 2p\n.output b\n",
+		"U1 in far 3k 4u\nC9 far 0 1n\n",
+		deepChainDeck(80),
+		wideFanoutDeck(60),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tree, err := Parse(src)
+		if err != nil {
+			return
+		}
+		a := rctree.NewArena(tree)
+		back, err := a.Materialize()
+		if err != nil {
+			t.Fatalf("materialize failed for accepted tree: %v\ndeck:\n%s", err, src)
+		}
+		a2 := rctree.NewArena(back)
+		if !reflect.DeepEqual(a, a2) {
+			t.Fatalf("arena round trip not idempotent:\n%s", src)
+		}
+		var s rctree.Scratch
+		for _, e := range tree.Outputs() {
+			want, err := tree.CharacteristicTimes(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := a.TimesInto(int32(e), &s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("arena times diverged at output %d: %+v vs %+v\ndeck:\n%s", e, got, want, src)
 			}
 		}
 	})

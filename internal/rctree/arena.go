@@ -1,0 +1,188 @@
+package rctree
+
+import "fmt"
+
+// Arena is a flat, index-based structure-of-arrays (SoA) view of a Tree:
+// one slice per field, children encoded as a contiguous CSR index range, and
+// nodes stored in the same topological (parent-before-child) order the Tree
+// guarantees. The layout is cache-friendly for the linear accumulation passes
+// the characteristic-times computation performs, trivially serializable, and
+// free of per-node pointer chasing:
+//
+//	index:     0      1      2      ...   n-1
+//	Parent:   [-1  ,  p1  ,  p2  ,  ...       ]   parent index (-1 at root)
+//	Kind:     [none,  k1  ,  k2  ,  ...       ]   edge element kind
+//	EdgeR:    [ 0  ,  r1  ,  r2  ,  ...       ]   element resistance
+//	EdgeC:    [ 0  ,  c1  ,  c2  ,  ...       ]   distributed line capacitance
+//	NodeC:    [ c0 ,  c1  ,  c2  ,  ...       ]   lumped capacitance at node
+//	ChildOff: [ o0 ,  o1  ,  ...  ,  on ]         CSR offsets (len n+1)
+//	Children: [ .. node indices grouped by parent .. ]
+//
+// An Arena is immutable after NewArena; it is safe for concurrent readers,
+// provided each goroutine uses its own Scratch.
+type Arena struct {
+	Parent   []int32
+	Kind     []uint8 // EdgeKind
+	EdgeR    []float64
+	EdgeC    []float64
+	NodeC    []float64
+	ChildOff []int32 // len n+1; children of i are Children[ChildOff[i]:ChildOff[i+1]]
+	Children []int32
+	Names    []string
+	Outputs  []int32
+	byName   map[string]int32
+}
+
+// NewArena flattens a tree into its arena form in O(n).
+func NewArena(t *Tree) *Arena {
+	n := len(t.nodes)
+	a := &Arena{
+		Parent:   make([]int32, n),
+		Kind:     make([]uint8, n),
+		EdgeR:    make([]float64, n),
+		EdgeC:    make([]float64, n),
+		NodeC:    make([]float64, n),
+		ChildOff: make([]int32, n+1),
+		Children: make([]int32, 0, n-1),
+		Names:    make([]string, n),
+		Outputs:  make([]int32, len(t.outputs)),
+		byName:   make(map[string]int32, n),
+	}
+	for i := range t.nodes {
+		nd := &t.nodes[i]
+		a.Parent[i] = int32(nd.parent)
+		a.Kind[i] = uint8(nd.kind)
+		a.EdgeR[i] = nd.edgeR
+		a.EdgeC[i] = nd.edgeC
+		a.NodeC[i] = nd.nodeC
+		a.Names[i] = nd.name
+		a.byName[nd.name] = int32(i)
+	}
+	for i := range t.nodes {
+		a.ChildOff[i] = int32(len(a.Children))
+		for _, c := range t.nodes[i].children {
+			a.Children = append(a.Children, int32(c))
+		}
+	}
+	a.ChildOff[n] = int32(len(a.Children))
+	for i, o := range t.outputs {
+		a.Outputs[i] = int32(o)
+	}
+	return a
+}
+
+// Len reports the number of nodes, including the input at index 0.
+func (a *Arena) Len() int { return len(a.Parent) }
+
+// Lookup finds a node index by name.
+func (a *Arena) Lookup(name string) (int32, bool) {
+	id, ok := a.byName[name]
+	return id, ok
+}
+
+// TimesInto computes the characteristic times for output e using caller-owned
+// scratch; it allocates nothing once the scratch has grown to the arena size.
+func (a *Arena) TimesInto(e int32, s *Scratch) (Times, error) {
+	return TimesFlat(a.Parent, a.Kind, a.EdgeR, a.EdgeC, a.NodeC, int(e), s)
+}
+
+// Materialize reconstructs the immutable Tree the arena was built from (or an
+// equivalent one for a hand-assembled arena), validating the structural
+// invariants. NewArena(a.Materialize()) reproduces a exactly — the round trip
+// is idempotent, which the fuzz harness pins down.
+func (a *Arena) Materialize() (*Tree, error) {
+	n := len(a.Parent)
+	if n == 0 {
+		return nil, fmt.Errorf("rctree: empty arena")
+	}
+	nodes := make([]node, n)
+	kids := make([]NodeID, len(a.Children))
+	for i, c := range a.Children {
+		kids[i] = NodeID(c)
+	}
+	byName := make(map[string]NodeID, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = node{
+			name:     a.Names[i],
+			parent:   NodeID(a.Parent[i]),
+			kind:     EdgeKind(a.Kind[i]),
+			edgeR:    a.EdgeR[i],
+			edgeC:    a.EdgeC[i],
+			nodeC:    a.NodeC[i],
+			children: kids[a.ChildOff[i]:a.ChildOff[i+1]:a.ChildOff[i+1]],
+		}
+		if _, dup := byName[a.Names[i]]; dup {
+			return nil, fmt.Errorf("rctree: arena has duplicate node name %q", a.Names[i])
+		}
+		byName[a.Names[i]] = NodeID(i)
+	}
+	outs := make([]NodeID, len(a.Outputs))
+	for i, o := range a.Outputs {
+		outs[i] = NodeID(o)
+	}
+	t := &Tree{nodes: nodes, outputs: outs, byName: byName}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// TimesFlat is the arena-form characteristic-times pass: the same single
+// linear sweep as Tree.CharacteristicTimesInto, but over flat parallel arrays
+// describing one tree in topological order (parent[0] == -1 at the root).
+// It performs no allocation once s has grown to len(parent) elements, which
+// is what makes the design-level propagation hot path allocation-free.
+func TimesFlat(parent []int32, kind []uint8, edgeR, edgeC, nodeC []float64, e int, s *Scratch) (Times, error) {
+	n := len(parent)
+	if e < 0 || e >= n {
+		return Times{}, fmt.Errorf("rctree: output id %d out of range", e)
+	}
+	s.grow(n)
+	onPath := s.onPath
+	for x := e; ; x = int(parent[x]) {
+		onPath[x] = true
+		if x == 0 {
+			break
+		}
+	}
+	var tp, td, trNum float64 // trNum = Σ Rke²·Ck
+	rkk := s.rkk
+	rke := s.rke
+	for i := 1; i < n; i++ {
+		r0 := rkk[parent[i]]
+		rkk[i] = r0 + edgeR[i]
+		common0 := rke[parent[i]]
+		if onPath[i] {
+			rke[i] = rkk[i] // still on the input→e path: common path grows
+		} else {
+			rke[i] = common0 // frozen at the branch point
+		}
+		// Lumped capacitance at node i.
+		tp += nodeC[i] * rkk[i]
+		td += nodeC[i] * rke[i]
+		trNum += nodeC[i] * rke[i] * rke[i]
+		// Distributed line along the edge into node i.
+		if EdgeKind(kind[i]) == EdgeLine {
+			r, c := edgeR[i], edgeC[i]
+			tp += c * (r0 + r/2)
+			if onPath[i] {
+				td += c * (common0 + r/2)
+				trNum += c * (common0*common0 + common0*r + r*r/3)
+			} else {
+				td += c * common0
+				trNum += c * common0 * common0
+			}
+		}
+	}
+	ree := rkk[e]
+	tm := Times{TP: tp, TD: td, Ree: ree}
+	if ree > 0 {
+		tm.TR = trNum / ree
+	} else if trNum != 0 {
+		return Times{}, fmt.Errorf("rctree: output %d has Ree=0 but nonzero TR numerator", e)
+	}
+	if err := tm.Validate(); err != nil {
+		return Times{}, err
+	}
+	return tm, nil
+}

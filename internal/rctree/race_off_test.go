@@ -1,0 +1,5 @@
+//go:build !race
+
+package rctree
+
+const raceEnabled = false

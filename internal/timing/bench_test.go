@@ -2,6 +2,7 @@ package timing
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/batch"
@@ -12,18 +13,20 @@ import (
 )
 
 // BenchmarkDesignSlack measures chip-level slack computation on a generated
-// 6-level × 40-net design (240 nets), three ways:
+// 6-level × 40-net design (240 nets), across both compute cores:
 //
-//   - sequential: one net at a time on the caller's goroutine, no engine —
-//     the naive baseline;
-//   - parallel: the production default (Options.Engine == nil), i.e. the
-//     levelized fan-out across the batch pool with content-hash memoization
-//     warm after the first iteration — the steady-state cost a server pays
-//     re-timing a design;
-//   - parallel-nocache: the same fan-out with memoization disabled, so every
-//     iteration pays the full per-net analysis and the gap to sequential is
-//     purely the level sharding (this one only wins wall-clock when
-//     GOMAXPROCS > 1).
+//   - arena-sequential: the flat SoA/CSR arena on one goroutine — the
+//     production default when GOMAXPROCS is 1;
+//   - arena-worksteal / arena-levelbarrier: the arena's two parallel
+//     schedules (work-stealing is the production default on multicore);
+//   - pointer-sequential: the original pointer-tree core, one net at a time —
+//     the baseline the arena_vs_pointer_sequential speedup in
+//     BENCH_timing.json is computed against;
+//   - pointer-parallel: the pointer core fanned across the batch pool with
+//     content-hash memoization warm after the first iteration;
+//   - pointer-parallel-nocache: the same fan-out paying the full per-net
+//     analysis every iteration, so the gap to pointer-sequential is purely
+//     the level sharding (only wins wall-clock when GOMAXPROCS > 1).
 func BenchmarkDesignSlack(b *testing.B) {
 	cfg := randnet.DefaultDesignConfig(6, 40)
 	cfg.Net = randnet.DefaultConfig(60)
@@ -37,6 +40,7 @@ func BenchmarkDesignSlack(b *testing.B) {
 	}
 	opt := Options{Threshold: 0.7, Required: 1e5, K: 5}
 	run := func(b *testing.B, o Options) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := g.Analyze(context.Background(), o); err != nil {
 				b.Fatal(err)
@@ -44,21 +48,96 @@ func BenchmarkDesignSlack(b *testing.B) {
 		}
 	}
 
-	b.Run("sequential", func(b *testing.B) {
+	b.Run("arena-sequential", func(b *testing.B) {
 		o := opt
+		o.Core = CoreArena
 		o.Sequential = true
 		run(b, o)
 	})
-	b.Run("parallel", func(b *testing.B) {
+	b.Run("arena-worksteal", func(b *testing.B) {
+		o := opt
+		o.Core = CoreArena
+		o.Scheduler = SchedWorkSteal
+		run(b, o)
+	})
+	b.Run("arena-levelbarrier", func(b *testing.B) {
+		o := opt
+		o.Core = CoreArena
+		o.Scheduler = SchedLevelBarrier
+		run(b, o)
+	})
+	b.Run("pointer-sequential", func(b *testing.B) {
+		o := opt
+		o.Core = CorePointer
+		o.Sequential = true
+		run(b, o)
+	})
+	b.Run("pointer-parallel", func(b *testing.B) {
 		o := opt
 		o.Engine = batch.New(batch.Options{})
 		run(b, o)
 	})
-	b.Run("parallel-nocache", func(b *testing.B) {
+	b.Run("pointer-parallel-nocache", func(b *testing.B) {
 		o := opt
 		o.Engine = batch.New(batch.Options{CacheSize: -1})
 		run(b, o)
 	})
+}
+
+// BenchmarkArenaPropagation isolates the arena propagation kernel from graph
+// build and report assembly: one prebuilt arena, one reusable state, one
+// recycled propagation scratch. The sequential pass is the zero-alloc hot
+// path (the allocs/op column must read 0); the parallel passes pay only
+// goroutine startup and scheduler traffic on top, so comparing the three at
+// GOMAXPROCS=1 vs all cores shows exactly what the work-stealing schedule
+// buys (and costs) on a given machine.
+func BenchmarkArenaPropagation(b *testing.B) {
+	cfg := randnet.DefaultDesignConfig(6, 40)
+	cfg.Net = randnet.DefaultConfig(60)
+	design := randnet.DesignSeed(123, cfg)
+	g, err := NewGraph(design)
+	if err != nil {
+		b.Fatal(err)
+	}
+	da, err := g.arena()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	const th = 0.7
+	b.Run("sequential", func(b *testing.B) {
+		st := da.newState()
+		var s rctree.Scratch
+		if err := da.propagateSeq(ctx, st, th, &s); err != nil {
+			b.Fatal(err) // warm the scratch before measuring
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := da.propagateSeq(ctx, st, th, &s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, bench := range []struct {
+		name  string
+		sched Scheduler
+	}{
+		{"levelbarrier", SchedLevelBarrier},
+		{"worksteal", SchedWorkSteal},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			st := da.newState()
+			ps := da.newPropScratch(runtime.GOMAXPROCS(0))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := da.propagate(ctx, st, th, bench.sched, 0, ps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkDesignECO measures the cost of absorbing a single-net ECO edit on
@@ -74,7 +153,10 @@ func BenchmarkDesignSlack(b *testing.B) {
 //     O(depth) EditTree update, per-output bound refresh, and arrival
 //     propagation only through the edited net's downstream cone.
 //
-// scripts/bench_trajectory.sh records the ratio in BENCH_timing.json.
+// Both sides set Options.Engine, which under CoreAuto deliberately selects
+// the pointer core: the memoization cache is the whole point of the
+// full-reanalysis baseline. scripts/bench_trajectory.sh records the ratio in
+// BENCH_timing.json.
 func BenchmarkDesignECO(b *testing.B) {
 	cfg := randnet.DefaultDesignConfig(6, 40)
 	cfg.Net = randnet.DefaultConfig(60)

@@ -34,6 +34,40 @@
 // construction across repeated analyses. Options.Sequential disables the
 // level-parallel fan-out (BenchmarkDesignSlack measures the gap).
 //
+// # The flat-arena core
+//
+// Analysis runs on one of two interchangeable compute cores, selected by
+// Options.Core. The default (CoreArena, unless an explicit shared Engine is
+// set) is a flat SoA/CSR arena built once per Graph: every net's RC tree
+// flattened into one concatenated node arena with one contiguous slice per
+// field, and every variable-length relation as a CSR index range:
+//
+//	nodes   net 0 nodes | net 1 nodes | ...     nodeOff CSR per net
+//	        parent/kind/edgeR/edgeC/nodeC       one flat slice per field
+//	slots   net 0 outputs | net 1 outputs | ... outOff CSR per net
+//	fanin   finOff CSR; driver net, driver's global output slot, delay
+//	fanout  foutOff CSR; successor net per stage edge
+//	order   levelized net order with levelOff per level — computed once
+//
+// Output-name lookups are resolved to integer slots at build, so propagation
+// touches nothing but flat float64/int32 slices; the steady-state sequential
+// sweep allocates nothing per pass (an AllocsPerRun test pins this). The
+// original pointer-tree core (CorePointer) stays intact behind the batch
+// engine — an explicit Options.Engine selects it so repeated nets hit the
+// engine's cross-design memoization cache — and the differential harness
+// pins the two cores to each other to 1e-9 on every quantity the report
+// carries, fresh and across randomized ECO edit sequences.
+//
+// Parallel arena propagation is scheduled by Options.Scheduler.
+// SchedLevelBarrier shards each topological level across workers and
+// barriers between levels — simple, but a deep design with narrow levels
+// serializes on the barriers. SchedWorkSteal (the default) drops them: each
+// net carries an atomic remaining-fanin counter, a finished net pushes the
+// successors that just became ready onto its own deque (popped LIFO, chasing
+// the fanout cone depth-first for locality), and idle workers steal FIFO.
+// Results are bit-identical across cores, schedulers and worker counts —
+// each net's computation is a pure function of its drivers' final state.
+//
 // # Incremental re-timing (ECO sessions)
 //
 // A Session keeps the design hot across edits: every net mounts an incr

@@ -1,9 +1,32 @@
 package timing
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
+
+// growChainEdits builds an edit list that grows one deep chain hanging off a
+// net — each grow's parent is the previous grow's node.
+func growChainEdits(n int) string {
+	var b strings.Builder
+	parent := "o"
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("g%d", i)
+		fmt.Fprintf(&b, "grow net.%s %s resistor 2\n", parent, name)
+		parent = name
+	}
+	return b.String()
+}
+
+// growFanoutEdits builds an edit list that grows a wide star off one node.
+func growFanoutEdits(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "grow net.o w%d line 3 0.5\n", i)
+	}
+	return b.String()
+}
 
 // FuzzEditOps asserts the ECO edit-list parser never panics and that any
 // list it accepts survives a FormatEdits→ParseEdits round trip with every
@@ -23,6 +46,8 @@ func FuzzEditOps(f *testing.F) {
 		"setR a.b 1e999\n",
 		"scaleDriver a.b 1\n",
 		"setR a.\x00b 1\n",
+		growChainEdits(40),
+		growFanoutEdits(40),
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,7 @@
+//go:build race
+
+package timing
+
+// raceEnabled reports whether the race detector is instrumenting this build;
+// allocation-count assertions are skipped under it.
+const raceEnabled = true

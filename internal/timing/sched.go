@@ -1,0 +1,258 @@
+package timing
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rctree"
+)
+
+// Scheduler selects how a parallel arena propagation distributes nets across
+// workers. Sequential analyses (Options.Sequential or Workers == 1) bypass
+// the scheduler entirely.
+type Scheduler int
+
+const (
+	// SchedAuto picks the default parallel schedule (work-stealing).
+	SchedAuto Scheduler = iota
+	// SchedLevelBarrier splits each topological level across the workers and
+	// barriers between levels — simple, but a deep design with narrow levels
+	// serializes on the barriers.
+	SchedLevelBarrier
+	// SchedWorkSteal drops the level barriers: each net carries an atomic
+	// remaining-fanin counter, a finished net releases exactly the successors
+	// that became ready, and workers pop their own deque LIFO (chasing a
+	// fanout cone depth-first for locality) while idle workers steal FIFO
+	// from victims. Narrow-but-deep designs keep every worker busy as long
+	// as any independent cone remains.
+	SchedWorkSteal
+)
+
+// propScratch holds the reusable allocations of parallel propagation: one
+// characteristic-times scratch per worker, the remaining-fanin counters, and
+// the per-worker deques. Reusing it across runs keeps repeated propagation
+// (benchmarks, server steady state) off the allocator.
+type propScratch struct {
+	scratch   []rctree.Scratch
+	remaining []int32
+	deques    []workDeque
+}
+
+func (a *designArena) newPropScratch(workers int) *propScratch {
+	ps := &propScratch{
+		scratch:   make([]rctree.Scratch, workers),
+		remaining: make([]int32, a.nets),
+		deques:    make([]workDeque, workers),
+	}
+	return ps
+}
+
+// workDeque is a mutex-guarded per-worker deque. Nets are coarse work items
+// (one full per-net bound computation each), so lock traffic is negligible
+// next to the compute; the mutex keeps the scheduler trivially race-clean.
+type workDeque struct {
+	mu    sync.Mutex
+	items []int32
+}
+
+func (d *workDeque) push(i int32) {
+	d.mu.Lock()
+	d.items = append(d.items, i)
+	d.mu.Unlock()
+}
+
+// pop removes LIFO — the owner descends the cone it just opened.
+func (d *workDeque) pop() (int32, bool) {
+	d.mu.Lock()
+	n := len(d.items)
+	if n == 0 {
+		d.mu.Unlock()
+		return 0, false
+	}
+	i := d.items[n-1]
+	d.items = d.items[:n-1]
+	d.mu.Unlock()
+	return i, true
+}
+
+// steal removes FIFO — thieves take the oldest (widest) pending work.
+func (d *workDeque) steal() (int32, bool) {
+	d.mu.Lock()
+	if len(d.items) == 0 {
+		d.mu.Unlock()
+		return 0, false
+	}
+	i := d.items[0]
+	d.items = d.items[1:]
+	d.mu.Unlock()
+	return i, true
+}
+
+// propagate dispatches one full propagation over the arena. ps may be nil
+// for one-shot analyses; reuse it (sized for the same worker count) to keep
+// steady-state runs allocation-lean. Results are bit-identical across
+// schedulers and worker counts: each net's computation is a pure function of
+// its drivers' final state.
+func (a *designArena) propagate(ctx context.Context, st *arenaState, th float64, sched Scheduler, workers int, ps *propScratch) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > a.nets {
+		workers = a.nets
+	}
+	if workers <= 1 {
+		var s *rctree.Scratch
+		if ps != nil && len(ps.scratch) > 0 {
+			s = &ps.scratch[0]
+		} else {
+			s = &rctree.Scratch{}
+		}
+		return a.propagateSeq(ctx, st, th, s)
+	}
+	if ps == nil || len(ps.scratch) < workers {
+		ps = a.newPropScratch(workers)
+	}
+	if sched == SchedLevelBarrier {
+		return a.propagateLevels(ctx, st, th, workers, ps)
+	}
+	return a.propagateSteal(ctx, st, th, workers, ps)
+}
+
+// propErr collects the first error across workers and flags abort.
+type propErr struct {
+	abort atomic.Bool
+	once  sync.Once
+	err   error
+}
+
+func (p *propErr) set(err error) {
+	p.once.Do(func() { p.err = err })
+	p.abort.Store(true)
+}
+
+// propagateLevels computes each level with a worker pool behind an atomic
+// claim counter, barriering between levels.
+func (a *designArena) propagateLevels(ctx context.Context, st *arenaState, th float64, workers int, ps *propScratch) error {
+	var pe propErr
+	for l := 0; l+1 < len(a.levelOff); l++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		level := a.order[a.levelOff[l]:a.levelOff[l+1]]
+		w := workers
+		if w > len(level) {
+			w = len(level)
+		}
+		if w <= 1 {
+			for _, i := range level {
+				if err := a.computeNet(st, th, i, &ps.scratch[0]); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func(s *rctree.Scratch) {
+				defer wg.Done()
+				for !pe.abort.Load() {
+					k := int(next.Add(1)) - 1
+					if k >= len(level) {
+						return
+					}
+					if err := a.computeNet(st, th, level[k], s); err != nil {
+						pe.set(err)
+						return
+					}
+				}
+			}(&ps.scratch[wi])
+		}
+		wg.Wait()
+		if pe.abort.Load() {
+			return pe.err
+		}
+	}
+	return nil
+}
+
+// propagateSteal runs the barrier-free schedule: per-net atomic
+// remaining-fanin counters gate readiness, finished nets release their
+// fanouts into the finisher's own deque, and idle workers steal.
+func (a *designArena) propagateSteal(ctx context.Context, st *arenaState, th float64, workers int, ps *propScratch) error {
+	// Mid-flight cancellation is caught in the idle loop; a context canceled
+	// before entry would otherwise slip past workers that never go idle.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < a.nets; i++ {
+		ps.remaining[i] = a.finOff[i+1] - a.finOff[i]
+	}
+	for w := range ps.deques[:workers] {
+		ps.deques[w].items = ps.deques[w].items[:0]
+	}
+	// Seed the primary-input nets round-robin so every worker starts with
+	// an independent cone.
+	seeded := 0
+	for i := 0; i < a.nets; i++ {
+		if ps.remaining[i] == 0 {
+			ps.deques[seeded%workers].push(int32(i))
+			seeded++
+		}
+	}
+	var (
+		pe        propErr
+		completed atomic.Int32
+		wg        sync.WaitGroup
+	)
+	total := int32(a.nets)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := &ps.scratch[w]
+			own := &ps.deques[w]
+			for {
+				if pe.abort.Load() {
+					return
+				}
+				i, ok := own.pop()
+				if !ok {
+					for v := 1; v < workers && !ok; v++ {
+						i, ok = ps.deques[(w+v)%workers].steal()
+					}
+				}
+				if !ok {
+					if completed.Load() == total {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						pe.set(err)
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				if err := a.computeNet(st, th, i, s); err != nil {
+					pe.set(err)
+					return
+				}
+				for e := a.foutOff[i]; e < a.foutOff[i+1]; e++ {
+					j := a.foutTo[e]
+					if atomic.AddInt32(&ps.remaining[j], -1) == 0 {
+						own.push(j)
+					}
+				}
+				completed.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if pe.abort.Load() {
+		return pe.err
+	}
+	return nil
+}

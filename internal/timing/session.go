@@ -91,19 +91,27 @@ type Session struct {
 	// an Apply cost one O(nets) fold instead of an endpoint rescan.
 	netMin []float64
 	netNeg []float64
-	// owned[i] marks trees[i] as exclusively this session's, and
-	// stateOwned[i] the same for state[i]'s arrival map. Fork clears both
-	// flags on both sides; applyOne clones a shared tree and refreshOut a
-	// shared map before their first mutation — copy-on-write, so a fork
-	// costs O(nets) flag-and-struct copies instead of O(design) data.
-	owned      []bool
-	stateOwned []bool
+	// owned is the per-net dirty-range/ownership byte: ownTreeBit marks
+	// trees[i] as exclusively this session's, ownStateBit the same for
+	// state[i]'s arrival map. Fork zeroes the byte on both sides; applyOne
+	// clones a shared tree and refreshOut a shared map before their first
+	// mutation — copy-on-write, so a fork costs O(nets) flag-and-struct
+	// copies instead of O(design) data.
+	owned  []uint8
 	gen    uint64
 	report *Report // memoized; nil after any state change
-	// scratch for the dirty-cone sweep
+	// scratch for the dirty-cone sweep, allocated lazily on the first Apply
+	// so read-only forks (closure trials that get discarded early) stay
+	// cheaper to create.
 	queued  []bool
 	buckets [][]int
 }
+
+// Ownership bits of Session.owned.
+const (
+	ownTreeBit uint8 = 1 << iota
+	ownStateBit
+)
 
 // NewSession builds the graph, mounts one EditTree per net, and runs the
 // initial full analysis (through opt.Engine's pool unless opt.Sequential).
@@ -116,20 +124,22 @@ func NewSession(ctx context.Context, d *netlist.Design, opt Options) (*Session, 
 	return g.Session(ctx, opt)
 }
 
-// Session mounts an incremental re-timing session on an existing graph.
+// Session mounts an incremental re-timing session on an existing graph. The
+// initial full analysis rides the resolved core (the flat arena by default);
+// the session's own ECO machinery then re-times dirty cones incrementally.
 func (g *Graph) Session(ctx context.Context, opt Options) (*Session, error) {
-	th, k, engine, analyzer, err := opt.resolve()
+	r, err := opt.resolve()
 	if err != nil {
 		return nil, err
 	}
-	state, err := g.computeState(ctx, th, engine, analyzer)
+	state, err := g.computeState(ctx, r)
 	if err != nil {
 		return nil, err
 	}
 	s := &Session{
 		g:          g,
-		th:         th,
-		k:          k,
+		th:         r.th,
+		k:          r.k,
 		required:   opt.Required,
 		trees:      make([]*incr.EditTree, len(g.nodes)),
 		protected:  make([]map[string]bool, len(g.nodes)),
@@ -137,15 +147,11 @@ func (g *Graph) Session(ctx context.Context, opt Options) (*Session, error) {
 		state:      state,
 		netMin:     make([]float64, len(g.nodes)),
 		netNeg:     make([]float64, len(g.nodes)),
-		owned:      make([]bool, len(g.nodes)),
-		stateOwned: make([]bool, len(g.nodes)),
-		queued:     make([]bool, len(g.nodes)),
-		buckets:    make([][]int, len(g.levels)),
+		owned:      make([]uint8, len(g.nodes)),
 	}
 	for i := range g.nodes {
 		s.trees[i] = incr.New(g.nodes[i].tree)
-		s.owned[i] = true
-		s.stateOwned[i] = true
+		s.owned[i] = ownTreeBit | ownStateBit
 		s.protected[i] = make(map[string]bool, len(g.nodes[i].drives))
 		for name := range g.nodes[i].drives {
 			s.protected[i][name] = true
@@ -187,22 +193,19 @@ func (s *Session) Fork() *Session {
 		state:      append([]netTiming(nil), s.state...),
 		netMin:     append([]float64(nil), s.netMin...),
 		netNeg:     append([]float64(nil), s.netNeg...),
-		owned:      make([]bool, len(s.trees)),
-		stateOwned: make([]bool, len(s.trees)),
+		owned:      make([]uint8, len(s.trees)),
 		gen:        s.gen,
 		report:     s.report, // reports are immutable once built
-		queued:     make([]bool, len(s.g.nodes)),
-		buckets:    make([][]int, len(s.g.levels)),
 	}
 	// The copied netTiming structs still point at the parent's arrival and
 	// delay maps. Delay maps are only ever replaced wholesale, so sharing
 	// them is safe forever; arrival maps are cloned by refreshOut before
 	// their first in-place write. The parent's trees and maps are shared
 	// now too: its next mutation must also clone first, or it would touch
-	// data a live fork reads.
+	// data a live fork reads. Zeroing the ownership bytes on both sides is
+	// the whole dirty-range reset — the underlying arrays stay put.
 	for i := range s.owned {
-		s.owned[i] = false
-		s.stateOwned[i] = false
+		s.owned[i] = 0
 	}
 	return f
 }
@@ -211,13 +214,13 @@ func (s *Session) Fork() *Session {
 // first if it is still shared with a fork (or a fork's parent).
 func (s *Session) ownOut(i int) map[string]Interval {
 	st := &s.state[i]
-	if !s.stateOwned[i] {
+	if s.owned[i]&ownStateBit == 0 {
 		m := make(map[string]Interval, len(st.out))
 		for k, v := range st.out {
 			m[k] = v
 		}
 		st.out = m
-		s.stateOwned[i] = true
+		s.owned[i] |= ownStateBit
 	}
 	return st.out
 }
@@ -225,9 +228,9 @@ func (s *Session) ownOut(i int) map[string]Interval {
 // ownTree returns net i's EditTree for mutation, cloning it first if it is
 // still shared with a fork (or a fork's parent).
 func (s *Session) ownTree(i int) *incr.EditTree {
-	if !s.owned[i] {
+	if s.owned[i]&ownTreeBit == 0 {
 		s.trees[i] = s.trees[i].Clone()
-		s.owned[i] = true
+		s.owned[i] |= ownTreeBit
 	}
 	return s.trees[i]
 }
@@ -617,6 +620,10 @@ func (s *Session) recomputeDelay(i int) error {
 // moved are enqueued, so a mid-cone settle stops the wave.
 func (s *Session) propagate(edited map[int]bool, res *ApplyResult) error {
 	var firstErr error
+	if s.queued == nil {
+		s.queued = make([]bool, len(s.g.nodes))
+		s.buckets = make([][]int, len(s.g.levels))
+	}
 	dirty := make(map[int]bool, len(edited))
 	push := func(i int) {
 		if !s.queued[i] {
@@ -700,7 +707,7 @@ func (s *Session) refreshOut(i int, rebuild bool) map[string]bool {
 			}
 		}
 		st.out = newOut
-		s.stateOwned[i] = true // freshly built, private by construction
+		s.owned[i] |= ownStateBit // freshly built, private by construction
 		return changed
 	}
 	for name, d := range st.delay {

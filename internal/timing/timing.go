@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/batch"
 	"repro/internal/core"
@@ -32,9 +34,28 @@ func (iv Interval) hull(o Interval) Interval {
 	return Interval{math.Min(iv.Min, o.Min), math.Max(iv.Max, o.Max)}
 }
 
+// CoreKind selects the compute core an analysis runs on.
+type CoreKind int
+
+const (
+	// CoreAuto uses the flat arena core, unless a shared Engine is supplied
+	// (an explicit engine means the caller wants its memoization cache, which
+	// only the pointer core consults).
+	CoreAuto CoreKind = iota
+	// CoreArena forces the flat SoA/CSR arena core: index-based node storage,
+	// allocation-free levelized propagation, and (when parallel) the chosen
+	// Scheduler. Engine is ignored.
+	CoreArena
+	// CorePointer forces the original pointer-tree core: per-net
+	// rctree.Tree walks fanned across a batch engine (or computed inline
+	// when Sequential). Kept as the independent reference implementation the
+	// differential harness compares the arena against.
+	CorePointer
+)
+
 // Options configures an analysis. The zero value uses threshold 0.5, no
-// default required time, 5 critical paths, a private batch engine, and
-// level-parallel execution.
+// default required time, 5 critical paths, the flat arena core, and
+// work-stealing parallel execution across GOMAXPROCS workers.
 type Options struct {
 	// Threshold is the receiving gates' switching threshold as a fraction of
 	// the step (0 means 0.5).
@@ -45,13 +66,21 @@ type Options struct {
 	// K is how many critical paths to backtrack (0 means 5; negative means
 	// none).
 	K int
-	// Engine is the batch engine the per-net bound computations fan across.
-	// nil builds a private engine with default options. Sharing rcserve's
-	// engine lets repeated nets hit its memoization cache.
+	// Engine is the batch engine the pointer core fans per-net bound
+	// computations across. Setting it selects the pointer core under
+	// CoreAuto, so repeated nets hit the engine's memoization cache; the
+	// arena core computes bounds in place and never consults it.
 	Engine *batch.Engine
-	// Sequential disables the level-parallel fan-out and computes each net's
-	// bounds one at a time on the caller's goroutine.
+	// Sequential computes each net one at a time on the caller's goroutine,
+	// whichever core is selected.
 	Sequential bool
+	// Core picks the compute core; see CoreKind.
+	Core CoreKind
+	// Scheduler picks the parallel arena schedule (SchedAuto means
+	// work-stealing). Ignored by the pointer core and in sequential mode.
+	Scheduler Scheduler
+	// Workers caps arena propagation parallelism; 0 means GOMAXPROCS.
+	Workers int
 }
 
 // faninEdge is one resolved stage edge entering a net.
@@ -89,6 +118,17 @@ type Graph struct {
 	nodes  []gnode
 	index  map[string]int // net name -> node index
 	levels [][]int        // net indices per level, each level sorted ascending
+	// The flat arena core is built lazily on first use and shared by every
+	// analysis and session mounted on this graph (it is immutable).
+	arenaOnce sync.Once
+	arenaVal  *designArena
+	arenaErr  error
+}
+
+// arena returns the graph's flat compute core, building it on first use.
+func (g *Graph) arena() (*designArena, error) {
+	g.arenaOnce.Do(func() { g.arenaVal, g.arenaErr = newDesignArena(g) })
+	return g.arenaVal, g.arenaErr
 }
 
 // NewGraph resolves a design into a levelized DAG. Stage edges must form no
@@ -194,28 +234,65 @@ type netTiming struct {
 	worst int
 }
 
-// resolve applies the Options defaults: threshold 0.5, 5 critical paths, a
-// private engine unless sequential. The analyzer is non-nil exactly in
-// sequential mode.
-func (opt Options) resolve() (th float64, k int, engine *batch.Engine, analyzer *core.Analyzer, err error) {
-	th = opt.Threshold
-	if th == 0 {
-		th = 0.5
+// resolved is the fully-defaulted execution plan of one analysis.
+type resolved struct {
+	th      float64
+	k       int
+	core    CoreKind
+	sched   Scheduler
+	workers int
+	// Pointer-core machinery: the analyzer is non-nil exactly in sequential
+	// mode, the engine otherwise.
+	engine   *batch.Engine
+	analyzer *core.Analyzer
+}
+
+// resolve applies the Options defaults: threshold 0.5, 5 critical paths, and
+// the arena core with work-stealing parallelism — unless a shared Engine (or
+// an explicit Core) selects the pointer core, which keeps its original
+// engine/analyzer split.
+func (opt Options) resolve() (resolved, error) {
+	r := resolved{th: opt.Threshold, k: opt.K}
+	if r.th == 0 {
+		r.th = 0.5
 	}
-	if th <= 0 || th >= 1 {
-		return 0, 0, nil, nil, fmt.Errorf("timing: threshold %g outside (0,1)", th)
+	if r.th <= 0 || r.th >= 1 {
+		return resolved{}, fmt.Errorf("timing: threshold %g outside (0,1)", r.th)
 	}
-	k = opt.K
-	if k == 0 {
-		k = 5
+	if r.k == 0 {
+		r.k = 5
 	}
-	engine = opt.Engine
-	if opt.Sequential {
-		analyzer = core.NewAnalyzer()
-	} else if engine == nil {
-		engine = batch.New(batch.Options{})
+	r.core = opt.Core
+	if r.core == CoreAuto {
+		if opt.Engine != nil {
+			r.core = CorePointer
+		} else {
+			r.core = CoreArena
+		}
 	}
-	return th, k, engine, analyzer, nil
+	switch r.core {
+	case CorePointer:
+		if opt.Sequential {
+			r.analyzer = core.NewAnalyzer()
+		} else if r.engine = opt.Engine; r.engine == nil {
+			r.engine = batch.New(batch.Options{})
+		}
+	case CoreArena:
+		r.sched = opt.Scheduler
+		if r.sched == SchedAuto {
+			r.sched = SchedWorkSteal
+		}
+		r.workers = opt.Workers
+		if r.workers <= 0 {
+			r.workers = runtime.GOMAXPROCS(0)
+		}
+		if opt.Sequential {
+			r.workers = 1
+		}
+	default:
+		return resolved{}, fmt.Errorf("timing: unknown core %d", r.core)
+	}
+	return r, nil
 }
 
 // gatherInput recomputes net i's input arrival interval and worst fanin edge
@@ -238,25 +315,37 @@ func (g *Graph) gatherInput(state []netTiming, i int) (Interval, int) {
 	return in, worst
 }
 
-// Analyze levelizes the per-net bound computations across the batch engine
-// and propagates interval arrivals; see the package comment for the model.
+// Analyze propagates interval arrivals over the selected core — the flat
+// arena by default, or the pointer-tree core behind a batch engine — and
+// assembles the chip report; see the package comment for the model.
 func (g *Graph) Analyze(ctx context.Context, opt Options) (*Report, error) {
-	th, k, engine, analyzer, err := opt.resolve()
+	r, err := opt.resolve()
 	if err != nil {
 		return nil, err
 	}
-	state, err := g.computeState(ctx, th, engine, analyzer)
+	state, err := g.computeState(ctx, r)
 	if err != nil {
 		return nil, err
 	}
-	return g.report(state, th, k, opt.Required, g.treeOutputNames), nil
+	return g.report(state, r.th, r.k, opt.Required, g.treeOutputNames), nil
 }
 
-// computeState runs the full levelized sweep: per-net delay intervals (the
-// expensive part, fanned across the pool unless analyzer is set) and interval
-// arrival propagation. The returned slice is the complete working state a
-// Session continues from.
-func (g *Graph) computeState(ctx context.Context, th float64, engine *batch.Engine, analyzer *core.Analyzer) ([]netTiming, error) {
+// computeState runs the full sweep on the resolved core and returns the
+// complete per-net working state a Session continues from. On the arena core
+// the propagation happens entirely in flat arrays; the map-form state is
+// materialized once at the end.
+func (g *Graph) computeState(ctx context.Context, r resolved) ([]netTiming, error) {
+	if r.core == CoreArena {
+		da, err := g.arena()
+		if err != nil {
+			return nil, err
+		}
+		st := da.newState()
+		if err := da.propagate(ctx, st, r.th, r.sched, r.workers, nil); err != nil {
+			return nil, err
+		}
+		return da.netTimings(st), nil
+	}
 	state := make([]netTiming, len(g.nodes))
 	for _, level := range g.levels {
 		// Arrivals first: every driver sits in a shallower level, so its
@@ -264,7 +353,7 @@ func (g *Graph) computeState(ctx context.Context, th float64, engine *batch.Engi
 		for _, i := range level {
 			state[i].input, state[i].worst = g.gatherInput(state, i)
 		}
-		if err := g.computeDelays(ctx, level, state, th, engine, analyzer); err != nil {
+		if err := g.computeDelays(ctx, level, state, r.th, r.engine, r.analyzer); err != nil {
 			return nil, err
 		}
 		for _, i := range level {

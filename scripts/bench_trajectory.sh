@@ -3,9 +3,15 @@
 # the derived speedups) at the repo root:
 #
 #   BENCH_incremental.json  full-vs-incremental EditTree sweeps
-#   BENCH_timing.json       sequential vs levelized-parallel chip slack,
+#   BENCH_timing.json       arena vs pointer chip-slack cores, the arena
+#                           propagation kernel under its three schedules,
 #                           full-reanalyze vs dirty-cone ECO re-timing, and
 #                           sequential vs concurrent closure-trial evaluation
+#
+# The timing suite runs twice — once pinned to GOMAXPROCS=1 and once on all
+# cores (the second run is skipped on a single-core machine) — and every
+# benchmark entry records the gomaxprocs it ran under, so a multicore speedup
+# claim can never hide a single-core measurement.
 #
 # These files are the performance trajectory: re-run after perf work and
 # commit the result so regressions show up in review.
@@ -61,16 +67,66 @@ END {
 echo "wrote BENCH_incremental.json:"
 cat BENCH_incremental.json
 
-raw="$(go test -run '^$' -bench 'BenchmarkDesignSlack|BenchmarkDesignECO|BenchmarkClosure' -benchtime "$timing_benchtime" -count 1 ./internal/timing/ ./internal/closure/)"
+# Timing suite: once pinned to one P, once on every core the machine has.
+# Each run's output is prefixed with a GOMAXPROCS marker line so the awk
+# below can tag every entry with the parallelism it was measured under.
+run_timing() {
+    echo "GOMAXPROCS $1"
+    GOMAXPROCS="$1" go test -run '^$' \
+        -bench 'BenchmarkDesignSlack|BenchmarkDesignECO|BenchmarkArenaPropagation|BenchmarkClosure' \
+        -benchtime "$timing_benchtime" -count 1 ./internal/timing/ ./internal/closure/
+}
+raw="$(run_timing 1)"
+if [ "$maxprocs" -gt 1 ]; then
+    raw="$raw
+$(run_timing "$maxprocs")"
+else
+    echo "bench_trajectory: single-core machine, skipping the all-cores run" >&2
+fi
 echo "$raw"
-printf '%s\n' "$raw" | awk -v date="$date" -v goversion="$goversion" -v maxprocs="$maxprocs" "$collect"'
+printf '%s\n' "$raw" | awk -v date="$date" -v goversion="$goversion" -v maxprocs="$maxprocs" '
+$1 == "GOMAXPROCS" { mp = $2; if (mp > maxmp) maxmp = mp; next }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)          # strip the GOMAXPROCS suffix
+    sub(/^Benchmark/, "", name)
+    key = name "@" mp
+    if (!(key in ns)) { order[n++] = key; bname[key] = name; bmp[key] = mp }
+    ns[key] = $3
+}
+# speedup queues one ratio line if both measurements exist.
+function speedup(label, num, den) {
+    if ((num in ns) && (den in ns) && ns[den] > 0)
+        sl[sn++] = sprintf("    \"%s\": %.2f", label, ns[num] / ns[den])
+}
 END {
-    header()
-    printf ",\n  \"speedup\": {\n"
-    printf "    \"parallel_vs_sequential\": %.2f,\n", ns["DesignSlack/sequential"] / ns["DesignSlack/parallel"]
-    printf "    \"parallel_nocache_vs_sequential\": %.2f,\n", ns["DesignSlack/sequential"] / ns["DesignSlack/parallel-nocache"]
-    printf "    \"eco_dirty_cone_vs_full\": %.1f,\n", ns["DesignECO/full-reanalyze"] / ns["DesignECO/dirty-cone"]
-    printf "    \"closure_concurrent_vs_sequential\": %.2f\n", ns["Closure/sequential"] / ns["Closure/concurrent"]
+    if (n == 0) { print "bench_trajectory: no benchmark output" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"generated\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"cpus\": %s,\n", maxprocs
+    printf "  \"unit\": \"ns/op\",\n"
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        k = order[i]
+        printf "    {\"name\": \"%s\", \"gomaxprocs\": %s, \"ns_per_op\": %s}%s\n", \
+            bname[k], bmp[k], ns[k], (i < n-1 ? "," : "")
+    }
+    printf "  ],\n"
+    speedup("arena_vs_pointer_sequential", "DesignSlack/pointer-sequential@1", "DesignSlack/arena-sequential@1")
+    speedup("worksteal_vs_sequential_singlecore", "DesignSlack/arena-sequential@1", "DesignSlack/arena-worksteal@1")
+    if (maxmp > 1) {
+        speedup("worksteal_vs_sequential_multicore", \
+            "DesignSlack/arena-sequential@" maxmp, "DesignSlack/arena-worksteal@" maxmp)
+        speedup("worksteal_vs_levelbarrier_multicore", \
+            "DesignSlack/arena-levelbarrier@" maxmp, "DesignSlack/arena-worksteal@" maxmp)
+        speedup("propagation_worksteal_vs_sequential_multicore", \
+            "ArenaPropagation/sequential@" maxmp, "ArenaPropagation/worksteal@" maxmp)
+    }
+    speedup("eco_dirty_cone_vs_full", "DesignECO/full-reanalyze@1", "DesignECO/dirty-cone@1")
+    speedup("closure_concurrent_vs_sequential", "Closure/sequential@" maxmp, "Closure/concurrent@" maxmp)
+    printf "  \"speedup\": {\n"
+    for (i = 0; i < sn; i++) printf "%s%s\n", sl[i], (i < sn-1 ? "," : "")
     printf "  }\n}\n"
 }' > BENCH_timing.json
 echo "wrote BENCH_timing.json:"
