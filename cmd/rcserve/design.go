@@ -89,7 +89,7 @@ func designSummary(e *entry[*designSession]) designSummaryJSON {
 // server's shared batch engine; the engine (and its cross-client memoization
 // cache) still serves the /analyze tree-batch endpoint.
 func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
-	s.counters.designReqs.Add(1)
+	s.count("rcserve_design_requests_total", 1)
 	var req designRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
@@ -110,6 +110,7 @@ func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 		Threshold: req.Threshold,
 		Required:  req.Required,
 		K:         req.K,
+		Obs:       s.obs,
 	})
 	if err != nil {
 		httpError(w, err.Error(), http.StatusUnprocessableEntity)
@@ -129,7 +130,7 @@ func (s *server) lookupDesign(w http.ResponseWriter, r *http.Request) (*entry[*d
 }
 
 func (s *server) handleDesignInfo(w http.ResponseWriter, r *http.Request) {
-	s.counters.designReqs.Add(1)
+	s.count("rcserve_design_requests_total", 1)
 	if e, ok := s.lookupDesign(w, r); ok {
 		writeJSON(w, http.StatusOK, designSummary(e))
 	}
@@ -160,7 +161,7 @@ type designEditResponse struct {
 // only the dirty cone — the chip-level analogue of the /session edit
 // endpoint, with slack instead of characteristic times in the answer.
 func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
-	s.counters.designReqs.Add(1)
+	s.count("rcserve_design_requests_total", 1)
 	ent, ok := s.lookupDesign(w, r)
 	if !ok {
 		return
@@ -185,7 +186,7 @@ func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
 		wns = &res.WNS
 	}
 	ds.mu.Unlock()
-	s.counters.designEdits.Add(int64(res.Applied))
+	s.count("rcserve_design_edits_total", int64(res.Applied))
 	resp := designEditResponse{
 		ID: ent.id, Gen: res.Gen, Applied: res.Applied,
 		DirtyNets: res.DirtyNets, VisitedNets: res.VisitedNets,
@@ -204,8 +205,8 @@ func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
 // incrementally after edits. The report type carries its own JSON-safe
 // marshaling.
 func (s *server) handleDesignSlack(w http.ResponseWriter, r *http.Request) {
-	s.counters.designReqs.Add(1)
-	s.counters.slackQueries.Add(1)
+	s.count("rcserve_design_requests_total", 1)
+	s.count("rcserve_slack_queries_total", 1)
 	ent, ok := s.lookupDesign(w, r)
 	if !ok {
 		return
@@ -253,8 +254,8 @@ type designCloseResponse struct {
 // and the best slack-gain-per-cost moves are accepted until WNS >= 0 or a
 // budget runs out.
 func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
-	s.counters.designReqs.Add(1)
-	s.counters.closeReqs.Add(1)
+	s.count("rcserve_design_requests_total", 1)
+	s.count("rcserve_close_requests_total", 1)
 	ent, ok := s.lookupDesign(w, r)
 	if !ok {
 		return
@@ -266,6 +267,10 @@ func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
 		return
 	}
+	if r.URL.Query().Get("stream") != "" {
+		s.streamDesignClose(w, r, ent, req)
+		return
+	}
 	ds := ent.val
 	ds.mu.Lock()
 	report, err := rcdelay.CloseSession(r.Context(), ds.sess, rcdelay.ClosureOptions{
@@ -273,6 +278,7 @@ func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 		MaxCost:      req.MaxCost,
 		TopEndpoints: req.TopEndpoints,
 		Sequential:   req.Sequential,
+		Obs:          s.obs,
 	})
 	if report != nil {
 		// A cancelled run still applied its accepted prefix; account for it.
@@ -284,7 +290,7 @@ func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	s.counters.closureMoves.Add(int64(len(report.Moves)))
+	s.count("rcserve_closure_moves_total", int64(len(report.Moves)))
 	resp := designCloseResponse{ID: ent.id, Gen: gen, Report: report}
 	status := http.StatusOK
 	if err != nil {
@@ -295,7 +301,7 @@ func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleDesignDelete(w http.ResponseWriter, r *http.Request) {
-	s.counters.designReqs.Add(1)
+	s.count("rcserve_design_requests_total", 1)
 	if !s.designs.delete(r.PathValue("id")) {
 		httpError(w, "unknown or expired design", http.StatusNotFound)
 		return

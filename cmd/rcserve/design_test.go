@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -33,7 +34,9 @@ C1 far 0 0.013
 `
 
 func designServer() *server {
-	return newServer(rcdelay.NewBatchEngine(rcdelay.BatchOptions{Workers: 2}))
+	srv := newServer(rcdelay.NewBatchEngine(rcdelay.BatchOptions{Workers: 2}))
+	srv.logger = slog.New(slog.DiscardHandler) // keep request lines out of test output
+	return srv
 }
 
 func postDesign(t *testing.T, srv *server, body string) (int, map[string]any) {
@@ -498,10 +501,10 @@ func TestDesignClose(t *testing.T) {
 	if info["gen"].(float64) != float64(closed.Gen) || info["edits"].(float64) == 0 {
 		t.Errorf("session info = %v", info)
 	}
-	if got := srv.counters.closeReqs.Load(); got != 1 {
+	if got := srv.obs.Counter("rcserve_close_requests_total").Value(); got != 1 {
 		t.Errorf("closeReqs = %d", got)
 	}
-	if got := srv.counters.closureMoves.Load(); got != int64(len(closed.Report.Trajectory)) {
+	if got := srv.obs.Counter("rcserve_closure_moves_total").Value(); got != int64(len(closed.Report.Trajectory)) {
 		t.Errorf("closureMoves = %d, want %d", got, len(closed.Report.Trajectory))
 	}
 

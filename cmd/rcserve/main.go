@@ -28,7 +28,20 @@
 //	                            return the accepted edits + trajectory
 //	GET    /design/{id}/slack   full endpoint slack table + critical paths
 //	DELETE /design/{id}         drop an analyzed design
-//	GET    /debug/vars          expvar counters (engine, cache, sessions)
+//	GET    /metrics             Prometheus text exposition: per-route request
+//	                            counters and latency histograms, engine-phase
+//	                            timings, closure counters, cache gauges
+//	GET    /readyz              readiness; 503 once a shutdown drain starts
+//	GET    /debug/vars          legacy JSON counter blob (per-server, no
+//	                            global expvar registration)
+//	GET    /debug/pprof/        runtime profiling (net/http/pprof)
+//
+// POST /design/{id}/close?stream=1 switches the closure response to
+// Server-Sent Events: a "start" event with the initial WNS/TNS, one "move"
+// event per accepted repair (move, WNS, TNS, cumulative cost, gain — the
+// live trajectory), and a final "done" event with the closure summary.
+// Disconnecting the client cancels the run through the request context; the
+// moves accepted before the cancellation stay applied to the session.
 //
 // /analyze and /certify accept a single request object or a batch:
 //
@@ -67,18 +80,25 @@
 package main
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
-	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
-	"sync"
+	"net/http/pprof"
+	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	rcdelay "repro"
+	"repro/internal/obs"
 )
 
 // Server defaults, shared by the flag declarations and the zero-config
@@ -97,14 +117,19 @@ func main() {
 		sessionTTL  = flag.Duration("session-ttl", defaultSessionTTL, "idle lifetime of editing sessions")
 		maxSessions = flag.Int("max-sessions", defaultMaxSessions, "maximum live editing sessions (LRU-evicted beyond)")
 		maxBody     = flag.Int64("max-body", defaultMaxBody, "maximum request body size in bytes")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown drain waits for in-flight requests")
 	)
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := newServer(rcdelay.NewBatchEngine(rcdelay.BatchOptions{Workers: *workers, CacheSize: *cache}))
+	srv.logger = logger
 	srv.sessions = newSessionStore(*sessionTTL, *maxSessions)
 	srv.designs = newDesignStore(*sessionTTL, *maxSessions)
+	srv.registerStoreGauges()
 	srv.maxBody = *maxBody
-	go srv.sessions.janitor(make(chan struct{}))
-	go srv.designs.janitor(make(chan struct{}))
+	janitorStop := make(chan struct{})
+	go srv.sessions.janitor(janitorStop)
+	go srv.designs.janitor(janitorStop)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -113,14 +138,41 @@ func main() {
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
-	log.Printf("rcserve: listening on %s (%d workers, session ttl %s)",
-		*addr, srv.engine.Workers(), *sessionTTL)
-	log.Fatal(httpSrv.ListenAndServe())
+	logger.Info("rcserve: listening",
+		"addr", *addr, "workers", srv.engine.Workers(), "sessionTTL", *sessionTTL)
+
+	// Signal-driven drain: on SIGINT/SIGTERM flip /readyz to 503 (load
+	// balancers stop sending), let in-flight requests finish under
+	// http.Server.Shutdown, then stop the janitors and sweep the stores.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills the process the default way
+		srv.draining.Store(true)
+		logger.Info("rcserve: drain started", "timeout", *drainWait)
+		shCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			logger.Error("rcserve: drain incomplete", "err", err)
+			os.Exit(1)
+		}
+		close(janitorStop)
+		srv.sessions.sweep()
+		srv.designs.sweep()
+		logger.Info("rcserve: drained")
+	}
 }
 
 // server routes HTTP requests into a shared batch engine and a session
 // store. It implements http.Handler so tests can drive it through httptest
-// without a socket.
+// without a socket. Every server owns its own metrics registry — two
+// servers in one process (as in tests) never alias each other's counters,
+// which the old process-global expvar registration could not guarantee.
 type server struct {
 	engine   *rcdelay.BatchEngine
 	sessions *sessionStore
@@ -128,28 +180,29 @@ type server struct {
 	maxBody  int64
 	mux      *http.ServeMux
 	start    time.Time
-	counters struct {
-		analyzeReqs   atomic.Int64
-		certifyReqs   atomic.Int64
-		sessionReqs   atomic.Int64
-		editsApplied  atomic.Int64
-		boundsQueries atomic.Int64
-		designReqs    atomic.Int64
-		designEdits   atomic.Int64
-		slackQueries  atomic.Int64
-		closeReqs     atomic.Int64
-		closureMoves  atomic.Int64
-	}
+	obs      *obs.Registry
+	logger   *slog.Logger
+	draining atomic.Bool
 }
 
-// expvarServer is the server /debug/vars reports on (the last one built —
-// in production there is exactly one). expvar registration is global and
-// panics on duplicates, so it happens once even though tests build many
-// servers.
-var (
-	expvarServer atomic.Pointer[server]
-	expvarOnce   sync.Once
-)
+// requestMeta is mutated by the per-route registration wrapper and read by
+// the ServeHTTP middleware: the mux only stamps Pattern on its internal
+// request copy, so the matched route has to be smuggled out through a
+// context pointer for the middleware's metric labels.
+type requestMeta struct{ route string }
+
+type metaKey struct{}
+
+// handle registers pattern on the mux, recording the matched pattern into
+// the request's meta for the middleware.
+func (s *server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if m, ok := r.Context().Value(metaKey{}).(*requestMeta); ok {
+			m.route = pattern
+		}
+		h(w, r)
+	})
+}
 
 func newServer(engine *rcdelay.BatchEngine) *server {
 	s := &server{
@@ -159,39 +212,56 @@ func newServer(engine *rcdelay.BatchEngine) *server {
 		maxBody:  defaultMaxBody,
 		mux:      http.NewServeMux(),
 		start:    time.Now(),
+		obs:      obs.NewRegistry(),
+		logger:   slog.Default(),
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("/certify", s.handleCertify)
-	s.mux.HandleFunc("POST /session", s.handleSessionCreate)
-	s.mux.HandleFunc("POST /session/{id}/edit", s.handleSessionEdit)
-	s.mux.HandleFunc("GET /session/{id}/bounds", s.handleSessionBounds)
-	s.mux.HandleFunc("GET /session/{id}", s.handleSessionInfo)
-	s.mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
-	s.mux.HandleFunc("POST /design", s.handleDesignCreate)
-	s.mux.HandleFunc("POST /design/{id}/edit", s.handleDesignEdit)
-	s.mux.HandleFunc("POST /design/{id}/close", s.handleDesignClose)
-	s.mux.HandleFunc("GET /design/{id}/slack", s.handleDesignSlack)
-	s.mux.HandleFunc("GET /design/{id}", s.handleDesignInfo)
-	s.mux.HandleFunc("DELETE /design/{id}", s.handleDesignDelete)
-	s.mux.Handle("GET /debug/vars", expvar.Handler())
-	expvarServer.Store(s)
-	expvarOnce.Do(func() {
-		expvar.Publish("rcserve", expvar.Func(func() any {
-			srv := expvarServer.Load()
-			if srv == nil {
-				return nil
-			}
-			return srv.statsSnapshot()
-		}))
-	})
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /readyz", s.handleReadyz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("POST /analyze", s.handleAnalyze)
+	s.handle("POST /certify", s.handleCertify)
+	s.handle("POST /session", s.handleSessionCreate)
+	s.handle("POST /session/{id}/edit", s.handleSessionEdit)
+	s.handle("GET /session/{id}/bounds", s.handleSessionBounds)
+	s.handle("GET /session/{id}", s.handleSessionInfo)
+	s.handle("DELETE /session/{id}", s.handleSessionDelete)
+	s.handle("POST /design", s.handleDesignCreate)
+	s.handle("POST /design/{id}/edit", s.handleDesignEdit)
+	s.handle("POST /design/{id}/close", s.handleDesignClose)
+	s.handle("GET /design/{id}/slack", s.handleDesignSlack)
+	s.handle("GET /design/{id}", s.handleDesignInfo)
+	s.handle("DELETE /design/{id}", s.handleDesignDelete)
+	s.handle("GET /debug/vars", s.handleVars)
+	s.handle("GET /debug/pprof/", pprof.Index)
+	s.handle("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.handle("GET /debug/pprof/profile", pprof.Profile)
+	s.handle("GET /debug/pprof/symbol", pprof.Symbol)
+	s.handle("GET /debug/pprof/trace", pprof.Trace)
+	s.registerStoreGauges()
 	return s
 }
 
+// registerStoreGauges (re)binds the sampled gauges to the server's current
+// stores and engine; main calls it again after swapping the default stores
+// for flag-configured ones.
+func (s *server) registerStoreGauges() {
+	s.obs.GaugeFunc("rcserve_uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
+	s.obs.GaugeFunc("rcserve_sessions_active", func() float64 { return float64(s.sessions.active()) })
+	s.obs.GaugeFunc("rcserve_designs_active", func() float64 { return float64(s.designs.active()) })
+	s.obs.GaugeFunc("rcserve_cache_entries", func() float64 { return float64(s.engine.CacheStats().Entries) })
+	s.obs.GaugeFunc("rcserve_cache_hits", func() float64 { return float64(s.engine.CacheStats().Hits) })
+	s.obs.GaugeFunc("rcserve_cache_misses", func() float64 { return float64(s.engine.CacheStats().Misses) })
+}
+
+// count bumps one named registry counter by n.
+func (s *server) count(name string, n int64) { s.obs.Counter(name).Add(n) }
+
 // statsSnapshot aggregates the engine, cache and session counters for
-// /healthz and the expvar endpoint.
+// /healthz and /debug/vars — the legacy JSON view of the same numbers
+// /metrics exposes.
 func (s *server) statsSnapshot() map[string]any {
 	stats := s.engine.CacheStats()
+	val := func(name string) int64 { return s.obs.Counter(name).Value() }
 	return map[string]any{
 		"uptimeSeconds": time.Since(s.start).Seconds(),
 		"workers":       s.engine.Workers(),
@@ -204,18 +274,41 @@ func (s *server) statsSnapshot() map[string]any {
 		"sessions": s.sessions.stats(),
 		"designs":  s.designs.stats(),
 		"requests": map[string]any{
-			"analyze": s.counters.analyzeReqs.Load(),
-			"certify": s.counters.certifyReqs.Load(),
-			"session": s.counters.sessionReqs.Load(),
-			"design":  s.counters.designReqs.Load(),
+			"analyze": val("rcserve_analyze_requests_total"),
+			"certify": val("rcserve_certify_requests_total"),
+			"session": val("rcserve_session_requests_total"),
+			"design":  val("rcserve_design_requests_total"),
 		},
-		"editsApplied":  s.counters.editsApplied.Load(),
-		"boundsQueries": s.counters.boundsQueries.Load(),
-		"designEdits":   s.counters.designEdits.Load(),
-		"slackQueries":  s.counters.slackQueries.Load(),
-		"closeRequests": s.counters.closeReqs.Load(),
-		"closureMoves":  s.counters.closureMoves.Load(),
+		"editsApplied":  val("rcserve_edits_applied_total"),
+		"boundsQueries": val("rcserve_bounds_queries_total"),
+		"designEdits":   val("rcserve_design_edits_total"),
+		"slackQueries":  val("rcserve_slack_queries_total"),
+		"closeRequests": val("rcserve_close_requests_total"),
+		"closureMoves":  val("rcserve_closure_moves_total"),
 	}
+}
+
+// handleMetrics serves the whole registry in Prometheus text exposition
+// format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.obs.WritePrometheus(w)
+}
+
+// handleVars is the legacy /debug/vars shape, served per-server off the
+// registry instead of the old process-global expvar publication.
+func (s *server) handleVars(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"rcserve": s.statsSnapshot()})
+}
+
+// handleReadyz answers 200 until a shutdown drain starts, then 503 so load
+// balancers stop routing here while in-flight work finishes.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "reason": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
 // httpError writes a JSON error envelope (the session endpoints speak JSON
@@ -234,7 +327,73 @@ func badRequestStatus(err error) int {
 	return http.StatusBadRequest
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter records the status code and byte count a handler produced,
+// passing Flush through so SSE streaming keeps working behind the
+// middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(b)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+func (sw *statusWriter) Flush() {
+	if fl, ok := sw.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// newRequestID returns a short random correlation id for one request's log
+// lines.
+func newRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "????????????"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ServeHTTP is the telemetry middleware around the mux: every request gets
+// a correlation id, a per-route latency observation, a per-route/status
+// counter, and one structured log line.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	meta := &requestMeta{}
+	r = r.WithContext(context.WithValue(r.Context(), metaKey{}, meta))
+	sw := &statusWriter{ResponseWriter: w}
+	reqID := newRequestID()
+	start := time.Now()
+	s.mux.ServeHTTP(sw, r)
+	dur := time.Since(start)
+	route := meta.route
+	if route == "" {
+		route = "unmatched" // 404/405 straight from the mux
+	}
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	s.obs.Counter("http_requests_total",
+		"route", route, "code", fmt.Sprintf("%d", sw.status)).Add(1)
+	s.obs.Histogram("http_request_seconds", obs.LatencyBuckets, "route", route).
+		Observe(dur.Seconds())
+	s.logger.Info("request",
+		"id", reqID, "method", r.Method, "path", r.URL.Path, "route", route,
+		"status", sw.status, "bytes", sw.bytes, "dur", dur)
+}
 
 // jobRequest is one network plus its evaluation requests, as posted by the
 // client. Exactly one of Netlist and Expression must be set.
@@ -313,12 +472,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	s.counters.analyzeReqs.Add(1)
+	s.count("rcserve_analyze_requests_total", 1)
 	s.handleBatch(w, r, false)
 }
 
 func (s *server) handleCertify(w http.ResponseWriter, r *http.Request) {
-	s.counters.certifyReqs.Add(1)
+	s.count("rcserve_certify_requests_total", 1)
 	s.handleBatch(w, r, true)
 }
 

@@ -74,7 +74,7 @@ type editResponse struct {
 }
 
 func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
-	s.counters.sessionReqs.Add(1)
+	s.count("rcserve_session_requests_total", 1)
 	var req createSessionRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
@@ -130,14 +130,14 @@ func (s *server) lookupSession(w http.ResponseWriter, r *http.Request) (*entry[*
 }
 
 func (s *server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
-	s.counters.sessionReqs.Add(1)
+	s.count("rcserve_session_requests_total", 1)
 	if ent, ok := s.lookupSession(w, r); ok {
 		writeJSON(w, http.StatusOK, s.sessionInfo(ent))
 	}
 }
 
 func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	s.counters.sessionReqs.Add(1)
+	s.count("rcserve_session_requests_total", 1)
 	if !s.sessions.delete(r.PathValue("id")) {
 		httpError(w, "unknown or expired session", http.StatusNotFound)
 		return
@@ -152,7 +152,7 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 // response carries the fresh characteristic times of every output so
 // interactive clients get edit→times in one round trip.
 func (s *server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
-	s.counters.sessionReqs.Add(1)
+	s.count("rcserve_session_requests_total", 1)
 	ent, ok := s.lookupSession(w, r)
 	if !ok {
 		return
@@ -180,7 +180,7 @@ func (s *server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
 		resp.Applied++
 	}
 	sess.edits += resp.Applied
-	s.counters.editsApplied.Add(int64(resp.Applied))
+	s.count("rcserve_edits_applied_total", int64(resp.Applied))
 	resp.Gen = sess.et.Gen()
 	for _, o := range sess.et.Outputs() {
 		tm, err := sess.et.Times(o)
@@ -372,8 +372,8 @@ type boundsResponse struct {
 // Thresholds and times are optional comma-separated lists; without them the
 // response carries the characteristic times only.
 func (s *server) handleSessionBounds(w http.ResponseWriter, r *http.Request) {
-	s.counters.sessionReqs.Add(1)
-	s.counters.boundsQueries.Add(1)
+	s.count("rcserve_session_requests_total", 1)
+	s.count("rcserve_bounds_queries_total", 1)
 	ent, ok := s.lookupSession(w, r)
 	if !ok {
 		return

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -330,6 +331,7 @@ func TestSessionTTLAndEviction(t *testing.T) {
 // batch and session surfaces.
 func TestBodyCap(t *testing.T) {
 	srv := newServer(rcdelay.NewBatchEngine(rcdelay.BatchOptions{Workers: 1}))
+	srv.logger = slog.New(slog.DiscardHandler)
 	srv.maxBody = 256
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)

@@ -136,6 +136,13 @@ func (st *ttlStore[T]) janitor(stop <-chan struct{}) {
 	}
 }
 
+// active reports the live entry count — the sampled store-depth gauge.
+func (st *ttlStore[T]) active() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
 // stats snapshots the counters for /healthz and /debug/vars.
 func (st *ttlStore[T]) stats() map[string]any {
 	st.mu.Lock()

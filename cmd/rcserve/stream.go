@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+
+	rcdelay "repro"
+)
+
+// SSE stream for POST /design/{id}/close?stream=1: the same closure run as
+// the buffered handler, but each accepted move is pushed to the client as it
+// lands instead of arriving all at once in the final report. The event
+// sequence is
+
+//	event: start   — design state before the run (initial WNS/TNS)
+//	event: move    — one per accepted move, in acceptance order
+//	event: done    — final state: closed, reason, WNS/TNS, cost, error
+
+// with every data line a JSON object. A client that disconnects mid-run
+// cancels the engine through the request context; the moves accepted before
+// the cancellation stay applied to the session (the done event is then never
+// observed by that client, but the session is consistent and a following
+// GET /design/{id}/slack reads the partial repair).
+
+// closeStartEvent is the "start" SSE payload.
+type closeStartEvent struct {
+	ID  string   `json:"id"`
+	Gen uint64   `json:"gen"`
+	WNS *float64 `json:"wns,omitempty"` // omitted when +Inf (no constrained endpoint)
+	TNS float64  `json:"tns"`
+}
+
+// closeDoneEvent is the "done" SSE payload.
+type closeDoneEvent struct {
+	ID     string   `json:"id"`
+	Gen    uint64   `json:"gen"`
+	Closed bool     `json:"closed"`
+	Reason string   `json:"reason"`
+	Moves  int      `json:"moves"`
+	Cost   float64  `json:"cost"`
+	WNS    *float64 `json:"wns,omitempty"`
+	TNS    float64  `json:"tns"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// finitePtr boxes v for omitempty JSON unless it is infinite (an
+// unconstrained design's WNS is +Inf, which encoding/json rejects).
+func finitePtr(v float64) *float64 {
+	if math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+// sseWriter frames Server-Sent Events and flushes each one immediately so
+// the client sees moves as they are accepted, not when the run ends.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// event writes one named SSE frame with a JSON data line. Marshal errors
+// are impossible by construction of the payload types; a frame the client
+// has stopped reading surfaces as a write error the handler ignores (the
+// request context carries the authoritative disconnect signal).
+func (s sseWriter) event(name string, payload any) {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data)
+	s.f.Flush()
+}
+
+// streamDesignClose runs the closure engine under the session lock while
+// forwarding per-move progress as SSE. The lock is held across the whole
+// run, exactly like the buffered handler: the stream observes a consistent
+// single-writer session.
+func (s *server) streamDesignClose(w http.ResponseWriter, r *http.Request, ent *entry[*designSession], req designCloseRequest) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, "streaming unsupported by this connection", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	sse := sseWriter{w: w, f: flusher}
+
+	ds := ent.val
+	ds.mu.Lock()
+	rep := ds.sess.Report()
+	sse.event("start", closeStartEvent{
+		ID: ent.id, Gen: ds.sess.Gen(), WNS: finitePtr(rep.WNS), TNS: rep.TNS,
+	})
+	report, err := rcdelay.CloseSession(r.Context(), ds.sess, rcdelay.ClosureOptions{
+		MaxMoves:     req.MaxMoves,
+		MaxCost:      req.MaxCost,
+		TopEndpoints: req.TopEndpoints,
+		Sequential:   req.Sequential,
+		Obs:          s.obs,
+		Progress: func(ev rcdelay.ClosureProgress) {
+			sse.event("move", ev)
+		},
+	})
+	if report != nil {
+		ds.edits += len(report.Edits)
+	}
+	gen := ds.sess.Gen()
+	ds.mu.Unlock()
+
+	done := closeDoneEvent{ID: ent.id, Gen: gen}
+	if err != nil {
+		done.Error = err.Error()
+	}
+	if report != nil {
+		s.count("rcserve_closure_moves_total", int64(len(report.Moves)))
+		done.Closed = report.Closed
+		done.Reason = report.Reason
+		done.Moves = len(report.Moves)
+		done.Cost = report.Cost
+		done.WNS = finitePtr(report.FinalWNS)
+		done.TNS = report.FinalTNS
+	}
+	sse.event("done", done)
+}

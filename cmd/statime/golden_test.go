@@ -62,7 +62,7 @@ func TestGoldenCloseReports(t *testing.T) {
 	for _, format := range []string{"text", "csv", "json"} {
 		t.Run(format, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := runClose(&buf, []string{filepath.Join("testdata", "fail.ckt")}, 0.7, "", format, 2, 0, 0); err != nil {
+			if err := runClose(&buf, nil, []string{filepath.Join("testdata", "fail.ckt")}, 0.7, "", format, 2, 0, 0); err != nil {
 				t.Fatal(err)
 			}
 			checkGolden(t, "close_"+format+".golden", buf.Bytes())

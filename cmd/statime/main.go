@@ -9,6 +9,7 @@
 //	statime -design -threshold 0.7 -deadline 700 -k 3 chip.ckt
 //	statime -eco fix.eco -threshold 0.7 chip.ckt
 //	statime -close -budget 16 -threshold 0.7 chip.ckt
+//	statime -close -progress -threshold 0.7 chip.ckt
 //
 // The default mode times each file as an independent net against the
 // deadline. With -design, the single input file is a multi-net design deck
@@ -34,7 +35,9 @@
 // WNS >= 0, the -budget move count, or the -maxcost ceiling is hit. The
 // report carries the accepted ECO edit list (replayable via -eco), the
 // closure trajectory, and the Pareto frontier of (cost, WNS) states
-// visited.
+// visited. Adding -progress prints one line per accepted move to stderr as
+// the engine lands it, so a long repair is watchable while stdout stays a
+// clean report.
 //
 // The deadline accepts SPICE suffixes (2n = 2e-9) and is interpreted in the
 // same units as the netlists' element products.
@@ -65,6 +68,7 @@ func main() {
 		budget    = flag.Int("budget", 0, "closure move budget with -close (0 = the engine default)")
 		maxCost   = flag.Float64("maxcost", 0, "closure cost ceiling with -close (0 = unlimited)")
 		k         = flag.Int("k", 3, "critical paths to report in -design mode")
+		progress  = flag.Bool("progress", false, "with -close, print each accepted move to stderr as it lands")
 	)
 	flag.Parse()
 	var err error
@@ -74,7 +78,11 @@ func main() {
 	case *eco != "":
 		err = runEco(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k, *eco)
 	case *doClose:
-		err = runClose(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k, *budget, *maxCost)
+		var progressW io.Writer
+		if *progress {
+			progressW = os.Stderr
+		}
+		err = runClose(os.Stdout, progressW, flag.Args(), *threshold, *deadline, *format, *k, *budget, *maxCost)
 	case *design:
 		err = runDesign(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k)
 	default:
@@ -220,13 +228,15 @@ func runEco(w io.Writer, paths []string, threshold float64, deadlineStr, format 
 
 // runClose is the -close mode: repair the design's negative slack with the
 // automated closure engine and report the accepted edits plus the
-// trajectory.
-func runClose(w io.Writer, paths []string, threshold float64, deadlineStr, format string, k, budget int, maxCost float64) error {
+// trajectory. A non-nil progressW (stderr under -progress) receives one
+// line per accepted move as it lands — the CLI twin of rcserve's SSE
+// stream, sharing the same ProgressEvent hook.
+func runClose(w, progressW io.Writer, paths []string, threshold float64, deadlineStr, format string, k, budget int, maxCost float64) error {
 	design, required, err := loadDesign("-close", paths, deadlineStr)
 	if err != nil {
 		return err
 	}
-	report, err := rcdelay.CloseTiming(context.Background(), design, rcdelay.ClosureOptions{
+	opt := rcdelay.ClosureOptions{
 		Timing: rcdelay.DesignOptions{
 			Threshold: threshold,
 			Required:  required,
@@ -234,7 +244,15 @@ func runClose(w io.Writer, paths []string, threshold float64, deadlineStr, forma
 		},
 		MaxMoves: budget,
 		MaxCost:  maxCost,
-	})
+	}
+	if progressW != nil {
+		opt.Progress = func(ev rcdelay.ClosureProgress) {
+			fmt.Fprintf(progressW, "move %d: %s %s (%s) cost %.4g wns %.4g tns %.4g cum %.4g\n",
+				ev.Seq, ev.Move.Kind, ev.Move.Net, ev.Move.Desc,
+				ev.Move.Cost, ev.WNS, ev.TNS, ev.CumCost)
+		}
+	}
+	report, err := rcdelay.CloseTiming(context.Background(), design, opt)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -151,5 +154,47 @@ func TestRunEcoErrors(t *testing.T) {
 	// A deadline applies as the default requirement in eco mode too.
 	if err := runEco(devnull, []string{chip}, 0.7, "5k", "csv", 2, eco); err != nil {
 		t.Errorf("eco with deadline: %v", err)
+	}
+}
+
+// TestRunCloseProgress: -progress writes one line per accepted move to the
+// progress sink while stdout still carries the full report, and the line
+// count agrees with the report's trajectory.
+func TestRunCloseProgress(t *testing.T) {
+	var out, progress bytes.Buffer
+	fail := filepath.Join("testdata", "fail.ckt")
+	if err := runClose(&out, &progress, []string{fail}, 0.7, "", "json", 2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Closed     bool `json:"closed"`
+		Trajectory []struct {
+			Kind string `json:"kind"`
+		} `json:"trajectory"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("bad report JSON: %v\n%s", err, out.String())
+	}
+	if !report.Closed || len(report.Trajectory) == 0 {
+		t.Fatalf("closure did not repair the fixture: %s", out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(progress.String()), "\n")
+	if len(lines) != len(report.Trajectory) {
+		t.Fatalf("progress carried %d lines for %d moves:\n%s",
+			len(lines), len(report.Trajectory), progress.String())
+	}
+	for i, line := range lines {
+		prefix := fmt.Sprintf("move %d: %s", i+1, report.Trajectory[i].Kind)
+		if !strings.HasPrefix(line, prefix) {
+			t.Errorf("progress line %d = %q, want prefix %q", i, line, prefix)
+		}
+		if !strings.Contains(line, "wns") || !strings.Contains(line, "cum") {
+			t.Errorf("progress line %d missing state fields: %q", i, line)
+		}
+	}
+	// Without a sink the same run stays silent on the progress side.
+	out.Reset()
+	if err := runClose(&out, nil, []string{fail}, 0.7, "", "text", 2, 0, 0); err != nil {
+		t.Fatal(err)
 	}
 }

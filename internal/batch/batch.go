@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 )
 
@@ -69,6 +70,9 @@ type Options struct {
 	// CacheSize bounds the memoization cache (entries). 0 means the
 	// DefaultCacheSize; negative disables caching entirely.
 	CacheSize int
+	// Obs receives pool telemetry: jobs processed, cache hit/miss counters,
+	// and sampled queue-depth/cache-size gauges. Nil disables it.
+	Obs *obs.Registry
 }
 
 // DefaultCacheSize bounds the memoization cache when Options.CacheSize is 0.
@@ -85,6 +89,7 @@ type Engine struct {
 	workers int
 	slots   chan struct{} // engine-wide concurrency permits, cap == workers
 	cache   *timesCache
+	obs     *obs.Registry
 }
 
 // New returns an Engine with the given options.
@@ -100,7 +105,16 @@ func New(opt Options) *Engine {
 	case opt.CacheSize > 0:
 		c = newTimesCache(opt.CacheSize)
 	}
-	return &Engine{workers: w, slots: make(chan struct{}, w), cache: c}
+	e := &Engine{workers: w, slots: make(chan struct{}, w), cache: c, obs: opt.Obs}
+	if e.obs != nil {
+		// Sampled at exposition time: how many of the engine-wide permits are
+		// claimed right now, and the cache occupancy.
+		e.obs.GaugeFunc("batch_inflight", func() float64 { return float64(len(e.slots)) })
+		e.obs.GaugeFunc("batch_cache_entries", func() float64 {
+			return float64(e.cache.statsSnapshot().Entries)
+		})
+	}
+	return e
 }
 
 // Workers reports the pool size.
@@ -226,6 +240,21 @@ func (e *Engine) Stream(ctx context.Context, in <-chan Job) <-chan Result {
 // process runs one job on one worker. The analyzer is worker-private; the
 // cache is the only shared state and is internally synchronized.
 func (e *Engine) process(analyzer *core.Analyzer, index int, job Job) Result {
+	res := e.processInner(analyzer, index, job)
+	if e.obs != nil {
+		e.obs.Counter("batch_jobs_total").Add(1)
+		if res.Key != "" { // memoization ran: classify the outcome
+			if res.CacheHit {
+				e.obs.Counter("batch_cache_hits_total").Add(1)
+			} else {
+				e.obs.Counter("batch_cache_misses_total").Add(1)
+			}
+		}
+	}
+	return res
+}
+
+func (e *Engine) processInner(analyzer *core.Analyzer, index int, job Job) Result {
 	res := Result{Index: index, Tag: job.Tag}
 	if job.Tree == nil {
 		res.Err = fmt.Errorf("batch: job %d has no tree", index)

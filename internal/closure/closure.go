@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/incr"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/rctree"
 	"repro/internal/timing"
@@ -48,6 +49,32 @@ type Options struct {
 	// sequence is identical either way; the knob exists for benchmarking
 	// and debugging.
 	Sequential bool
+	// Obs receives run telemetry: moves generated/trialed/accepted, fork
+	// counts, run spans, and the live WNS/TNS/cost gauges. Nil disables it.
+	Obs *obs.Registry
+	// Progress, when non-nil, is called synchronously on the engine
+	// goroutine after every accepted move — the hook rcserve's SSE stream
+	// and statime's -progress flag hang off. A slow callback slows the run;
+	// it must not call back into the session.
+	Progress func(ProgressEvent)
+}
+
+// ProgressEvent is one accepted move as seen by Options.Progress: the move,
+// the design state after it, and the (cost, WNS) frontier point it visited.
+type ProgressEvent struct {
+	// Seq counts accepted moves from 1.
+	Seq int `json:"seq"`
+	// Move is the accepted repair.
+	Move Move `json:"move"`
+	// WNS/TNS are the design's slack numbers after the move; CumCost the
+	// cumulative accepted cost; Gain the combined objective improvement.
+	WNS     float64 `json:"wns"`
+	TNS     float64 `json:"tns"`
+	CumCost float64 `json:"cumCost"`
+	Gain    float64 `json:"gain"`
+	// Candidates and Trials are the iteration's generation/evaluation sizes.
+	Candidates int `json:"candidates"`
+	Trials     int `json:"trials"`
 }
 
 func (o Options) resolve() Options {
@@ -180,6 +207,8 @@ type engine struct {
 }
 
 func (e *engine) run(ctx context.Context) (*Report, error) {
+	sp := obs.StartSpan(e.opt.Obs, "closure_run")
+	defer sp.End()
 	base := e.sess.EndpointTable()
 	e.rep = &Report{
 		Design:     base.Design,
@@ -212,6 +241,7 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 			break
 		}
 		cands, costFiltered := e.generate(base)
+		e.opt.Obs.Counter("closure_moves_generated_total").Add(int64(len(cands)))
 		if len(cands) == 0 {
 			if costFiltered {
 				e.rep.Reason = "cost ceiling reached"
@@ -263,6 +293,19 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 			Move: winner, CumCost: e.rep.Cost, WNS: wns, TNS: tns,
 			Gain: gain, Candidates: len(cands), Trials: ok,
 		})
+		if reg := e.opt.Obs; reg != nil {
+			reg.Counter("closure_moves_accepted_total").Add(1)
+			reg.Gauge("closure_wns").Set(wns)
+			reg.Gauge("closure_tns").Set(tns)
+			reg.Gauge("closure_cost").Set(e.rep.Cost)
+		}
+		if e.opt.Progress != nil {
+			e.opt.Progress(ProgressEvent{
+				Seq: len(e.rep.Moves), Move: winner,
+				WNS: wns, TNS: tns, CumCost: e.rep.Cost, Gain: gain,
+				Candidates: len(cands), Trials: ok,
+			})
+		}
 		base = e.sess.EndpointTable()
 		if wns >= 0 {
 			e.rep.Closed = true
@@ -293,6 +336,8 @@ func (e *engine) evaluate(cands []Move) []trial {
 	}
 	results := make([]trial, len(cands))
 	e.rep.Trials += len(cands)
+	e.opt.Obs.Counter("closure_forks_total").Add(int64(len(cands)))
+	e.opt.Obs.Counter("closure_trials_total").Add(int64(len(cands)))
 	if e.opt.Concurrency <= 1 || len(cands) == 1 {
 		for i, c := range cands {
 			res, err := forks[i].Apply(c.Edits)

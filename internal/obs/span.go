@@ -1,0 +1,44 @@
+package obs
+
+import "time"
+
+// A Span measures one phase of work: StartSpan stamps a monotonic start
+// time, End records the elapsed seconds into the histogram
+// "<name>_seconds" with the span's labels. Spans are values handed across
+// one goroutine's phase; a nil span (from a nil registry) is a no-op.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan opens a span named name on reg. The duration lands in the
+// histogram "<name>_seconds{labels...}" using LatencyBuckets. On a nil
+// registry it returns nil, and every method on a nil *Span is a no-op — the
+// disabled path costs one pointer test.
+func StartSpan(reg *Registry, name string, labels ...string) *Span {
+	if reg == nil {
+		return nil
+	}
+	return &Span{
+		h:     reg.Histogram(name+"_seconds", LatencyBuckets, labels...),
+		start: time.Now(),
+	}
+}
+
+// End closes the span, recording its duration. Safe to call on nil and more
+// than once (each call records another observation; call once).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.h.Observe(time.Since(s.start).Seconds())
+}
+
+// Elapsed reports the time since the span started (0 on nil), for callers
+// that also want the raw duration.
+func (s *Span) Elapsed() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}

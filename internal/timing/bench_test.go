@@ -8,6 +8,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/incr"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/randnet"
 	"repro/internal/rctree"
 )
@@ -138,6 +139,44 @@ func BenchmarkArenaPropagation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkArenaPropagationObs measures what the telemetry layer costs the
+// full arena analysis path (computeState: propagation plus state
+// materialization), obs disabled (nil registry: the no-op path every
+// un-instrumented caller pays, one pointer test per phase) vs enabled (a
+// live registry absorbing the spans). scripts/bench_trajectory.sh records
+// the ratio as metrics_overhead in BENCH_timing.json; the no-op path must
+// stay within 2% of a live registry (both are expected to be noise next to
+// the propagation itself).
+func BenchmarkArenaPropagationObs(b *testing.B) {
+	cfg := randnet.DefaultDesignConfig(6, 40)
+	cfg.Net = randnet.DefaultConfig(60)
+	design := randnet.DesignSeed(123, cfg)
+	g, err := NewGraph(design)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := g.arena(); err != nil {
+		b.Fatal(err) // build the arena outside the measured region
+	}
+	ctx := context.Background()
+	run := func(b *testing.B, reg *obs.Registry) {
+		opt := Options{Threshold: 0.7, Core: CoreArena, Sequential: true, Obs: reg}
+		r, err := opt.resolve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.computeState(ctx, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("enabled", func(b *testing.B) { run(b, obs.NewRegistry()) })
 }
 
 // BenchmarkDesignECO measures the cost of absorbing a single-net ECO edit on

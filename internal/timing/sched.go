@@ -2,6 +2,7 @@ package timing
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,19 @@ const (
 	// as any independent cone remains.
 	SchedWorkSteal
 )
+
+// String names the schedule for telemetry labels and logs.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedAuto:
+		return "auto"
+	case SchedLevelBarrier:
+		return "levelbarrier"
+	case SchedWorkSteal:
+		return "worksteal"
+	}
+	return fmt.Sprintf("scheduler(%d)", int(s))
+}
 
 // propScratch holds the reusable allocations of parallel propagation: one
 // characteristic-times scratch per worker, the remaining-fanin counters, and

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/incr"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 )
 
@@ -105,6 +106,9 @@ type Session struct {
 	// cheaper to create.
 	queued  []bool
 	buckets [][]int
+	// obs receives per-Apply telemetry (dirty/visited cone sizes, apply
+	// spans); nil disables it. Forks inherit it.
+	obs *obs.Registry
 }
 
 // Ownership bits of Session.owned.
@@ -117,7 +121,9 @@ const (
 // initial full analysis (through opt.Engine's pool unless opt.Sequential).
 // Options are fixed for the session's lifetime.
 func NewSession(ctx context.Context, d *netlist.Design, opt Options) (*Session, error) {
+	sp := obs.StartSpan(opt.Obs, "timing_levelize")
 	g, err := NewGraph(d)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +154,7 @@ func (g *Graph) Session(ctx context.Context, opt Options) (*Session, error) {
 		netMin:     make([]float64, len(g.nodes)),
 		netNeg:     make([]float64, len(g.nodes)),
 		owned:      make([]uint8, len(g.nodes)),
+		obs:        r.obs,
 	}
 	for i := range g.nodes {
 		s.trees[i] = incr.New(g.nodes[i].tree)
@@ -196,6 +203,7 @@ func (s *Session) Fork() *Session {
 		owned:      make([]uint8, len(s.trees)),
 		gen:        s.gen,
 		report:     s.report, // reports are immutable once built
+		obs:        s.obs,    // registries are goroutine-safe; forks share one
 	}
 	// The copied netTiming structs still point at the parent's arrival and
 	// delay maps. Delay maps are only ever replaced wholesale, so sharing
@@ -355,6 +363,7 @@ func (s *Session) ProtectedOutputs(net string) []string {
 // prefix stays in effect and the propagated state remains consistent, so a
 // caller can inspect the partial result and keep going.
 func (s *Session) Apply(edits []Edit) (ApplyResult, error) {
+	sp := obs.StartSpan(s.obs, "timing_eco_apply")
 	var res ApplyResult
 	edited := map[int]bool{}
 	var firstErr error
@@ -375,6 +384,12 @@ func (s *Session) Apply(edits []Edit) (ApplyResult, error) {
 	}
 	res.Gen = s.gen
 	res.WNS, res.TNS = s.summary()
+	sp.End()
+	if s.obs != nil {
+		s.obs.Counter("timing_eco_edits_applied_total").Add(int64(res.Applied))
+		s.obs.Histogram("timing_eco_dirty_nets", obs.SizeBuckets).Observe(float64(res.DirtyNets))
+		s.obs.Histogram("timing_eco_visited_nets", obs.SizeBuckets).Observe(float64(res.VisitedNets))
+	}
 	return res, firstErr
 }
 

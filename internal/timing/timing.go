@@ -11,6 +11,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 )
 
@@ -81,6 +82,10 @@ type Options struct {
 	Scheduler Scheduler
 	// Workers caps arena propagation parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Obs receives engine-phase telemetry (graph/arena build spans,
+	// per-scheduler propagation timings, dirty-cone sweep sizes). Nil — the
+	// default — disables it at the cost of one pointer test per phase.
+	Obs *obs.Registry
 }
 
 // faninEdge is one resolved stage edge entering a net.
@@ -126,8 +131,17 @@ type Graph struct {
 }
 
 // arena returns the graph's flat compute core, building it on first use.
-func (g *Graph) arena() (*designArena, error) {
-	g.arenaOnce.Do(func() { g.arenaVal, g.arenaErr = newDesignArena(g) })
+func (g *Graph) arena() (*designArena, error) { return g.arenaWith(nil) }
+
+// arenaWith is arena with telemetry: the build (which happens at most once
+// per graph) records a timing_arena_build_seconds span on reg when it is the
+// call that actually constructs the core.
+func (g *Graph) arenaWith(reg *obs.Registry) (*designArena, error) {
+	g.arenaOnce.Do(func() {
+		sp := obs.StartSpan(reg, "timing_arena_build")
+		g.arenaVal, g.arenaErr = newDesignArena(g)
+		sp.End()
+	})
 	return g.arenaVal, g.arenaErr
 }
 
@@ -245,6 +259,7 @@ type resolved struct {
 	// mode, the engine otherwise.
 	engine   *batch.Engine
 	analyzer *core.Analyzer
+	obs      *obs.Registry
 }
 
 // resolve applies the Options defaults: threshold 0.5, 5 critical paths, and
@@ -252,7 +267,7 @@ type resolved struct {
 // an explicit Core) selects the pointer core, which keeps its original
 // engine/analyzer split.
 func (opt Options) resolve() (resolved, error) {
-	r := resolved{th: opt.Threshold, k: opt.K}
+	r := resolved{th: opt.Threshold, k: opt.K, obs: opt.Obs}
 	if r.th == 0 {
 		r.th = 0.5
 	}
@@ -336,16 +351,28 @@ func (g *Graph) Analyze(ctx context.Context, opt Options) (*Report, error) {
 // materialized once at the end.
 func (g *Graph) computeState(ctx context.Context, r resolved) ([]netTiming, error) {
 	if r.core == CoreArena {
-		da, err := g.arena()
+		da, err := g.arenaWith(r.obs)
 		if err != nil {
 			return nil, err
 		}
 		st := da.newState()
+		sched := r.sched.String()
+		if r.workers <= 1 {
+			sched = "sequential"
+		}
+		sp := obs.StartSpan(r.obs, "timing_propagate", "core", "arena", "sched", sched)
 		if err := da.propagate(ctx, st, r.th, r.sched, r.workers, nil); err != nil {
 			return nil, err
 		}
+		sp.End()
 		return da.netTimings(st), nil
 	}
+	sched := "batch"
+	if r.analyzer != nil {
+		sched = "sequential"
+	}
+	sp := obs.StartSpan(r.obs, "timing_propagate", "core", "pointer", "sched", sched)
+	defer sp.End()
 	state := make([]netTiming, len(g.nodes))
 	for _, level := range g.levels {
 		// Arrivals first: every driver sits in a shallower level, so its
@@ -542,9 +569,13 @@ func (g *Graph) backtrack(state []netTiming, ep EndpointSlack) Path {
 	return p
 }
 
-// Analyze is the one-call form: build the graph and analyze it.
+// Analyze is the one-call form: build the graph and analyze it. The graph
+// build (stage resolution plus Kahn levelization) gets its own span on
+// opt.Obs, separate from the propagation spans Analyze records.
 func Analyze(ctx context.Context, d *netlist.Design, opt Options) (*Report, error) {
+	sp := obs.StartSpan(opt.Obs, "timing_levelize")
 	g, err := NewGraph(d)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

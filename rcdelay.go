@@ -52,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/incr"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rctree"
 	"repro/internal/sim"
 	"repro/internal/timing"
@@ -338,7 +339,28 @@ type (
 	ClosureTrajectoryPoint = closure.TrajectoryPoint
 	// ClosureParetoPoint is one non-dominated (cost, WNS) state.
 	ClosureParetoPoint = closure.ParetoPoint
+	// ClosureProgress is one accepted move as delivered to
+	// ClosureOptions.Progress — the event rcserve's SSE stream and statime's
+	// -progress flag forward.
+	ClosureProgress = closure.ProgressEvent
 )
+
+// Telemetry types, re-exported from the internal obs package.
+type (
+	// MetricsRegistry is the zero-dependency metrics registry (counters,
+	// gauges, fixed-bucket histograms) every engine layer can report into;
+	// pass one via DesignOptions.Obs, ClosureOptions.Obs or BatchOptions.Obs.
+	// A nil registry disables telemetry at the cost of a pointer test.
+	MetricsRegistry = obs.Registry
+	// MetricsHistogram is one fixed-bucket histogram series with
+	// p50/p95/p99 snapshots.
+	MetricsHistogram = obs.Histogram
+)
+
+// NewMetricsRegistry returns an empty metrics registry. Write it out in
+// Prometheus text exposition format with its WritePrometheus method —
+// cmd/rcserve's GET /metrics is that call behind HTTP.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 
 // CloseTiming runs automated timing closure on a design with negative
 // slack: it mounts an incremental re-timing session (opt.Timing), generates

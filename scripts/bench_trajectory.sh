@@ -125,6 +125,10 @@ END {
     }
     speedup("eco_dirty_cone_vs_full", "DesignECO/full-reanalyze@1", "DesignECO/dirty-cone@1")
     speedup("closure_concurrent_vs_sequential", "Closure/sequential@" maxmp, "Closure/concurrent@" maxmp)
+    # Ratio of instrumented to bare propagation: a registry-enabled pass per
+    # the observability contract must stay within 2% of the no-op path
+    # (metrics_overhead <= 1.02).
+    speedup("metrics_overhead", "ArenaPropagationObs/enabled@1", "ArenaPropagationObs/disabled@1")
     printf "  \"speedup\": {\n"
     for (i = 0; i < sn; i++) printf "%s%s\n", sl[i], (i < sn-1 ? "," : "")
     printf "  }\n}\n"
