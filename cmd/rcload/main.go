@@ -1,0 +1,502 @@
+// Command rcload load-tests and crash-verifies a running rcserve instance.
+//
+// Three modes:
+//
+//	rcload -mode wait   -addr :8080                poll /readyz until ready
+//	rcload -mode load   -addr :8080 -sessions 16   drive concurrent sessions
+//	rcload -mode verify -addr :8080 -state f.json  re-check designs after a restart
+//
+// Load mode opens -sessions concurrent design sessions and drives each with
+// -ops operations of mixed traffic — ECO edit batches, slack reads, and
+// close/reopen cycles in -edit-frac/-slack-frac proportions — recording
+// per-operation latency percentiles (p50/p99) and 429 backpressure retries.
+// The final state of every surviving design (id, WNS, TNS, edit count) is
+// written to -state, and the latency report as JSON to -out (default
+// stdout).
+//
+// Verify mode is the crash-recovery check: after the server was killed and
+// restarted on the same -data-dir, it re-reads every design in -state,
+// timing the first lookup (which pays the WAL replay) and comparing WNS/TNS
+// to the recorded values within 1e-9. Any mismatch or missing design makes
+// the exit status non-zero — scripts/serve_smoke.sh builds the kill -9
+// end-to-end test out of exactly this.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type config struct {
+	addr      string
+	mode      string
+	sessions  int
+	ops       int
+	editFrac  float64
+	slackFrac float64
+	seed      int64
+	state     string
+	out       string
+	timeout   time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8080", "rcserve base URL (host:port or full URL)")
+	flag.StringVar(&cfg.mode, "mode", "load", "load | verify | wait")
+	flag.IntVar(&cfg.sessions, "sessions", 8, "concurrent design sessions (load mode)")
+	flag.IntVar(&cfg.ops, "ops", 100, "operations per session (load mode)")
+	flag.Float64Var(&cfg.editFrac, "edit-frac", 0.6, "fraction of ops that are edit batches")
+	flag.Float64Var(&cfg.slackFrac, "slack-frac", 0.3, "fraction of ops that are slack reads (the rest close+reopen)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "RNG seed (deterministic traffic)")
+	flag.StringVar(&cfg.state, "state", "", "state file: written by load, read by verify")
+	flag.StringVar(&cfg.out, "out", "", "JSON report path (empty = stdout)")
+	flag.DurationVar(&cfg.timeout, "timeout", 60*time.Second, "overall wait timeout / per-request timeout")
+	flag.Parse()
+	if !strings.Contains(cfg.addr, "://") {
+		cfg.addr = "http://" + strings.TrimPrefix(cfg.addr, ":")
+		if strings.HasSuffix(cfg.addr, "http://") { // bare ":8080" became "http://"
+			fmt.Fprintln(os.Stderr, "rcload: bad -addr")
+			os.Exit(2)
+		}
+	}
+	cfg.addr = strings.TrimSuffix(cfg.addr, "/")
+
+	var (
+		report any
+		err    error
+	)
+	switch cfg.mode {
+	case "load":
+		report, err = runLoad(cfg)
+	case "verify":
+		report, err = runVerify(cfg)
+	case "wait":
+		report, err = runWait(cfg)
+	default:
+		err = fmt.Errorf("unknown mode %q (want load, verify or wait)", cfg.mode)
+	}
+	if report != nil {
+		data, mErr := json.MarshalIndent(report, "", "  ")
+		if mErr == nil {
+			data = append(data, '\n')
+			if cfg.out == "" {
+				os.Stdout.Write(data)
+			} else if wErr := os.WriteFile(cfg.out, data, 0o644); wErr != nil && err == nil {
+				err = wErr
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rcload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// --- HTTP plumbing ----------------------------------------------------------
+
+func client(cfg config) *http.Client {
+	return &http.Client{Timeout: cfg.timeout}
+}
+
+// doJSON performs one request and decodes the JSON answer. 429 answers are
+// retried with a short backoff (counting each retry); any other non-2xx is
+// an error carrying the server's message.
+func doJSON(c *http.Client, method, url string, body []byte, retries429 *counter) (map[string]any, error) {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < 50 {
+			if retries429 != nil {
+				retries429.add(1)
+			}
+			time.Sleep(time.Duration(10+attempt*10) * time.Millisecond)
+			continue
+		}
+		var decoded map[string]any
+		if len(data) > 0 {
+			if err := json.Unmarshal(data, &decoded); err != nil {
+				return nil, fmt.Errorf("%s %s: bad JSON (%d): %.200s", method, url, resp.StatusCode, data)
+			}
+		}
+		if resp.StatusCode < 200 || resp.StatusCode > 299 {
+			return decoded, fmt.Errorf("%s %s: %d: %v", method, url, resp.StatusCode, decoded["error"])
+		}
+		return decoded, nil
+	}
+}
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) add(n int64) { c.mu.Lock(); c.n += n; c.mu.Unlock() }
+func (c *counter) value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// latencies collects per-operation durations for one op kind.
+type latencies struct {
+	mu     sync.Mutex
+	ms     []float64
+	errors int
+}
+
+func (l *latencies) observe(d time.Duration, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err != nil {
+		l.errors++
+		return
+	}
+	l.ms = append(l.ms, float64(d.Nanoseconds())/1e6)
+}
+
+// opStats is the JSON latency summary of one op kind.
+type opStats struct {
+	Count  int     `json:"count"`
+	Errors int     `json:"errors"`
+	P50ms  float64 `json:"p50_ms"`
+	P99ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func (l *latencies) stats() opStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := opStats{Count: len(l.ms), Errors: l.errors}
+	if len(l.ms) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), l.ms...)
+	sort.Float64s(sorted)
+	s.P50ms = percentile(sorted, 50)
+	s.P99ms = percentile(sorted, 99)
+	s.MaxMs = sorted[len(sorted)-1]
+	return s
+}
+
+// percentile reads the p-th percentile from an ascending-sorted slice
+// (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// --- load mode --------------------------------------------------------------
+
+// designState is one surviving design's identity and timing numbers,
+// recorded for the post-restart verify.
+type designState struct {
+	ID    string  `json:"id"`
+	WNS   float64 `json:"wns"`
+	TNS   float64 `json:"tns"`
+	Edits int     `json:"edits"`
+}
+
+type stateFile struct {
+	Designs []designState `json:"designs"`
+}
+
+type loadReport struct {
+	Mode          string             `json:"mode"`
+	Addr          string             `json:"addr"`
+	Sessions      int                `json:"sessions"`
+	OpsPerSession int                `json:"ops_per_session"`
+	WallMs        float64            `json:"wall_ms"`
+	Throughput    float64            `json:"throughput_rps"`
+	Retries429    int64              `json:"retries_429"`
+	Ops           map[string]opStats `json:"ops"`
+}
+
+// loadDeck is worker w's design: the two-net stage fixture with a jittered
+// driver resistance so sessions do not alias one another.
+func loadDeck(w int) string {
+	return fmt.Sprintf(`.design load%d
+.net drv
+.input in
+R1 in o %d
+C1 o 0 0.04
+.output o
+.endnet
+.net bus
+.input in
+U1 in far 1800 0.11
+C1 far 0 0.013
+.output far
+.endnet
+.stage drv o bus 25
+.require bus far 700
+.end
+`, w, 300+10*(w%8))
+}
+
+// loadEdit is the i-th edit of the deterministic edit cycle; every edit
+// succeeds against loadDeck, so applied counts are predictable.
+func loadEdit(i int) string {
+	switch i % 4 {
+	case 0:
+		return fmt.Sprintf(`{"op": "setR", "net": "drv", "node": "o", "r": %g}`, 300+float64(i%37)*5)
+	case 1:
+		return `{"op": "addC", "net": "bus", "node": "far", "c": 0.0005}`
+	case 2:
+		return fmt.Sprintf(`{"op": "setLine", "net": "bus", "node": "far", "r": %g, "c": %g}`,
+			1700+float64(i%23)*10, 0.1+float64(i%7)*0.01)
+	default:
+		return fmt.Sprintf(`{"op": "scaleDriver", "net": "drv", "factor": %g}`, 0.9+float64(i%5)*0.05)
+	}
+}
+
+func createDesign(c *http.Client, cfg config, w int, retries *counter) (string, error) {
+	body, _ := json.Marshal(map[string]any{"design": loadDeck(w), "threshold": 0.7, "required": 700})
+	resp, err := doJSON(c, http.MethodPost, cfg.addr+"/design", body, retries)
+	if err != nil {
+		return "", err
+	}
+	id, _ := resp["id"].(string)
+	if id == "" {
+		return "", fmt.Errorf("create: no id in %v", resp)
+	}
+	return id, nil
+}
+
+func runLoad(cfg config) (*loadReport, error) {
+	c := client(cfg)
+	lats := map[string]*latencies{
+		"create": {}, "edit": {}, "slack": {}, "close": {},
+	}
+	var retries counter
+	final := make([]designState, cfg.sessions)
+	errCh := make(chan error, cfg.sessions)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.sessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			t0 := time.Now()
+			id, err := createDesign(c, cfg, w, &retries)
+			lats["create"].observe(time.Since(t0), err)
+			if err != nil {
+				errCh <- fmt.Errorf("session %d: %w", w, err)
+				return
+			}
+			edits := 0
+			for i := 0; i < cfg.ops; i++ {
+				switch r := rng.Float64(); {
+				case r < cfg.editFrac:
+					n := 1 + rng.Intn(4)
+					specs := make([]string, n)
+					for j := range specs {
+						specs[j] = loadEdit(w*cfg.ops + i + j)
+					}
+					body := []byte(`{"edits": [` + strings.Join(specs, ",") + `]}`)
+					t0 := time.Now()
+					resp, err := doJSON(c, http.MethodPost, cfg.addr+"/design/"+id+"/edit", body, &retries)
+					lats["edit"].observe(time.Since(t0), err)
+					if err == nil {
+						if applied, ok := resp["applied"].(float64); ok {
+							edits += int(applied)
+						}
+					}
+				case r < cfg.editFrac+cfg.slackFrac:
+					t0 := time.Now()
+					_, err := doJSON(c, http.MethodGet, cfg.addr+"/design/"+id+"/slack", nil, &retries)
+					lats["slack"].observe(time.Since(t0), err)
+				default:
+					t0 := time.Now()
+					_, err := doJSON(c, http.MethodDelete, cfg.addr+"/design/"+id, nil, &retries)
+					if err == nil {
+						id, err = createDesign(c, cfg, w, &retries)
+						edits = 0
+					}
+					lats["close"].observe(time.Since(t0), err)
+					if err != nil {
+						errCh <- fmt.Errorf("session %d: close/reopen: %w", w, err)
+						return
+					}
+				}
+			}
+			info, err := doJSON(c, http.MethodGet, cfg.addr+"/design/"+id, nil, &retries)
+			if err != nil {
+				errCh <- fmt.Errorf("session %d: final info: %w", w, err)
+				return
+			}
+			wns, _ := info["wns"].(float64)
+			tns, _ := info["tns"].(float64)
+			final[w] = designState{ID: id, WNS: wns, TNS: tns, Edits: edits}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+
+	if cfg.state != "" {
+		sf := stateFile{}
+		for _, d := range final {
+			if d.ID != "" {
+				sf.Designs = append(sf.Designs, d)
+			}
+		}
+		data, _ := json.MarshalIndent(sf, "", "  ")
+		if err := os.WriteFile(cfg.state, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+	}
+	rep := &loadReport{
+		Mode: "load", Addr: cfg.addr,
+		Sessions: cfg.sessions, OpsPerSession: cfg.ops,
+		WallMs:     float64(wall.Nanoseconds()) / 1e6,
+		Retries429: retries.value(),
+		Ops:        map[string]opStats{},
+	}
+	totalOps := 0
+	for kind, l := range lats {
+		s := l.stats()
+		rep.Ops[kind] = s
+		totalOps += s.Count
+	}
+	if wall > 0 {
+		rep.Throughput = float64(totalOps) / wall.Seconds()
+	}
+	return rep, nil
+}
+
+// --- verify mode ------------------------------------------------------------
+
+type verifyReport struct {
+	Mode           string   `json:"mode"`
+	Addr           string   `json:"addr"`
+	Designs        int      `json:"designs"`
+	Verified       int      `json:"verified"`
+	Failures       []string `json:"failures,omitempty"`
+	RecoveryMsTot  float64  `json:"recovery_ms_total"`
+	RecoveryMsMax  float64  `json:"recovery_ms_max"`
+	RecoveryMsMean float64  `json:"recovery_ms_mean"`
+}
+
+func runVerify(cfg config) (*verifyReport, error) {
+	if cfg.state == "" {
+		return nil, fmt.Errorf("verify needs -state")
+	}
+	raw, err := os.ReadFile(cfg.state)
+	if err != nil {
+		return nil, err
+	}
+	var sf stateFile
+	if err := json.Unmarshal(raw, &sf); err != nil {
+		return nil, fmt.Errorf("state file: %w", err)
+	}
+	c := client(cfg)
+	rep := &verifyReport{Mode: "verify", Addr: cfg.addr, Designs: len(sf.Designs)}
+	const tol = 1e-9
+	for _, want := range sf.Designs {
+		t0 := time.Now()
+		info, err := doJSON(c, http.MethodGet, cfg.addr+"/design/"+want.ID, nil, nil)
+		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
+		rep.RecoveryMsTot += ms
+		if ms > rep.RecoveryMsMax {
+			rep.RecoveryMsMax = ms
+		}
+		if err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %v", want.ID, err))
+			continue
+		}
+		wns, _ := info["wns"].(float64)
+		tns, _ := info["tns"].(float64)
+		edits, _ := info["edits"].(float64)
+		switch {
+		case math.Abs(wns-want.WNS) > tol:
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: wns %g, want %g", want.ID, wns, want.WNS))
+		case math.Abs(tns-want.TNS) > tol:
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: tns %g, want %g", want.ID, tns, want.TNS))
+		case int(edits) != want.Edits:
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: edits %d, want %d", want.ID, int(edits), want.Edits))
+		default:
+			rep.Verified++
+		}
+	}
+	if rep.Designs > 0 {
+		rep.RecoveryMsMean = rep.RecoveryMsTot / float64(rep.Designs)
+	}
+	if len(rep.Failures) > 0 {
+		return rep, fmt.Errorf("%d of %d designs failed verification", len(rep.Failures), rep.Designs)
+	}
+	return rep, nil
+}
+
+// --- wait mode --------------------------------------------------------------
+
+type waitReport struct {
+	Mode     string  `json:"mode"`
+	Addr     string  `json:"addr"`
+	Ready    bool    `json:"ready"`
+	WaitedMs float64 `json:"waited_ms"`
+}
+
+func runWait(cfg config) (*waitReport, error) {
+	c := &http.Client{Timeout: 2 * time.Second}
+	start := time.Now()
+	for {
+		resp, err := c.Get(cfg.addr + "/readyz")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ok {
+				return &waitReport{
+					Mode: "wait", Addr: cfg.addr, Ready: true,
+					WaitedMs: float64(time.Since(start).Nanoseconds()) / 1e6,
+				}, nil
+			}
+		}
+		if time.Since(start) > cfg.timeout {
+			return &waitReport{Mode: "wait", Addr: cfg.addr, Ready: false,
+					WaitedMs: float64(time.Since(start).Nanoseconds()) / 1e6},
+				fmt.Errorf("server not ready after %s", cfg.timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// mockServe mimics the rcserve design surface closely enough to exercise the
+// harness: ids, per-design edit counts, stable WNS/TNS, and an optional 429
+// budget to test the backpressure retry path.
+type mockServe struct {
+	mu      sync.Mutex
+	nextID  int
+	edits   map[string]int
+	deny429 int // next N edit requests answer 429
+}
+
+func (m *mockServe) handler() http.Handler {
+	mux := http.NewServeMux()
+	write := func(w http.ResponseWriter, status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(v)
+	}
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		write(w, http.StatusOK, map[string]any{"ready": true})
+	})
+	mux.HandleFunc("POST /design", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		m.nextID++
+		id := fmt.Sprintf("d%d", m.nextID)
+		m.edits[id] = 0
+		m.mu.Unlock()
+		write(w, http.StatusCreated, map[string]any{"id": id, "wns": -1.5, "tns": -2.25})
+	})
+	mux.HandleFunc("POST /design/{id}/edit", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		if m.deny429 > 0 {
+			m.deny429--
+			m.mu.Unlock()
+			write(w, http.StatusTooManyRequests, map[string]any{"error": "throttled"})
+			return
+		}
+		id := r.PathValue("id")
+		if _, ok := m.edits[id]; !ok {
+			m.mu.Unlock()
+			write(w, http.StatusNotFound, map[string]any{"error": "unknown"})
+			return
+		}
+		var req struct {
+			Edits []map[string]any `json:"edits"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		m.edits[id] += len(req.Edits)
+		m.mu.Unlock()
+		write(w, http.StatusOK, map[string]any{"applied": len(req.Edits)})
+	})
+	mux.HandleFunc("GET /design/{id}/slack", func(w http.ResponseWriter, r *http.Request) {
+		write(w, http.StatusOK, map[string]any{"report": map[string]any{"wns": -1.5, "tns": -2.25}})
+	})
+	mux.HandleFunc("GET /design/{id}", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		n, ok := m.edits[r.PathValue("id")]
+		m.mu.Unlock()
+		if !ok {
+			write(w, http.StatusNotFound, map[string]any{"error": "unknown"})
+			return
+		}
+		write(w, http.StatusOK, map[string]any{
+			"id": r.PathValue("id"), "wns": -1.5, "tns": -2.25, "edits": n,
+		})
+	})
+	mux.HandleFunc("DELETE /design/{id}", func(w http.ResponseWriter, r *http.Request) {
+		m.mu.Lock()
+		delete(m.edits, r.PathValue("id"))
+		m.mu.Unlock()
+		write(w, http.StatusOK, map[string]any{"closed": true})
+	})
+	return mux
+}
+
+func mockConfig(t *testing.T) (config, *mockServe) {
+	t.Helper()
+	m := &mockServe{edits: map[string]int{}}
+	ts := httptest.NewServer(m.handler())
+	t.Cleanup(ts.Close)
+	return config{
+		addr: ts.URL, sessions: 3, ops: 20,
+		editFrac: 0.6, slackFrac: 0.3,
+		seed: 42, timeout: 10 * time.Second,
+	}, m
+}
+
+func TestRunLoad(t *testing.T) {
+	cfg, _ := mockConfig(t)
+	cfg.state = filepath.Join(t.TempDir(), "state.json")
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ops["create"].Count < cfg.sessions {
+		t.Errorf("creates = %d, want >= %d", rep.Ops["create"].Count, cfg.sessions)
+	}
+	totalErrs := 0
+	for kind, s := range rep.Ops {
+		totalErrs += s.Errors
+		if s.Count > 0 && (s.P50ms <= 0 || s.P99ms < s.P50ms || s.MaxMs < s.P99ms) {
+			t.Errorf("%s stats inconsistent: %+v", kind, s)
+		}
+	}
+	if totalErrs != 0 {
+		t.Errorf("load against healthy server produced %d errors", totalErrs)
+	}
+	if rep.Ops["edit"].Count == 0 || rep.Ops["slack"].Count == 0 {
+		t.Errorf("mixed traffic missing an op kind: %+v", rep.Ops)
+	}
+
+	raw, err := os.ReadFile(cfg.state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sf stateFile
+	if err := json.Unmarshal(raw, &sf); err != nil {
+		t.Fatal(err)
+	}
+	if len(sf.Designs) != cfg.sessions {
+		t.Fatalf("state records %d designs, want %d", len(sf.Designs), cfg.sessions)
+	}
+	for _, d := range sf.Designs {
+		if d.ID == "" || d.WNS != -1.5 {
+			t.Errorf("state entry %+v", d)
+		}
+	}
+}
+
+func TestRunVerify(t *testing.T) {
+	cfg, _ := mockConfig(t)
+	cfg.state = filepath.Join(t.TempDir(), "state.json")
+	if _, err := runLoad(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := runVerify(cfg)
+	if err != nil {
+		t.Fatalf("verify against unchanged server: %v (%+v)", err, rep)
+	}
+	if rep.Verified != rep.Designs || rep.Designs != cfg.sessions {
+		t.Errorf("verified %d of %d, want all %d", rep.Verified, rep.Designs, cfg.sessions)
+	}
+	if rep.RecoveryMsTot <= 0 || rep.RecoveryMsMax <= 0 {
+		t.Errorf("recovery timings not recorded: %+v", rep)
+	}
+}
+
+func TestRunVerifyCatchesDrift(t *testing.T) {
+	cfg, _ := mockConfig(t)
+	dir := t.TempDir()
+	cfg.state = filepath.Join(dir, "state.json")
+	if _, err := runLoad(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one recorded WNS: the restarted server "lost" an edit.
+	raw, _ := os.ReadFile(cfg.state)
+	var sf stateFile
+	json.Unmarshal(raw, &sf)
+	sf.Designs[0].WNS = -1.6
+	out, _ := json.Marshal(sf)
+	os.WriteFile(cfg.state, out, 0o644)
+
+	rep, err := runVerify(cfg)
+	if err == nil {
+		t.Fatal("verify missed a WNS mismatch")
+	}
+	if len(rep.Failures) != 1 || rep.Verified != cfg.sessions-1 {
+		t.Errorf("failures %v, verified %d", rep.Failures, rep.Verified)
+	}
+}
+
+func TestLoadRetries429(t *testing.T) {
+	cfg, m := mockConfig(t)
+	cfg.sessions, cfg.ops = 1, 10
+	cfg.editFrac, cfg.slackFrac = 1.0, 0.0 // all edits
+	m.deny429 = 3
+	rep, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Retries429 != 3 {
+		t.Errorf("retries_429 = %d, want 3", rep.Retries429)
+	}
+	if rep.Ops["edit"].Errors != 0 {
+		t.Errorf("backpressure surfaced as errors: %+v", rep.Ops["edit"])
+	}
+}
+
+func TestRunWait(t *testing.T) {
+	cfg, _ := mockConfig(t)
+	cfg.timeout = 2 * time.Second
+	rep, err := runWait(cfg)
+	if err != nil || !rep.Ready {
+		t.Fatalf("wait against ready server: %v, %+v", err, rep)
+	}
+
+	cfg.addr = "http://127.0.0.1:1" // nothing listens here
+	cfg.timeout = 300 * time.Millisecond
+	if _, err := runWait(cfg); err == nil {
+		t.Fatal("wait against dead address succeeded")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 50); got != 5 {
+		t.Errorf("p50 = %g, want 5", got)
+	}
+	if got := percentile(sorted, 99); got != 10 {
+		t.Errorf("p99 = %g, want 10", got)
+	}
+	if got := percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("p99 of singleton = %g, want 7", got)
+	}
+}

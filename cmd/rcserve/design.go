@@ -7,9 +7,9 @@ import (
 	"math"
 	"net/http"
 	"sync"
-	"time"
 
 	rcdelay "repro"
+	"repro/internal/wal"
 )
 
 // A designSession is one live chip design held server-side as an incremental
@@ -23,12 +23,18 @@ type designSession struct {
 	mu    sync.Mutex
 	sess  *rcdelay.DesignSession
 	edits int
+	// wlog is the session's durability log (nil when the server runs
+	// without -data-dir): accepted edits are appended under mu, so log
+	// order is apply order, and snapshots rotate it. opts remembers the
+	// analysis knobs so an eviction-recovery rebuilds the same session.
+	wlog *wal.Log
+	opts designRequest
 }
 
 type designStore = ttlStore[*designSession]
 
-func newDesignStore(ttl time.Duration, max int) *designStore {
-	return newTTLStore[*designSession](ttl, max)
+func newDesignStore(cfg storeConfig) *designStore {
+	return newTTLStore[*designSession](cfg)
 }
 
 // --- HTTP surface -----------------------------------------------------------
@@ -116,12 +122,26 @@ func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
-	ent := s.designs.create(&designSession{sess: sess})
+	ent := s.designs.create(&designSession{sess: sess, opts: req})
+	defer s.designs.release(ent)
+	if err := s.walCreate(ent, design); err != nil {
+		s.designs.delete(ent.id)
+		httpError(w, fmt.Sprintf("durability write failed: %v", err), http.StatusInternalServerError)
+		return
+	}
 	writeJSON(w, http.StatusCreated, designSummary(ent))
 }
 
+// lookupDesign resolves the path id to a pinned entry — eviction skips
+// pinned entries, so the session cannot vanish mid-request; the caller must
+// release it. With durability on, a design that was TTL/LRU-evicted from
+// memory but still has its WAL on disk is transparently recovered.
 func (s *server) lookupDesign(w http.ResponseWriter, r *http.Request) (*entry[*designSession], bool) {
-	e, ok := s.designs.get(r.PathValue("id"))
+	id := r.PathValue("id")
+	e, ok := s.designs.get(id)
+	if !ok {
+		e, ok = s.recoverDesign(r.Context(), id)
+	}
 	if !ok {
 		httpError(w, "unknown or expired design", http.StatusNotFound)
 		return nil, false
@@ -132,6 +152,7 @@ func (s *server) lookupDesign(w http.ResponseWriter, r *http.Request) (*entry[*d
 func (s *server) handleDesignInfo(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_design_requests_total", 1)
 	if e, ok := s.lookupDesign(w, r); ok {
+		defer s.designs.release(e)
 		writeJSON(w, http.StatusOK, designSummary(e))
 	}
 }
@@ -162,10 +183,16 @@ type designEditResponse struct {
 // endpoint, with slack instead of characteristic times in the answer.
 func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_design_requests_total", 1)
+	done, ok := admitOr429(w, s.designs, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	defer done()
 	ent, ok := s.lookupDesign(w, r)
 	if !ok {
 		return
 	}
+	defer s.designs.release(ent)
 	var req designEditRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
@@ -177,6 +204,10 @@ func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, "edit request carries no edits", http.StatusUnprocessableEntity)
 		return
 	}
+	if !s.designs.allowEdits(ent, len(req.Edits)) {
+		rateLimited(w, "design edit rate limit exceeded")
+		return
+	}
 	ds := ent.val
 	ds.mu.Lock()
 	res, err := ds.sess.Apply(req.Edits)
@@ -185,7 +216,12 @@ func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
 	if !math.IsInf(res.WNS, 0) {
 		wns = &res.WNS
 	}
+	walErr := s.walAppend(ds, req.Edits[:res.Applied])
 	ds.mu.Unlock()
+	if walErr != nil {
+		httpError(w, fmt.Sprintf("durability write failed: %v", walErr), http.StatusInternalServerError)
+		return
+	}
 	s.count("rcserve_design_edits_total", int64(res.Applied))
 	resp := designEditResponse{
 		ID: ent.id, Gen: res.Gen, Applied: res.Applied,
@@ -207,10 +243,16 @@ func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleDesignSlack(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_design_requests_total", 1)
 	s.count("rcserve_slack_queries_total", 1)
+	done, ok := admitOr429(w, s.designs, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	defer done()
 	ent, ok := s.lookupDesign(w, r)
 	if !ok {
 		return
 	}
+	defer s.designs.release(ent)
 	ds := ent.val
 	ds.mu.Lock()
 	// Reports are immutable once built (edits build fresh ones), so the
@@ -256,10 +298,16 @@ type designCloseResponse struct {
 func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_design_requests_total", 1)
 	s.count("rcserve_close_requests_total", 1)
+	done, ok := admitOr429(w, s.designs, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	defer done()
 	ent, ok := s.lookupDesign(w, r)
 	if !ok {
 		return
 	}
+	defer s.designs.release(ent)
 	var req designCloseRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
@@ -280,14 +328,22 @@ func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 		Sequential:   req.Sequential,
 		Obs:          s.obs,
 	})
+	var walErr error
 	if report != nil {
-		// A cancelled run still applied its accepted prefix; account for it.
+		// A cancelled run still applied its accepted prefix; account for it
+		// in memory and in the WAL (closure moves are ECO edits like any
+		// other — a restart replays the repair).
 		ds.edits += len(report.Edits)
+		walErr = s.walAppend(ds, report.Edits)
 	}
 	gen := ds.sess.Gen()
 	ds.mu.Unlock()
 	if err != nil && report == nil {
 		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if walErr != nil {
+		httpError(w, fmt.Sprintf("durability write failed: %v", walErr), http.StatusInternalServerError)
 		return
 	}
 	s.count("rcserve_closure_moves_total", int64(len(report.Moves)))
@@ -302,7 +358,18 @@ func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleDesignDelete(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_design_requests_total", 1)
-	if !s.designs.delete(r.PathValue("id")) {
+	id := r.PathValue("id")
+	deleted := s.designs.delete(id)
+	// An explicit close also retires the durable state: without it the WAL
+	// would resurrect the design on the next lookup.
+	if s.wal != nil && s.wal.Exists(id) {
+		if err := s.wal.Remove(id); err != nil {
+			httpError(w, fmt.Sprintf("durability remove failed: %v", err), http.StatusInternalServerError)
+			return
+		}
+		deleted = true
+	}
+	if !deleted {
 		httpError(w, "unknown or expired design", http.StatusNotFound)
 		return
 	}

@@ -161,20 +161,25 @@ func TestDesignCreateErrors(t *testing.T) {
 }
 
 func TestDesignStoreTTLAndEviction(t *testing.T) {
-	st := newDesignStore(time.Minute, 2)
+	st := newDesignStore(storeConfig{ttl: time.Minute, max: 2})
 	clock := time.Unix(0, 0)
 	st.now = func() time.Time { return clock }
 	a := st.create(&designSession{})
+	st.release(a)
 	clock = clock.Add(time.Second)
 	b := st.create(&designSession{})
+	st.release(b)
 	clock = clock.Add(time.Second)
 	// Third create evicts the LRU entry (a).
 	c := st.create(&designSession{})
+	st.release(c)
 	if _, ok := st.get(a.id); ok {
 		t.Error("LRU entry survived eviction")
 	}
-	if _, ok := st.get(b.id); !ok {
+	if ent, ok := st.get(b.id); !ok {
 		t.Error("fresh entry evicted")
+	} else {
+		st.release(ent)
 	}
 	// Expiry via TTL.
 	clock = clock.Add(2 * time.Minute)
@@ -186,7 +191,9 @@ func TestDesignStoreTTLAndEviction(t *testing.T) {
 	if stats["active"].(int) != 0 {
 		t.Errorf("stats = %v", stats)
 	}
-	if !st.delete(st.create(&designSession{}).id) {
+	d := st.create(&designSession{})
+	st.release(d)
+	if !st.delete(d.id) {
 		t.Error("delete failed")
 	}
 	if st.delete("ghost") {

@@ -1,0 +1,324 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// walServer mounts a design server over dir's durability store and replays
+// whatever is already persisted there — one call is "boot the process".
+func walServer(t *testing.T, dir string) (*server, int) {
+	t.Helper()
+	srv := designServer()
+	if err := srv.openWAL(dir); err != nil {
+		t.Fatal(err)
+	}
+	n, err := srv.recoverDesigns(context.Background())
+	if err != nil {
+		t.Fatalf("recover designs: %v", err)
+	}
+	return srv, n
+}
+
+func serveJSON(t *testing.T, srv *server, method, path, body string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var decoded map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("%s %s: bad JSON (%d): %s", method, path, w.Code, w.Body.String())
+	}
+	return w.Code, decoded
+}
+
+// crashEdit returns the i-th edit of the deterministic 200-edit workload the
+// crash tests drive against chipDeck — every edit succeeds, so the live
+// session and the WAL agree on exactly what was applied.
+func crashEdit(i int) string {
+	switch i % 4 {
+	case 0:
+		return fmt.Sprintf(`{"op": "setR", "net": "drv", "node": "o", "r": %g}`, 300+float64(i%37)*5)
+	case 1:
+		return `{"op": "addC", "net": "bus", "node": "far", "c": 0.001}`
+	case 2:
+		return fmt.Sprintf(`{"op": "setLine", "net": "bus", "node": "far", "r": %g, "c": %g}`,
+			1700+float64(i%23)*10, 0.1+float64(i%7)*0.01)
+	default:
+		return fmt.Sprintf(`{"op": "scaleDriver", "net": "drv", "factor": %g}`, 0.9+float64(i%5)*0.05)
+	}
+}
+
+// slackNumbers pulls WNS/TNS and the per-endpoint slack map out of a
+// /design/{id}/slack response.
+func slackNumbers(t *testing.T, body map[string]any) (wns, tns float64, slacks map[string]float64) {
+	t.Helper()
+	report, ok := body["report"].(map[string]any)
+	if !ok {
+		t.Fatalf("no report in %v", body)
+	}
+	wns, _ = report["wns"].(float64)
+	tns, _ = report["tns"].(float64)
+	slacks = map[string]float64{}
+	eps, _ := report["endpoints"].([]any)
+	for _, raw := range eps {
+		ep := raw.(map[string]any)
+		key := fmt.Sprintf("%v.%v", ep["net"], ep["output"])
+		if s, ok := ep["slack"].(float64); ok {
+			slacks[key] = s
+		}
+	}
+	return wns, tns, slacks
+}
+
+// TestDesignCrashRecovery is the PR's acceptance test: a 200-edit session,
+// the process killed with a torn append in flight, a fresh process booted on
+// the same data dir — the recovered design's WNS/TNS and every endpoint
+// slack match the never-killed session to 1e-9.
+func TestDesignCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	srv1, n := walServer(t, dir)
+	if n != 0 {
+		t.Fatalf("fresh dir recovered %d designs", n)
+	}
+	srv1.snapEvery = 16 // several rotations inside 200 edits
+
+	body, _ := json.Marshal(map[string]any{"design": chipDeck, "threshold": 0.7, "required": 700})
+	code, created := serveJSON(t, srv1, http.MethodPost, "/design", string(body))
+	if code != http.StatusCreated {
+		t.Fatalf("POST /design = %d: %v", code, created)
+	}
+	id := created["id"].(string)
+
+	for i := 0; i < 200; i++ {
+		code, resp := serveJSON(t, srv1, http.MethodPost, "/design/"+id+"/edit",
+			`{"edits": [`+crashEdit(i)+`]}`)
+		if code != http.StatusOK || resp["applied"].(float64) != 1 {
+			t.Fatalf("edit %d = %d: %v", i, code, resp)
+		}
+	}
+	code, slackBody := serveJSON(t, srv1, http.MethodGet, "/design/"+id+"/slack", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET slack = %d: %v", code, slackBody)
+	}
+	wantWNS, wantTNS, wantSlacks := slackNumbers(t, slackBody)
+
+	// Kill the process mid-append: srv1 is abandoned as-is (no drain, no
+	// final snapshot) and the live log gains a torn partial record, exactly
+	// what a kill -9 during an acknowledged-later edit leaves behind.
+	logs, err := filepath.Glob(filepath.Join(dir, id, "wal.*.log"))
+	if err != nil || len(logs) != 1 {
+		t.Fatalf("want exactly one live log, got %v (%v)", logs, err)
+	}
+	f, err := os.OpenFile(logs[0], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("setR drv.o 12"); err != nil { // no newline: torn
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2, n := walServer(t, dir)
+	if n != 1 {
+		t.Fatalf("recovered %d designs, want 1", n)
+	}
+	code, info := serveJSON(t, srv2, http.MethodGet, "/design/"+id, "")
+	if code != http.StatusOK {
+		t.Fatalf("GET recovered design = %d: %v", code, info)
+	}
+	if got := info["edits"].(float64); got != 200 {
+		t.Errorf("recovered edit count = %v, want 200", got)
+	}
+	code, slackBody2 := serveJSON(t, srv2, http.MethodGet, "/design/"+id+"/slack", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET recovered slack = %d", code)
+	}
+	gotWNS, gotTNS, gotSlacks := slackNumbers(t, slackBody2)
+
+	const tol = 1e-9
+	if math.Abs(gotWNS-wantWNS) > tol || math.Abs(gotTNS-wantTNS) > tol {
+		t.Errorf("recovered WNS/TNS (%g, %g), want (%g, %g)", gotWNS, gotTNS, wantWNS, wantTNS)
+	}
+	if len(gotSlacks) != len(wantSlacks) {
+		t.Fatalf("recovered %d endpoints, want %d", len(gotSlacks), len(wantSlacks))
+	}
+	for key, want := range wantSlacks {
+		if got, ok := gotSlacks[key]; !ok || math.Abs(got-want) > tol {
+			t.Errorf("endpoint %s slack = %g, want %g", key, got, want)
+		}
+	}
+
+	// The recovered session keeps working — and keeps logging.
+	code, resp := serveJSON(t, srv2, http.MethodPost, "/design/"+id+"/edit",
+		`{"edits": [`+crashEdit(0)+`]}`)
+	if code != http.StatusOK || resp["applied"].(float64) != 1 {
+		t.Fatalf("post-recovery edit = %d: %v", code, resp)
+	}
+}
+
+// TestDesignLazyRecoveryAfterEviction: LRU eviction drops the in-memory
+// session but not the WAL; the next lookup transparently rebuilds it instead
+// of answering 404.
+func TestDesignLazyRecoveryAfterEviction(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := walServer(t, dir)
+	srv.designs = newDesignStore(storeConfig{ttl: time.Hour, max: 1})
+
+	body, _ := json.Marshal(map[string]any{"design": chipDeck, "threshold": 0.7, "required": 700})
+	code, a := serveJSON(t, srv, http.MethodPost, "/design", string(body))
+	if code != http.StatusCreated {
+		t.Fatalf("create A = %d: %v", code, a)
+	}
+	aID := a["id"].(string)
+	if _, resp := serveJSON(t, srv, http.MethodPost, "/design/"+aID+"/edit",
+		`{"edits": [{"op": "setR", "net": "drv", "node": "o", "r": 200}]}`); resp["applied"].(float64) != 1 {
+		t.Fatalf("edit A: %v", resp)
+	}
+
+	code, _ = serveJSON(t, srv, http.MethodPost, "/design", string(body)) // evicts A (max 1)
+	if code != http.StatusCreated {
+		t.Fatalf("create B = %d", code)
+	}
+	if srv.designs.evicted.Load() != 1 {
+		t.Fatalf("evicted = %d, want 1", srv.designs.evicted.Load())
+	}
+
+	code, info := serveJSON(t, srv, http.MethodGet, "/design/"+aID, "")
+	if code != http.StatusOK {
+		t.Fatalf("GET evicted design = %d: %v (lazy recovery failed)", code, info)
+	}
+	if got := info["edits"].(float64); got != 1 {
+		t.Errorf("recovered edits = %v, want 1", got)
+	}
+	if got := srv.obs.Counter("rcserve_designs_recovered_total").Value(); got != 1 {
+		t.Errorf("recovered counter = %d, want 1", got)
+	}
+}
+
+// TestDesignDeleteRemovesDurableState: DELETE retires the WAL too —
+// otherwise the next lookup (or the next boot) would resurrect the design.
+func TestDesignDeleteRemovesDurableState(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := walServer(t, dir)
+	body, _ := json.Marshal(map[string]any{"design": chipDeck, "threshold": 0.7})
+	_, created := serveJSON(t, srv, http.MethodPost, "/design", string(body))
+	id := created["id"].(string)
+
+	if code, resp := serveJSON(t, srv, http.MethodDelete, "/design/"+id, ""); code != http.StatusOK {
+		t.Fatalf("DELETE = %d: %v", code, resp)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id)); !os.IsNotExist(err) {
+		t.Error("design dir survived DELETE")
+	}
+	if code, _ := serveJSON(t, srv, http.MethodGet, "/design/"+id, ""); code != http.StatusNotFound {
+		t.Errorf("GET deleted design = %d, want 404 (no resurrection)", code)
+	}
+	_, n := walServer(t, dir)
+	if n != 0 {
+		t.Errorf("restart recovered %d designs after DELETE, want 0", n)
+	}
+}
+
+// TestDesignSnapshotEvery: crossing the -snapshot-every threshold rotates
+// the log onto a fresh snapshot, keeping replay bounded; the edit total
+// survives the rotations.
+func TestDesignSnapshotEvery(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := walServer(t, dir)
+	srv.snapEvery = 4
+
+	body, _ := json.Marshal(map[string]any{"design": chipDeck, "threshold": 0.7, "required": 700})
+	_, created := serveJSON(t, srv, http.MethodPost, "/design", string(body))
+	id := created["id"].(string)
+	for i := 0; i < 10; i++ {
+		if code, resp := serveJSON(t, srv, http.MethodPost, "/design/"+id+"/edit",
+			`{"edits": [`+crashEdit(i)+`]}`); code != http.StatusOK {
+			t.Fatalf("edit %d = %d: %v", i, code, resp)
+		}
+	}
+	// 10 edits at snapshot-every 4: rotations at 4 and 8, so the live pair
+	// is seq 3 with a 2-edit tail.
+	if _, err := os.Stat(filepath.Join(dir, id, "snap.3.ckt")); err != nil {
+		t.Errorf("expected snap.3.ckt after two rotations: %v", err)
+	}
+
+	srv2, n := walServer(t, dir)
+	if n != 1 {
+		t.Fatalf("recovered %d designs", n)
+	}
+	_, info := serveJSON(t, srv2, http.MethodGet, "/design/"+id, "")
+	if got := info["edits"].(float64); got != 10 {
+		t.Errorf("edit total across rotations = %v, want 10", got)
+	}
+}
+
+// TestSnapshotAllFoldsTails: the shutdown drain (and the periodic
+// snapshotter) folds every pending tail into a snapshot, so a clean restart
+// replays zero log lines.
+func TestSnapshotAllFoldsTails(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := walServer(t, dir)
+	body, _ := json.Marshal(map[string]any{"design": chipDeck, "threshold": 0.7, "required": 700})
+	_, created := serveJSON(t, srv, http.MethodPost, "/design", string(body))
+	id := created["id"].(string)
+	for i := 0; i < 3; i++ {
+		serveJSON(t, srv, http.MethodPost, "/design/"+id+"/edit", `{"edits": [`+crashEdit(i)+`]}`)
+	}
+	n, err := srv.snapshotAll()
+	if err != nil || n != 1 {
+		t.Fatalf("snapshotAll = %d, %v; want 1, nil", n, err)
+	}
+	// The tail was folded: the live log is seq 2 and empty.
+	raw, err := os.ReadFile(filepath.Join(dir, id, "wal.2.log"))
+	if err != nil || len(raw) != 0 {
+		t.Errorf("post-snapshot log: %d bytes, %v; want empty", len(raw), err)
+	}
+	srv2, _ := walServer(t, dir)
+	_, info := serveJSON(t, srv2, http.MethodGet, "/design/"+id, "")
+	if got := info["edits"].(float64); got != 3 {
+		t.Errorf("edits after snapshot-only recovery = %v, want 3", got)
+	}
+}
+
+// TestDesignCloseLogsMoves: accepted closure moves are ECO edits like any
+// other — a restart replays the repair, so the recovered WNS matches the
+// post-closure WNS.
+func TestDesignCloseLogsMoves(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := walServer(t, dir)
+	body, _ := json.Marshal(map[string]any{"design": failingDeck, "threshold": 0.7})
+	code, created := serveJSON(t, srv, http.MethodPost, "/design", string(body))
+	if code != http.StatusCreated {
+		t.Fatalf("POST /design = %d: %v", code, created)
+	}
+	id := created["id"].(string)
+	code, closed := serveJSON(t, srv, http.MethodPost, "/design/"+id+"/close", `{"maxMoves": 16}`)
+	if code != http.StatusOK {
+		t.Fatalf("close = %d: %v", code, closed)
+	}
+	_, info := serveJSON(t, srv, http.MethodGet, "/design/"+id, "")
+	wantWNS, hadWNS := info["wns"].(float64)
+
+	srv2, n := walServer(t, dir)
+	if n != 1 {
+		t.Fatalf("recovered %d designs", n)
+	}
+	_, info2 := serveJSON(t, srv2, http.MethodGet, "/design/"+id, "")
+	gotWNS, gotHad := info2["wns"].(float64)
+	if hadWNS != gotHad || math.Abs(gotWNS-wantWNS) > 1e-9 {
+		t.Errorf("recovered WNS = %v (%v), want %v (%v)", gotWNS, gotHad, wantWNS, hadWNS)
+	}
+	if info2["edits"] != info["edits"] {
+		t.Errorf("recovered edits = %v, want %v", info2["edits"], info["edits"])
+	}
+}

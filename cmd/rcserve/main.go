@@ -93,12 +93,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	rcdelay "repro"
 	"repro/internal/obs"
+	"repro/internal/wal"
 )
 
 // Server defaults, shared by the flag declarations and the zero-config
@@ -107,6 +109,10 @@ const (
 	defaultSessionTTL  = 15 * time.Minute
 	defaultMaxSessions = 1024
 	defaultMaxBody     = 8 << 20 // bytes
+	defaultStoreShards = 8
+	defaultShardQueue  = 64
+	defaultEditBurst   = 256
+	defaultSnapEvery   = 64 // WAL edits between automatic snapshots
 )
 
 func main() {
@@ -118,18 +124,44 @@ func main() {
 		maxSessions = flag.Int("max-sessions", defaultMaxSessions, "maximum live editing sessions (LRU-evicted beyond)")
 		maxBody     = flag.Int64("max-body", defaultMaxBody, "maximum request body size in bytes")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown drain waits for in-flight requests")
+		shards      = flag.Int("shards", defaultStoreShards, "id-hash lock shards per store")
+		shardQueue  = flag.Int("shard-queue", defaultShardQueue, "per-shard admission-queue depth (beyond it heavy requests get 429)")
+		editRate    = flag.Float64("edit-rate", 0, "per-session sustained edits/second (0 = unlimited; beyond it edits get 429)")
+		editBurst   = flag.Float64("edit-burst", defaultEditBurst, "per-session edit token-bucket burst")
+		dataDir     = flag.String("data-dir", "", "durability directory: per-design WAL + snapshots (empty = in-memory only)")
+		snapEvery   = flag.Int("snapshot-every", defaultSnapEvery, "WAL edits that trigger an automatic design snapshot")
+		snapEach    = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshotter cadence (0 disables the timer)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv := newServer(rcdelay.NewBatchEngine(rcdelay.BatchOptions{Workers: *workers, CacheSize: *cache}))
 	srv.logger = logger
-	srv.sessions = newSessionStore(*sessionTTL, *maxSessions)
-	srv.designs = newDesignStore(*sessionTTL, *maxSessions)
+	cfg := storeConfig{
+		ttl: *sessionTTL, max: *maxSessions,
+		shards: *shards, queue: *shardQueue,
+		editRate: *editRate, editBurst: *editBurst,
+	}
+	srv.sessions = newSessionStore(cfg)
+	srv.designs = newDesignStore(cfg)
 	srv.registerStoreGauges()
 	srv.maxBody = *maxBody
+	srv.snapEvery = *snapEvery
+	if *dataDir != "" {
+		if err := srv.openWAL(*dataDir); err != nil {
+			log.Fatalf("rcserve: open data dir: %v", err)
+		}
+		n, err := srv.recoverDesigns(context.Background())
+		if err != nil {
+			log.Fatalf("rcserve: recover designs: %v", err)
+		}
+		logger.Info("rcserve: recovered designs", "dataDir", *dataDir, "designs", n)
+	}
 	janitorStop := make(chan struct{})
 	go srv.sessions.janitor(janitorStop)
 	go srv.designs.janitor(janitorStop)
+	if srv.wal != nil && *snapEach > 0 {
+		go srv.snapshotter(*snapEach, janitorStop)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -164,6 +196,11 @@ func main() {
 		close(janitorStop)
 		srv.sessions.sweep()
 		srv.designs.sweep()
+		if n, err := srv.snapshotAll(); err != nil {
+			logger.Error("rcserve: final snapshot incomplete", "err", err)
+		} else if n > 0 {
+			logger.Info("rcserve: final snapshots written", "designs", n)
+		}
 		logger.Info("rcserve: drained")
 	}
 }
@@ -183,6 +220,14 @@ type server struct {
 	obs      *obs.Registry
 	logger   *slog.Logger
 	draining atomic.Bool
+
+	// Durability (nil wal = in-memory only, the default): per-design WAL +
+	// snapshots under -data-dir, replayed at boot and lazily on store miss.
+	wal       *wal.Store
+	snapEvery int
+	// recovering serializes lazy per-id recovery so two concurrent misses
+	// for the same evicted design rebuild it once.
+	recovering sync.Mutex
 }
 
 // requestMeta is mutated by the per-route registration wrapper and read by
@@ -206,14 +251,15 @@ func (s *server) handle(pattern string, h http.HandlerFunc) {
 
 func newServer(engine *rcdelay.BatchEngine) *server {
 	s := &server{
-		engine:   engine,
-		sessions: newSessionStore(0, 0), // zero values select the defaults
-		designs:  newDesignStore(0, 0),
-		maxBody:  defaultMaxBody,
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
-		obs:      obs.NewRegistry(),
-		logger:   slog.Default(),
+		engine:    engine,
+		sessions:  newSessionStore(storeConfig{}), // zero config selects the defaults
+		designs:   newDesignStore(storeConfig{}),
+		maxBody:   defaultMaxBody,
+		snapEvery: defaultSnapEvery,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		obs:       obs.NewRegistry(),
+		logger:    slog.Default(),
 	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /readyz", s.handleReadyz)
@@ -315,6 +361,25 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 // end to end; plain-text errors are awkward for interactive clients).
 func httpError(w http.ResponseWriter, msg string, status int) {
 	writeJSON(w, status, map[string]any{"error": msg})
+}
+
+// rateLimited answers 429 with a Retry-After hint — the backpressure signal
+// for both the per-session edit-rate limit and a full shard queue.
+func rateLimited(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": msg})
+}
+
+// admitOr429 takes an admission token from id's shard queue, answering 429
+// when the shard is already at its in-flight depth. The returned func gives
+// the token back; call it when the request is done.
+func admitOr429[T any](w http.ResponseWriter, st *ttlStore[T], id string) (func(), bool) {
+	done, ok := st.admit(id)
+	if !ok {
+		rateLimited(w, "shard admission queue full")
+		return nil, false
+	}
+	return done, true
 }
 
 // badRequestStatus maps oversized bodies to 413 and everything else a JSON

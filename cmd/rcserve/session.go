@@ -2,12 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
-	"time"
 
 	rcdelay "repro"
 )
@@ -26,8 +27,8 @@ type session struct {
 // sessionStore owns the live sessions.
 type sessionStore = ttlStore[*session]
 
-func newSessionStore(ttl time.Duration, max int) *sessionStore {
-	return newTTLStore[*session](ttl, max)
+func newSessionStore(cfg storeConfig) *sessionStore {
+	return newTTLStore[*session](cfg)
 }
 
 // --- HTTP surface -----------------------------------------------------------
@@ -101,6 +102,7 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ent := s.sessions.create(&session{et: rcdelay.NewEditTree(tree)})
+	defer s.sessions.release(ent)
 	writeJSON(w, http.StatusCreated, s.sessionInfo(ent))
 }
 
@@ -120,6 +122,9 @@ func (s *server) sessionInfo(ent *entry[*session]) sessionInfoJSON {
 	return info
 }
 
+// lookupSession resolves the path id to a pinned entry — the pin keeps TTL
+// and LRU eviction away from the session while the handler works on it; the
+// caller must release it.
 func (s *server) lookupSession(w http.ResponseWriter, r *http.Request) (*entry[*session], bool) {
 	ent, ok := s.sessions.get(r.PathValue("id"))
 	if !ok {
@@ -132,6 +137,7 @@ func (s *server) lookupSession(w http.ResponseWriter, r *http.Request) (*entry[*
 func (s *server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_session_requests_total", 1)
 	if ent, ok := s.lookupSession(w, r); ok {
+		defer s.sessions.release(ent)
 		writeJSON(w, http.StatusOK, s.sessionInfo(ent))
 	}
 }
@@ -153,10 +159,16 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 // interactive clients get edit→times in one round trip.
 func (s *server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_session_requests_total", 1)
+	done, ok := admitOr429(w, s.sessions, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	defer done()
 	ent, ok := s.lookupSession(w, r)
 	if !ok {
 		return
 	}
+	defer s.sessions.release(ent)
 	sess := ent.val
 	var req editRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
@@ -167,6 +179,10 @@ func (s *server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(req.Edits) == 0 {
 		httpError(w, "edit request carries no edits", http.StatusUnprocessableEntity)
+		return
+	}
+	if !s.sessions.allowEdits(ent, len(req.Edits)) {
+		rateLimited(w, "session edit rate limit exceeded")
 		return
 	}
 	sess.mu.Lock()
@@ -378,16 +394,17 @@ func (s *server) handleSessionBounds(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	defer s.sessions.release(ent)
 	sess := ent.val
 	q := r.URL.Query()
 	thresholds, err := parseFloats(q.Get("thresholds"))
 	if err != nil {
-		httpError(w, fmt.Sprintf("thresholds: %v", err), http.StatusBadRequest)
+		httpError(w, fmt.Sprintf("thresholds: %v", err), floatsStatus(err))
 		return
 	}
 	times, err := parseFloats(q.Get("times"))
 	if err != nil {
-		httpError(w, fmt.Sprintf("times: %v", err), http.StatusBadRequest)
+		httpError(w, fmt.Sprintf("times: %v", err), floatsStatus(err))
 		return
 	}
 	sess.mu.Lock()
@@ -430,6 +447,21 @@ func (s *server) handleSessionBounds(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// errNonFinite marks query numbers that parse but are NaN/Inf — legal
+// float64 syntax, meaningless as thresholds or times, and rejected
+// everywhere else (netlist.ParseValue) — so the handler can answer 422
+// (understood but unprocessable) instead of 400.
+var errNonFinite = errors.New("non-finite value")
+
+// floatsStatus maps a parseFloats error to its HTTP status: 422 for
+// non-finite values, 400 for syntax the parser could not read at all.
+func floatsStatus(err error) int {
+	if errors.Is(err, errNonFinite) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
 func parseFloats(csv string) ([]float64, error) {
 	if strings.TrimSpace(csv) == "" {
 		return nil, nil
@@ -439,7 +471,15 @@ func parseFloats(csv string) ([]float64, error) {
 	for _, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
+			// Overflow is valid syntax whose value is ±Inf — the same
+			// non-finite rejection as a literal Inf, not a 400.
+			if errors.Is(err, strconv.ErrRange) {
+				return nil, fmt.Errorf("%w %q", errNonFinite, strings.TrimSpace(p))
+			}
 			return nil, fmt.Errorf("bad number %q", p)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w %q", errNonFinite, strings.TrimSpace(p))
 		}
 		out = append(out, v)
 	}

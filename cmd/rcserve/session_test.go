@@ -293,23 +293,30 @@ func TestSessionTTLAndEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	now := time.Unix(1000, 0)
-	st := newSessionStore(time.Minute, 2)
+	st := newSessionStore(storeConfig{ttl: time.Minute, max: 2})
 	st.now = func() time.Time { return now }
 
 	a := st.create(&session{et: rcdelay.NewEditTree(tree)})
+	st.release(a)
 	now = now.Add(30 * time.Second)
 	b := st.create(&session{et: rcdelay.NewEditTree(tree)})
+	st.release(b)
 	now = now.Add(time.Second)
-	if _, ok := st.get(a.id); !ok { // touches a: b is now the LRU entry
+	if ent, ok := st.get(a.id); !ok { // touches a: b is now the LRU entry
 		t.Fatal("session a should be alive")
+	} else {
+		st.release(ent)
 	}
 	// a was just touched; c's creation must evict the LRU entry, b.
 	c := st.create(&session{et: rcdelay.NewEditTree(tree)})
+	st.release(c)
 	if _, ok := st.get(b.id); ok {
 		t.Error("LRU session b should have been evicted at capacity")
 	}
-	if _, ok := st.get(c.id); !ok {
+	if ent, ok := st.get(c.id); !ok {
 		t.Error("session c should be alive")
+	} else {
+		st.release(ent)
 	}
 	// Idle past the TTL expires on access...
 	now = now.Add(2 * time.Minute)

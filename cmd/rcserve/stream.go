@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sync"
 
 	rcdelay "repro"
 )
@@ -55,21 +56,28 @@ func finitePtr(v float64) *float64 {
 }
 
 // sseWriter frames Server-Sent Events and flushes each one immediately so
-// the client sees moves as they are accepted, not when the run ends.
+// the client sees moves as they are accepted, not when the run ends. The
+// mutex serializes frames: the engine's Progress callback may fire from a
+// worker goroutine while the handler goroutine writes its own events, and
+// http.ResponseWriter promises nothing about concurrent writers — without
+// the lock, frames interleave mid-line.
 type sseWriter struct {
-	w http.ResponseWriter
-	f http.Flusher
+	mu sync.Mutex
+	w  http.ResponseWriter
+	f  http.Flusher
 }
 
 // event writes one named SSE frame with a JSON data line. Marshal errors
 // are impossible by construction of the payload types; a frame the client
 // has stopped reading surfaces as a write error the handler ignores (the
 // request context carries the authoritative disconnect signal).
-func (s sseWriter) event(name string, payload any) {
+func (s *sseWriter) event(name string, payload any) {
 	data, err := json.Marshal(payload)
 	if err != nil {
 		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", name, data)
 	s.f.Flush()
 }
@@ -88,7 +96,7 @@ func (s *server) streamDesignClose(w http.ResponseWriter, r *http.Request, ent *
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
 	w.WriteHeader(http.StatusOK)
-	sse := sseWriter{w: w, f: flusher}
+	sse := &sseWriter{w: w, f: flusher}
 
 	ds := ent.val
 	ds.mu.Lock()
@@ -106,8 +114,10 @@ func (s *server) streamDesignClose(w http.ResponseWriter, r *http.Request, ent *
 			sse.event("move", ev)
 		},
 	})
+	var walErr error
 	if report != nil {
 		ds.edits += len(report.Edits)
+		walErr = s.walAppend(ds, report.Edits)
 	}
 	gen := ds.sess.Gen()
 	ds.mu.Unlock()
@@ -115,6 +125,9 @@ func (s *server) streamDesignClose(w http.ResponseWriter, r *http.Request, ent *
 	done := closeDoneEvent{ID: ent.id, Gen: gen}
 	if err != nil {
 		done.Error = err.Error()
+	}
+	if walErr != nil {
+		done.Error = fmt.Sprintf("durability write failed: %v", walErr)
 	}
 	if report != nil {
 		s.count("rcserve_closure_moves_total", int64(len(report.Moves)))

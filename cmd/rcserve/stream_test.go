@@ -1,0 +1,71 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestSSEWriterConcurrentEvents is the regression test for the unsynchronized
+// sseWriter: the closure engine's Progress callback fires from worker
+// goroutines while the handler goroutine writes its own frames, and the old
+// writer let them interleave mid-line (and race on the ResponseWriter). Under
+// -race the unguarded version fails here; the frame check below catches the
+// interleaving even without the detector.
+func TestSSEWriterConcurrentEvents(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sse := &sseWriter{w: rec, f: rec}
+
+	const writers, events = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				sse.event("move", map[string]int{"writer": w, "seq": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	frames := strings.Split(strings.TrimSuffix(rec.Body.String(), "\n\n"), "\n\n")
+	if len(frames) != writers*events {
+		t.Fatalf("got %d frames, want %d", len(frames), writers*events)
+	}
+	for i, frame := range frames {
+		lines := strings.Split(frame, "\n")
+		if len(lines) != 2 || !strings.HasPrefix(lines[0], "event: move") ||
+			!strings.HasPrefix(lines[1], `data: {"seq":`) {
+			t.Fatalf("frame %d interleaved or malformed:\n%s", i, frame)
+		}
+	}
+}
+
+// TestBoundsRejectsNonFinite: NaN/Inf parse as float64 but are meaningless
+// as thresholds or times; the handler must answer 422, not accept them (the
+// old parseFloats let NaN through into the bound tables) and not 400 (the
+// number was syntactically fine).
+func TestBoundsRejectsNonFinite(t *testing.T) {
+	_, ts := testServer(t)
+	id := openSession(t, ts, fig7Deck)
+
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"thresholds=NaN", http.StatusUnprocessableEntity},
+		{"thresholds=0.5,Inf", http.StatusUnprocessableEntity},
+		{"times=-Inf", http.StatusUnprocessableEntity},
+		{"times=1e309", http.StatusUnprocessableEntity}, // overflows to +Inf
+		{"thresholds=0.5&times=100", http.StatusOK},
+		{"thresholds=zorch", http.StatusBadRequest}, // not a number at all
+	} {
+		status, body := doJSON(t, http.MethodGet, ts.URL+"/session/"+id+"/bounds?"+tc.query, "")
+		if status != tc.want {
+			t.Errorf("bounds?%s = %d, want %d: %v", tc.query, status, tc.want, body)
+		}
+	}
+}

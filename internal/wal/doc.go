@@ -1,0 +1,19 @@
+// Package wal makes design-editing sessions durable: a per-design
+// write-ahead log of accepted ECO edits plus periodic snapshots of the
+// materialized design, so a process restart (or an eviction) replays
+// snapshot + log tail and recovers the session bit-for-bit.
+//
+// The ECO edit-list grammar (timing.ParseEdits/FormatEdits) is already a
+// replayable, human-auditable log format — every accepted edit appends as
+// one text line, fsynced before the client sees its response. Snapshots
+// rotate by sequence number (snap.<N>.ckt + wal.<N>.log) instead of
+// truncating in place: a crash at any instant leaves at least one complete
+// snapshot/log pair, and recovery picks the newest. A torn final log line —
+// the signature of a crash mid-append — is detected and dropped; any other
+// malformed line is corruption and fails recovery loudly.
+//
+// The recovery invariant, pinned by the package's property test: for any
+// edit sequence and any snapshot schedule, parsing the snapshot, mounting a
+// fresh session and replaying the log tail reproduces the live session's
+// every net bound, arrival and slack to 1e-9.
+package wal

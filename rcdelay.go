@@ -56,6 +56,7 @@ import (
 	"repro/internal/rctree"
 	"repro/internal/sim"
 	"repro/internal/timing"
+	"repro/internal/wal"
 )
 
 // Core re-exported types. These are aliases, so values flow freely between
@@ -321,6 +322,29 @@ func FormatEcoEdits(edits []DesignEdit) string { return timing.FormatEdits(edits
 func NewEcoReport(before, after *DesignReport, res DesignApplyResult) *EcoReport {
 	return timing.NewEcoReport(before, after, res)
 }
+
+// Durability types, re-exported from the internal WAL engine. A WALStore
+// persists design sessions as snapshot decks plus per-design logs of
+// accepted ECO edits (in the FormatEcoEdits grammar, fsynced per append);
+// recovery parses the newest snapshot and replays the log tail through
+// NewDesignSession + Apply, reproducing the live session's every bound to
+// 1e-9 (the internal property test pins this). cmd/rcserve's -data-dir flag
+// is the serving form.
+type (
+	// WALStore is a directory of per-design durability state.
+	WALStore = wal.Store
+	// WALLog is one design's open write-ahead log; Append logs accepted
+	// edits, Rotate folds them into a fresh snapshot.
+	WALLog = wal.Log
+	// WALMeta carries the analysis options a recovery remounts with.
+	WALMeta = wal.Meta
+	// WALRecovered is a recovery's result: snapshot deck, replayable edit
+	// tail, and how many torn trailing bytes a crash left behind.
+	WALRecovered = wal.Recovered
+)
+
+// OpenWAL mounts (creating if needed) a durability directory.
+func OpenWAL(dir string) (*WALStore, error) { return wal.Open(dir) }
 
 // Timing-closure types, re-exported from the internal engine.
 type (

@@ -7,6 +7,9 @@
 #                           propagation kernel under its three schedules,
 #                           full-reanalyze vs dirty-cone ECO re-timing, and
 #                           sequential vs concurrent closure-trial evaluation
+#   BENCH_serve.json        rcserve under rcload: per-operation p50/p99 at
+#                           two concurrency levels plus kill -9 recovery
+#                           timing (via scripts/serve_smoke.sh)
 #
 # The timing suite runs twice — once pinned to GOMAXPROCS=1 and once on all
 # cores (the second run is skipped on a single-core machine) — and every
@@ -135,3 +138,7 @@ END {
 }' > BENCH_timing.json
 echo "wrote BENCH_timing.json:"
 cat BENCH_timing.json
+
+# Serve suite: rcserve driven by rcload at two concurrency levels, then
+# killed -9 and restarted to time WAL recovery. Writes BENCH_serve.json.
+sh scripts/serve_smoke.sh
