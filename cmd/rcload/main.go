@@ -36,6 +36,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/stats"
 )
 
 type config struct {
@@ -208,17 +210,12 @@ func (l *latencies) stats() opStats {
 	return s
 }
 
-// percentile reads the p-th percentile from an ascending-sorted slice
-// (nearest-rank).
+// percentile reads the p-th percentile from an ascending-sorted slice under
+// the repo-wide convention (internal/stats: R-7 linear interpolation), so
+// rcload's latency quantiles compare directly with the server's histogram
+// snapshots and mc/mcd's distribution reports.
 func percentile(sorted []float64, p float64) float64 {
-	idx := int(math.Ceil(p/100*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return stats.Percentile(sorted, p)
 }
 
 // --- load mode --------------------------------------------------------------

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -215,12 +216,14 @@ func TestRunWait(t *testing.T) {
 }
 
 func TestPercentile(t *testing.T) {
+	// The shared internal/stats convention (R-7 linear interpolation), not
+	// the old nearest-rank: p50 of 1..10 interpolates to 5.5, p99 to 9.91.
 	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	if got := percentile(sorted, 50); got != 5 {
-		t.Errorf("p50 = %g, want 5", got)
+	if got := percentile(sorted, 50); got != 5.5 {
+		t.Errorf("p50 = %g, want 5.5", got)
 	}
-	if got := percentile(sorted, 99); got != 10 {
-		t.Errorf("p99 = %g, want 10", got)
+	if got := percentile(sorted, 99); math.Abs(got-9.91) > 1e-12 {
+		t.Errorf("p99 = %g, want 9.91", got)
 	}
 	if got := percentile([]float64{7}, 99); got != 7 {
 		t.Errorf("p99 of singleton = %g, want 7", got)

@@ -356,6 +356,83 @@ func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
+// designCornersRequest is the POST /design/{id}/corners body: the variation
+// knobs. All fields are optional — an empty body sweeps the default
+// slow/typ/fast corners with no per-net derating (a pure corner sweep) and
+// the engine's default sample count; rSigma/cSigma switch on Gaussian
+// per-net derating. The analysis threshold and default required time are the
+// session's own, so the nominal typ corner agrees with GET /design/{id}/slack.
+type designCornersRequest struct {
+	Samples    int              `json:"samples,omitempty"`
+	Seed       int64            `json:"seed,omitempty"`
+	RSigma     float64          `json:"rSigma,omitempty"`
+	CSigma     float64          `json:"cSigma,omitempty"`
+	Corners    []rcdelay.Corner `json:"corners,omitempty"`
+	Sequential bool             `json:"sequential,omitempty"`
+}
+
+// designCornersResponse answers with the multi-corner variation report for
+// the session's current (post-edit) design state, tagged with the generation
+// it was computed at.
+type designCornersResponse struct {
+	ID     string                `json:"id"`
+	Gen    uint64                `json:"gen"`
+	Report *rcdelay.CornerReport `json:"report"`
+}
+
+// handleDesignCorners runs the multi-corner Monte Carlo sweep on the live
+// session's current design. The design is materialized under the session
+// lock (a consistent snapshot at one generation), then the sweep — the
+// expensive part — runs outside it, so edits are not blocked behind a long
+// variation analysis.
+func (s *server) handleDesignCorners(w http.ResponseWriter, r *http.Request) {
+	s.count("rcserve_design_requests_total", 1)
+	s.count("rcserve_corner_requests_total", 1)
+	done, ok := admitOr429(w, s.designs, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	defer done()
+	ent, ok := s.lookupDesign(w, r)
+	if !ok {
+		return
+	}
+	defer s.designs.release(ent)
+	var req designCornersRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil && err != io.EOF {
+		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		return
+	}
+	ds := ent.val
+	ds.mu.Lock()
+	design, derr := ds.sess.Design()
+	gen := ds.sess.Gen()
+	threshold := ds.sess.Threshold()
+	required := ds.sess.Required()
+	ds.mu.Unlock()
+	if derr != nil {
+		httpError(w, derr.Error(), http.StatusInternalServerError)
+		return
+	}
+	report, err := rcdelay.AnalyzeCorners(r.Context(), design, rcdelay.CornerOptions{
+		Corners:    req.Corners,
+		Samples:    req.Samples,
+		Seed:       req.Seed,
+		Variation:  rcdelay.CornerVariation{RSigma: req.RSigma, CSigma: req.CSigma},
+		Threshold:  threshold,
+		Required:   required,
+		Sequential: req.Sequential,
+		Obs:        s.obs,
+	})
+	if err != nil {
+		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, http.StatusOK, designCornersResponse{ID: ent.id, Gen: gen, Report: report})
+}
+
 func (s *server) handleDesignDelete(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_design_requests_total", 1)
 	id := r.PathValue("id")

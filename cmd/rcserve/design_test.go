@@ -545,3 +545,111 @@ func TestDesignClose(t *testing.T) {
 		t.Errorf("close malformed = %d", w.Code)
 	}
 }
+
+func TestDesignCorners(t *testing.T) {
+	srv := designServer()
+	body, _ := json.Marshal(map[string]any{"design": chipDeck, "threshold": 0.7})
+	code, created := postDesign(t, srv, string(body))
+	if code != http.StatusCreated {
+		t.Fatalf("POST /design = %d: %v", code, created)
+	}
+	id := created["id"].(string)
+	typWNS := created["wns"].(float64)
+
+	post := func(body string) (int, string) {
+		req := httptest.NewRequest(http.MethodPost, "/design/"+id+"/corners", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		return w.Code, w.Body.String()
+	}
+	code, raw := post(`{"samples": 16, "seed": 3, "rSigma": 0.05, "cSigma": 0.05}`)
+	if code != http.StatusOK {
+		t.Fatalf("POST corners = %d: %s", code, raw)
+	}
+	var resp struct {
+		ID     string `json:"id"`
+		Gen    uint64 `json:"gen"`
+		Report struct {
+			Samples     int    `json:"samples"`
+			WorstCorner string `json:"worstCorner"`
+			Corners     []struct {
+				Corner struct {
+					Name string `json:"name"`
+				} `json:"corner"`
+				NominalWNS float64 `json:"nominalWns"`
+				Endpoints  []struct {
+					Net         string  `json:"net"`
+					Criticality float64 `json:"criticality"`
+					Slack       *struct {
+						Mean float64 `json:"mean"`
+						Std  float64 `json:"std"`
+					} `json:"slack"`
+				} `json:"endpoints"`
+			} `json:"corners"`
+		} `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(raw), &resp); err != nil {
+		t.Fatalf("bad corners JSON: %v\n%s", err, raw)
+	}
+	if resp.ID != id || resp.Report.Samples != 16 || len(resp.Report.Corners) != 3 {
+		t.Fatalf("corners envelope = %s", raw)
+	}
+	if resp.Report.WorstCorner != "slow" {
+		t.Errorf("worst corner = %q, want slow", resp.Report.WorstCorner)
+	}
+	// The typ corner's nominal WNS is the session's own analysis: same
+	// threshold, same required times, no derating.
+	var typ *float64
+	for i := range resp.Report.Corners {
+		if resp.Report.Corners[i].Corner.Name == "typ" {
+			typ = &resp.Report.Corners[i].NominalWNS
+		}
+	}
+	if typ == nil || *typ != typWNS {
+		t.Errorf("typ nominal WNS = %v, session reports %g", typ, typWNS)
+	}
+
+	// Same request, same answer: the sweep is deterministic in the seed.
+	if _, again := post(`{"samples": 16, "seed": 3, "rSigma": 0.05, "cSigma": 0.05}`); again != raw {
+		t.Error("identical corners requests disagreed")
+	}
+
+	// An empty body is a pure corner sweep: zero spread in every endpoint.
+	code, raw = post("")
+	if code != http.StatusOK {
+		t.Fatalf("POST corners (empty) = %d: %s", code, raw)
+	}
+	var pure map[string]any
+	if err := json.Unmarshal([]byte(raw), &pure); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range pure["report"].(map[string]any)["corners"].([]any) {
+		for _, e := range c.(map[string]any)["endpoints"].([]any) {
+			ep := e.(map[string]any)
+			if s, ok := ep["slack"].(map[string]any); ok && s["std"].(float64) != 0 {
+				t.Errorf("pure corner sweep has nonzero slack spread: %v", ep)
+			}
+		}
+	}
+
+	if got := srv.obs.Counter("rcserve_corner_requests_total").Value(); got != 3 {
+		t.Errorf("cornerReqs = %d, want 3", got)
+	}
+
+	// Bad requests: invalid knobs are 422, malformed bodies 400, unknown ids 404.
+	if code, msg := post(`{"samples": -4}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("negative samples = %d: %s", code, msg)
+	}
+	if code, msg := post(`{"corners": [{"name": "zero", "rScale": 0, "cScale": 1}]}`); code != http.StatusUnprocessableEntity {
+		t.Errorf("zero corner scale = %d: %s", code, msg)
+	}
+	if code, msg := post(`{"bogus": 1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field = %d: %s", code, msg)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/design/nope/corners", strings.NewReader(""))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Errorf("unknown id = %d", w.Code)
+	}
+}

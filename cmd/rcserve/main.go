@@ -274,6 +274,7 @@ func newServer(engine *rcdelay.BatchEngine) *server {
 	s.handle("POST /design", s.handleDesignCreate)
 	s.handle("POST /design/{id}/edit", s.handleDesignEdit)
 	s.handle("POST /design/{id}/close", s.handleDesignClose)
+	s.handle("POST /design/{id}/corners", s.handleDesignCorners)
 	s.handle("GET /design/{id}/slack", s.handleDesignSlack)
 	s.handle("GET /design/{id}", s.handleDesignInfo)
 	s.handle("DELETE /design/{id}", s.handleDesignDelete)

@@ -70,6 +70,19 @@ func TestGoldenCloseReports(t *testing.T) {
 	}
 }
 
+func TestGoldenCornerReports(t *testing.T) {
+	for _, format := range []string{"text", "csv", "json"} {
+		t.Run(format, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := runCorners(&buf, []string{filepath.Join("testdata", "fail.ckt")}, 0.7, "", format,
+				32, 1, 0.05, 0.05); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "corners_"+format+".golden", buf.Bytes())
+		})
+	}
+}
+
 func TestGoldenEcoReports(t *testing.T) {
 	for _, format := range []string{"text", "csv", "json"} {
 		t.Run(format, func(t *testing.T) {

@@ -10,6 +10,7 @@
 //	statime -eco fix.eco -threshold 0.7 chip.ckt
 //	statime -close -budget 16 -threshold 0.7 chip.ckt
 //	statime -close -progress -threshold 0.7 chip.ckt
+//	statime -corners -samples 128 -rsigma 0.05 -csigma 0.05 -threshold 0.7 chip.ckt
 //
 // The default mode times each file as an independent net against the
 // deadline. With -design, the single input file is a multi-net design deck
@@ -38,6 +39,14 @@
 // visited. Adding -progress prints one line per accepted move to stderr as
 // the engine lands it, so a long repair is watchable while stdout stays a
 // clean report.
+//
+// With -corners (which also implies -design), the multi-corner variation
+// engine sweeps the design across the slow/typ/fast process corners with
+// per-net Gaussian derating (-rsigma/-csigma relative spreads, -samples Monte
+// Carlo draws per corner, -seed for reproducibility). Each sample is an
+// in-place rescale of the flat timing arena — no per-sample netlist rebuild —
+// and the report carries, per corner, nominal and sampled WNS/TNS,
+// per-endpoint slack distributions, and criticality probability.
 //
 // The deadline accepts SPICE suffixes (2n = 2e-9) and is interpreted in the
 // same units as the netlists' element products.
@@ -69,12 +78,21 @@ func main() {
 		maxCost   = flag.Float64("maxcost", 0, "closure cost ceiling with -close (0 = unlimited)")
 		k         = flag.Int("k", 3, "critical paths to report in -design mode")
 		progress  = flag.Bool("progress", false, "with -close, print each accepted move to stderr as it lands")
+		corners   = flag.Bool("corners", false, "run the multi-corner variation sweep on the design (implies -design)")
+		samples   = flag.Int("samples", 0, "Monte Carlo samples per corner with -corners (0 = the engine default)")
+		seed      = flag.Int64("seed", 1, "random seed for the -corners factor draws")
+		rsigma    = flag.Float64("rsigma", 0.05, "per-net relative 1-sigma resistance spread with -corners")
+		csigma    = flag.Float64("csigma", 0.05, "per-net relative 1-sigma capacitance spread with -corners")
 	)
 	flag.Parse()
 	var err error
 	switch {
 	case *eco != "" && *doClose:
 		err = fmt.Errorf("-eco and -close are mutually exclusive: replay an existing edit list or synthesize a new one, not both")
+	case *corners && (*eco != "" || *doClose):
+		err = fmt.Errorf("-corners is a reporting mode and cannot be combined with -eco or -close")
+	case *corners:
+		err = runCorners(os.Stdout, flag.Args(), *threshold, *deadline, *format, *samples, *seed, *rsigma, *csigma)
 	case *eco != "":
 		err = runEco(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k, *eco)
 	case *doClose:
@@ -185,6 +203,27 @@ func runDesign(w io.Writer, paths []string, threshold float64, deadlineStr, form
 		Threshold: threshold,
 		Required:  required,
 		K:         k,
+	})
+	if err != nil {
+		return err
+	}
+	return writeReport(w, format, report)
+}
+
+// runCorners is the -corners mode: sweep the design across the default
+// slow/typ/fast process corners with per-net Gaussian derating and report
+// the per-endpoint slack distributions and criticality.
+func runCorners(w io.Writer, paths []string, threshold float64, deadlineStr, format string, samples int, seed int64, rsigma, csigma float64) error {
+	design, required, err := loadDesign("-corners", paths, deadlineStr)
+	if err != nil {
+		return err
+	}
+	report, err := rcdelay.AnalyzeCorners(context.Background(), design, rcdelay.CornerOptions{
+		Samples:   samples,
+		Seed:      seed,
+		Variation: rcdelay.CornerVariation{RSigma: rsigma, CSigma: csigma},
+		Threshold: threshold,
+		Required:  required,
 	})
 	if err != nil {
 		return err

@@ -2,6 +2,7 @@ package closure
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
 	"runtime"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/incr"
+	"repro/internal/mcd"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/opt"
@@ -57,6 +59,34 @@ type Options struct {
 	// and statime's -progress flag hang off. A slow callback slows the run;
 	// it must not call back into the session.
 	Progress func(ProgressEvent)
+	// Corners, when non-empty, makes the run corner-aware: each corner
+	// mounts a shadow session on the elementwise-scaled design, every
+	// candidate move is trialed at every corner (with its R/C edit values
+	// scaled by the corner factors, preserving the scaled-design invariant),
+	// moves that regress any corner's WNS are vetoed even when they improve
+	// the typical corner, gains are scored at the currently-worst corner,
+	// and the run only closes once every corner meets timing. A corner with
+	// scales (1, 1) is the main session itself and is skipped.
+	Corners []mcd.Corner
+}
+
+// CornerStatus is one swept corner's before/after in a corner-aware run.
+type CornerStatus struct {
+	Name       string  `json:"name"`
+	RScale     float64 `json:"rScale"`
+	CScale     float64 `json:"cScale"`
+	InitialWNS float64 `json:"-"`
+	FinalWNS   float64 `json:"-"`
+}
+
+// MarshalJSON renders the WNS fields with +Inf omitted (wire convention).
+func (c CornerStatus) MarshalJSON() ([]byte, error) {
+	type plain CornerStatus
+	return json.Marshal(struct {
+		plain
+		InitialWNS *float64 `json:"initialWns,omitempty"`
+		FinalWNS   *float64 `json:"finalWns,omitempty"`
+	}{plain(c), finitePtr(c.InitialWNS), finitePtr(c.FinalWNS)})
 }
 
 // ProgressEvent is one accepted move as seen by Options.Progress: the move,
@@ -170,6 +200,12 @@ type Report struct {
 	// FormatEdits of this list replayed against the original design
 	// reproduces FinalWNS/FinalTNS.
 	Edits []timing.Edit
+	// Corners records each swept corner's WNS before and after the run
+	// (empty unless Options.Corners was set). CornerVetoes counts candidate
+	// moves rejected solely because they regressed a corner's WNS while not
+	// regressing the typical one.
+	Corners      []CornerStatus
+	CornerVetoes int
 }
 
 // Close runs the repair loop against an existing session. The session is
@@ -204,6 +240,94 @@ type engine struct {
 	opt     Options
 	rep     *Report
 	visited []ParetoPoint // every trial state, raw (pre-frontier)
+	corners []*cornerState
+}
+
+// cornerState is one swept corner's shadow session and its running WNS/TNS.
+type cornerState struct {
+	c        mcd.Corner
+	sess     *timing.Session
+	wns, tns float64
+}
+
+// mountCorners builds a shadow session per non-typical corner on the
+// elementwise-scaled materialization of the current design. Scaling every R
+// by RScale and every C by CScale commutes with the session's edit algebra
+// as long as edit R/C values are scaled the same way (scaleEdits), so each
+// shadow stays exactly the corner view of the main session.
+func (e *engine) mountCorners(ctx context.Context) error {
+	if len(e.opt.Corners) == 0 {
+		return nil
+	}
+	var d *netlist.Design
+	for _, c := range e.opt.Corners {
+		if c.RScale <= 0 || c.CScale <= 0 {
+			return fmt.Errorf("closure: corner %q has non-positive scale", c.Name)
+		}
+		if c.RScale == 1 && c.CScale == 1 {
+			continue // the typical corner is the main session
+		}
+		if d == nil {
+			var err error
+			if d, err = e.sess.Design(); err != nil {
+				return fmt.Errorf("closure: materializing design for corners: %w", err)
+			}
+		}
+		rf := make([]float64, len(d.Nets))
+		cf := make([]float64, len(d.Nets))
+		for i := range rf {
+			rf[i], cf[i] = c.RScale, c.CScale
+		}
+		sd, err := mcd.ScaleDesign(d, rf, cf)
+		if err != nil {
+			return fmt.Errorf("closure: corner %q: %w", c.Name, err)
+		}
+		cs, err := timing.NewSession(ctx, sd, timing.Options{
+			Threshold: e.sess.Threshold(),
+			Required:  e.sess.Required(),
+			K:         -1,
+		})
+		if err != nil {
+			return fmt.Errorf("closure: corner %q: %w", c.Name, err)
+		}
+		rep := cs.EndpointTable()
+		e.corners = append(e.corners, &cornerState{c: c, sess: cs, wns: rep.WNS, tns: rep.TNS})
+		e.rep.Corners = append(e.rep.Corners, CornerStatus{
+			Name: c.Name, RScale: c.RScale, CScale: c.CScale,
+			InitialWNS: rep.WNS, FinalWNS: rep.WNS,
+		})
+	}
+	return nil
+}
+
+// scaleEdits maps a typical-corner edit list to a corner's value space:
+// absolute R values scale by RScale, absolute C values by CScale; relative
+// factors and structural edits carry over unchanged. This is exactly the
+// transformation that keeps the corner design an elementwise-scaled copy of
+// the typical one after the edits land on both.
+func scaleEdits(edits []timing.Edit, c mcd.Corner) []timing.Edit {
+	out := make([]timing.Edit, len(edits))
+	for i, ed := range edits {
+		if ed.R != nil {
+			ed.R = ptr(*ed.R * c.RScale)
+		}
+		if ed.C != nil {
+			ed.C = ptr(*ed.C * c.CScale)
+		}
+		out[i] = ed
+	}
+	return out
+}
+
+// worstWNS is the minimum WNS over the typical session and every corner.
+func (e *engine) worstWNS(typWNS float64) float64 {
+	w := typWNS
+	for _, cs := range e.corners {
+		if cs.wns < w {
+			w = cs.wns
+		}
+	}
+	return w
 }
 
 func (e *engine) run(ctx context.Context) (*Report, error) {
@@ -220,7 +344,10 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 	}
 	e.visited = append(e.visited, ParetoPoint{0, base.WNS})
 	wns, tns := base.WNS, base.TNS
-	if wns >= 0 {
+	if err := e.mountCorners(ctx); err != nil {
+		return nil, err
+	}
+	if e.worstWNS(wns) >= 0 {
 		e.rep.Closed = true
 		e.rep.Reason = "no failing endpoints"
 		e.rep.Pareto = frontier(e.visited)
@@ -240,7 +367,19 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 			e.rep.Reason = "move budget exhausted"
 			break
 		}
-		cands, costFiltered := e.generate(base)
+		// Mine the typical corner's failing endpoints; when only a swept
+		// corner fails, mine that corner's table instead (net/output names are
+		// shared, so the main session's geometry generates the moves).
+		mine := base
+		if base.WNS >= 0 {
+			for _, cs := range e.corners {
+				if cs.wns < 0 {
+					mine = cs.sess.EndpointTable()
+					break
+				}
+			}
+		}
+		cands, costFiltered := e.generate(mine)
 		e.opt.Obs.Counter("closure_moves_generated_total").Add(int64(len(cands)))
 		if len(cands) == 0 {
 			if costFiltered {
@@ -251,16 +390,43 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 			break
 		}
 		results := e.evaluate(cands)
+		// Score gains at the currently-worst corner (the typical session
+		// counts as a corner here): closing the worst corner is what moves
+		// the design's certified figure.
+		worstIdx := -1 // -1: the typical session
+		curW, curT := wns, tns
+		for j, cs := range e.corners {
+			if cs.wns < curW {
+				worstIdx, curW, curT = j, cs.wns, cs.tns
+			}
+		}
 		best, bestScore := -1, 0.0
 		for i, tr := range results {
 			if tr.err != nil {
 				continue
 			}
 			e.visited = append(e.visited, ParetoPoint{e.rep.Cost + cands[i].Cost, tr.res.WNS})
-			if tr.res.WNS < wns { // never regress the worst slack
+			if tr.res.WNS < wns { // never regress the typical worst slack
 				continue
 			}
-			gain := (tr.res.WNS - wns) + tnsWeight*(tr.res.TNS-tns)
+			// Corner veto: a move that helps typ but regresses any swept
+			// corner's WNS trades certified margin for nominal margin — reject.
+			vetoed := false
+			for j, cs := range e.corners {
+				if tr.corner[j].WNS < cs.wns-1e-9 {
+					vetoed = true
+					break
+				}
+			}
+			if vetoed {
+				e.rep.CornerVetoes++
+				continue
+			}
+			newW, newT := tr.res.WNS, tr.res.TNS
+			if worstIdx >= 0 {
+				newW, newT = tr.corner[worstIdx].WNS, tr.corner[worstIdx].TNS
+			}
+			gain := (newW - curW) + tnsWeight*(newT-curT)
 			if gain <= 0 {
 				continue
 			}
@@ -279,8 +445,21 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 			// not a user input problem — surface it loudly.
 			return nil, fmt.Errorf("closure: accepted move failed on commit: %w", err)
 		}
-		gain := (res.WNS - wns) + tnsWeight*(res.TNS-tns)
+		prevW, prevT := curW, curT
+		for _, cs := range e.corners {
+			cres, err := cs.sess.Apply(scaleEdits(winner.Edits, cs.c))
+			if err != nil {
+				return nil, fmt.Errorf("closure: accepted move failed on corner %q: %w", cs.c.Name, err)
+			}
+			cs.wns, cs.tns = cres.WNS, cres.TNS
+		}
 		wns, tns = res.WNS, res.TNS
+		// Gain as scored: at the corner that was worst before the move.
+		newW, newT := wns, tns
+		if worstIdx >= 0 {
+			newW, newT = e.corners[worstIdx].wns, e.corners[worstIdx].tns
+		}
+		gain := (newW - prevW) + tnsWeight*(newT-prevT)
 		ok := 0
 		for _, tr := range results {
 			if tr.err == nil {
@@ -307,41 +486,71 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 			})
 		}
 		base = e.sess.EndpointTable()
-		if wns >= 0 {
+		if e.worstWNS(wns) >= 0 {
 			e.rep.Closed = true
 			e.rep.Reason = "met"
 			break
 		}
 	}
 	e.rep.FinalWNS, e.rep.FinalTNS = wns, tns
-	e.rep.Closed = wns >= 0
+	e.rep.Closed = e.worstWNS(wns) >= 0
+	for i, cs := range e.corners {
+		e.rep.Corners[i].FinalWNS = cs.wns
+	}
 	e.rep.Pareto = frontier(e.visited)
 	return e.rep, runErr
 }
 
-// trial is one candidate's what-if outcome.
+// trial is one candidate's what-if outcome: the typical-corner result plus,
+// in a corner-aware run, one result per swept corner (indexed like
+// engine.corners).
 type trial struct {
-	res timing.ApplyResult
-	err error
+	res    timing.ApplyResult
+	corner []timing.ApplyResult
+	err    error
 }
 
 // evaluate runs every candidate as an independent what-if trial on its own
-// session fork. Forks are taken sequentially (Fork mutates the parent's
+// session fork — plus one fork per swept corner, applying the corner-scaled
+// edit list. Forks are taken sequentially (Fork mutates the parent's
 // copy-on-write bookkeeping); the Applies fan across the worker pool. The
 // result slice is indexed like cands, so scheduling cannot reorder anything.
 func (e *engine) evaluate(cands []Move) []trial {
 	forks := make([]*timing.Session, len(cands))
+	cforks := make([][]*timing.Session, len(cands))
 	for i := range cands {
 		forks[i] = e.sess.Fork()
+		if len(e.corners) > 0 {
+			cforks[i] = make([]*timing.Session, len(e.corners))
+			for j, cs := range e.corners {
+				cforks[i][j] = cs.sess.Fork()
+			}
+		}
 	}
 	results := make([]trial, len(cands))
 	e.rep.Trials += len(cands)
-	e.opt.Obs.Counter("closure_forks_total").Add(int64(len(cands)))
+	nForks := len(cands) * (1 + len(e.corners))
+	e.opt.Obs.Counter("closure_forks_total").Add(int64(nForks))
 	e.opt.Obs.Counter("closure_trials_total").Add(int64(len(cands)))
+	runTrial := func(i int) {
+		res, err := forks[i].Apply(cands[i].Edits)
+		tr := trial{res: res, err: err}
+		if err == nil && len(e.corners) > 0 {
+			tr.corner = make([]timing.ApplyResult, len(e.corners))
+			for j, cs := range e.corners {
+				cres, cerr := cforks[i][j].Apply(scaleEdits(cands[i].Edits, cs.c))
+				if cerr != nil {
+					tr.err = cerr
+					break
+				}
+				tr.corner[j] = cres
+			}
+		}
+		results[i] = tr
+	}
 	if e.opt.Concurrency <= 1 || len(cands) == 1 {
-		for i, c := range cands {
-			res, err := forks[i].Apply(c.Edits)
-			results[i] = trial{res, err}
+		for i := range cands {
+			runTrial(i)
 		}
 		return results
 	}
@@ -352,8 +561,7 @@ func (e *engine) evaluate(cands []Move) []trial {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				res, err := forks[i].Apply(cands[i].Edits)
-				results[i] = trial{res, err}
+				runTrial(i)
 			}
 		}()
 	}

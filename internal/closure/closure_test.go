@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/mcd"
 	"repro/internal/netlist"
 	"repro/internal/randnet"
 	"repro/internal/timing"
@@ -382,5 +383,151 @@ func TestReportFormats(t *testing.T) {
 	}
 	if _, err := timing.ParseEdits(decoded.EditScript); err != nil {
 		t.Errorf("editScript does not reparse: %v", err)
+	}
+}
+
+// TestClosureCorners: a corner-aware run on the demo chip must (1) only
+// report closed when every swept corner meets timing, (2) keep each shadow
+// corner an exact elementwise-scaled view of the repaired design — verified
+// by replaying the corner-scaled edit list on an explicitly-scaled original
+// and re-analyzing from scratch — and (3) accept the same move sequence
+// concurrently as sequentially.
+func TestClosureCorners(t *testing.T) {
+	d := parseChip(t)
+	topt := timing.Options{Threshold: 0.7, Sequential: true}
+	base := Options{Timing: topt, MaxMoves: 64, Corners: mcd.DefaultCorners()}
+
+	seqOpt := base
+	seqOpt.Sequential = true
+	rep, err := CloseDesign(context.Background(), d, seqOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// typ has scales (1,1) and rides on the main session, so only slow and
+	// fast mount shadows.
+	if len(rep.Corners) != 2 {
+		t.Fatalf("corners = %+v, want slow and fast", rep.Corners)
+	}
+	if rep.Corners[0].Name != "slow" || rep.Corners[1].Name != "fast" {
+		t.Fatalf("corner order = %+v", rep.Corners)
+	}
+	// The slow corner starts strictly worse than typ.
+	if !(rep.Corners[0].InitialWNS < rep.InitialWNS) {
+		t.Errorf("slow corner initial WNS %g not worse than typ %g",
+			rep.Corners[0].InitialWNS, rep.InitialWNS)
+	}
+	if rep.Closed {
+		if rep.FinalWNS < 0 {
+			t.Errorf("closed with typ WNS %g", rep.FinalWNS)
+		}
+		for _, c := range rep.Corners {
+			if c.FinalWNS < 0 {
+				t.Errorf("closed with corner %s WNS %g", c.Name, c.FinalWNS)
+			}
+		}
+	} else if rep.FinalWNS >= 0 && rep.Corners[0].FinalWNS >= 0 && rep.Corners[1].FinalWNS >= 0 {
+		t.Error("all corners meet timing but the run is not closed")
+	}
+	// Scaled-edits invariant: replaying the corner-scaled edit list on an
+	// explicitly-scaled original design reproduces each corner's final WNS.
+	for i, c := range base.Corners {
+		if c.RScale == 1 && c.CScale == 1 {
+			continue
+		}
+		rf := make([]float64, len(d.Nets))
+		cf := make([]float64, len(d.Nets))
+		for j := range rf {
+			rf[j], cf[j] = c.RScale, c.CScale
+		}
+		sd, err := mcd.ScaleDesign(d, rf, cf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := timing.NewSession(context.Background(), sd, topt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Edits) > 0 {
+			if _, err := sess.Apply(scaleEdits(rep.Edits, c)); err != nil {
+				t.Fatalf("corner %s: scaled replay tripped a guard: %v", c.Name, err)
+			}
+		}
+		got := sess.EndpointTable().WNS
+		var want float64
+		switch c.Name {
+		case "slow":
+			want = rep.Corners[0].FinalWNS
+		case "fast":
+			want = rep.Corners[1].FinalWNS
+		}
+		if !closeEnough(got, want) {
+			t.Errorf("corner %s (idx %d): scaled replay WNS %g, engine claimed %g", c.Name, i, got, want)
+		}
+	}
+	// Determinism with corners: concurrent trials accept the same sequence.
+	concOpt := base
+	concOpt.Concurrency = 4
+	conc, err := CloseDesign(context.Background(), d, concOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.FormatEdits(rep.Edits) != timing.FormatEdits(conc.Edits) {
+		t.Fatalf("concurrent corner run accepted different edits:\n%s\nvs\n%s",
+			timing.FormatEdits(rep.Edits), timing.FormatEdits(conc.Edits))
+	}
+	if rep.FinalWNS != conc.FinalWNS || rep.CornerVetoes != conc.CornerVetoes {
+		t.Errorf("concurrent corner run diverged: WNS %g/%g vetoes %d/%d",
+			rep.FinalWNS, conc.FinalWNS, rep.CornerVetoes, conc.CornerVetoes)
+	}
+	for i := range rep.Corners {
+		if rep.Corners[i].FinalWNS != conc.Corners[i].FinalWNS {
+			t.Errorf("corner %s final WNS differs across concurrency", rep.Corners[i].Name)
+		}
+	}
+}
+
+// TestClosureCornersMineFromCorner: when the typical corner passes but the
+// slow corner fails, candidates must be mined from the failing corner's
+// endpoint table rather than stopping at "no candidates".
+func TestClosureCornersMineFromCorner(t *testing.T) {
+	// Relax the requires so typ passes but the +15% slow corner still fails.
+	d := parseChip(t)
+	probe, err := timing.Analyze(context.Background(), d, timing.Options{Threshold: 0.7, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set each require between the typ arrival and the slow-corner arrival
+	// (global scaling of R and C by 1.15 each scales arrivals by ~1.32).
+	byKey := map[[2]string]float64{}
+	for _, ep := range probe.Endpoints {
+		byKey[[2]string{ep.Net, ep.Output}] = ep.Arrival.Max
+	}
+	for i := range d.Requires {
+		arr := byKey[[2]string{d.Requires[i].Net, d.Requires[i].Output}]
+		d.Requires[i].Time = arr * 1.1 // typ meets with 10%; slow (+32%) fails
+	}
+	topt := timing.Options{Threshold: 0.7, Sequential: true}
+	rep, err := CloseDesign(context.Background(), d, Options{
+		Timing: topt, Sequential: true, MaxMoves: 64, Corners: mcd.DefaultCorners(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.InitialWNS < 0 {
+		t.Fatalf("typ should start passing, WNS %g", rep.InitialWNS)
+	}
+	if rep.Corners[0].InitialWNS >= 0 {
+		t.Fatalf("slow corner should start failing, WNS %g", rep.Corners[0].InitialWNS)
+	}
+	if len(rep.Moves) == 0 {
+		t.Fatalf("no moves accepted mining the slow corner: %+v", rep)
+	}
+	if rep.Corners[0].FinalWNS <= rep.Corners[0].InitialWNS {
+		t.Errorf("slow corner did not improve: %g -> %g",
+			rep.Corners[0].InitialWNS, rep.Corners[0].FinalWNS)
+	}
+	// The typical corner must never regress below zero while repairing slow.
+	if rep.FinalWNS < 0 {
+		t.Errorf("repairing the slow corner broke typ: WNS %g", rep.FinalWNS)
 	}
 }

@@ -36,8 +36,16 @@ func (r *Report) Summary() string {
 	}
 	fmt.Fprintf(&b, "closure %s: WNS %s -> %s   TNS %s -> %s   (%s)\n",
 		name, fmtG(r.InitialWNS), fmtG(r.FinalWNS), fmtG(r.InitialTNS), fmtG(r.FinalTNS), status)
-	fmt.Fprintf(&b, "%d moves, cost %s, %d trials, %d guided probes (%d EditTree edits)\n\n",
+	fmt.Fprintf(&b, "%d moves, cost %s, %d trials, %d guided probes (%d EditTree edits)\n",
 		len(r.Moves), fmtG(r.Cost), r.Trials, r.GuidedProbes, r.GuidedEdits)
+	if len(r.Corners) > 0 {
+		for _, c := range r.Corners {
+			fmt.Fprintf(&b, "corner %s (R x%g, C x%g): WNS %s -> %s\n",
+				c.Name, c.RScale, c.CScale, fmtG(c.InitialWNS), fmtG(c.FinalWNS))
+		}
+		fmt.Fprintf(&b, "%d corner vetoes\n", r.CornerVetoes)
+	}
+	b.WriteByte('\n')
 	if len(r.Moves) > 0 {
 		fmt.Fprintf(&b, "%3s %-14s %-10s %10s %10s %12s %12s %6s %s\n",
 			"#", "kind", "net", "cost", "cum.cost", "wns", "tns", "cand", "move")
@@ -125,6 +133,8 @@ type jsonReport struct {
 	GuidedEdits  int                   `json:"guidedEdits"`
 	Trajectory   []jsonTrajectoryPoint `json:"trajectory,omitempty"`
 	Pareto       []ParetoPoint         `json:"pareto,omitempty"`
+	Corners      []CornerStatus        `json:"corners,omitempty"`
+	CornerVetoes int                   `json:"cornerVetoes,omitempty"`
 	Edits        []timing.Edit         `json:"edits,omitempty"`
 	// EditScript is the accepted edit list in the statime -eco line grammar,
 	// ready to replay.
@@ -145,7 +155,8 @@ func (r *Report) wire() jsonReport {
 		FinalWNS: finitePtr(r.FinalWNS), FinalTNS: r.FinalTNS,
 		Closed: r.Closed, Reason: r.Reason, Cost: r.Cost,
 		Trials: r.Trials, GuidedProbes: r.GuidedProbes, GuidedEdits: r.GuidedEdits,
-		Pareto: r.Pareto, Edits: r.Edits,
+		Pareto: r.Pareto, Corners: r.Corners, CornerVetoes: r.CornerVetoes,
+		Edits: r.Edits,
 	}
 	for _, m := range r.Moves {
 		out.Trajectory = append(out.Trajectory, jsonTrajectoryPoint{

@@ -7,21 +7,29 @@
 // Because the Penfield–Rubinstein TMax is itself a guaranteed bound, the
 // high quantiles of TMax under variation give a *certified-under-variation*
 // delay figure — the corner-analysis workflow of the era, with statistics.
+//
+// This package works on single trees and rebuilds the tree per sample.
+// Design-level callers wanting the same analysis across a whole chip —
+// process corners, per-endpoint slack distributions, criticality
+// probability — should use internal/mcd, which sweeps the flat timing arena
+// in place instead of rebuilding trees and is orders of magnitude cheaper
+// per sample on large designs.
 package mc
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/rctree"
+	"repro/internal/stats"
 )
 
 // Variation describes independent relative 1-sigma spreads of every
-// resistance and capacitance. Values are clipped to stay positive (at 1% of
-// nominal), which matters only for sigmas far beyond fabrication reality.
+// resistance and capacitance. Gaussian factors are clipped to stay positive
+// (at 1% of nominal); every clipped draw is counted in Result.Clipped, since
+// clipping truncates the low tail and biases the mean and quantiles upward.
 type Variation struct {
 	RSigma, CSigma float64
 }
@@ -46,12 +54,21 @@ func ElmoreTD() Metric {
 }
 
 // Result summarizes the sampled metric.
+//
+// Clipped counts the individual Gaussian factor draws (across all samples and
+// all elements) that fell below the 0.01 positivity floor and were clipped to
+// it. Clipping truncates the low tail of the factor distribution, which
+// biases Mean and the quantiles upward relative to an unclipped Gaussian; at
+// fabrication-realistic sigmas (a few percent) Clipped is essentially always
+// zero, and a nonzero count is the signal that sigma is large enough for the
+// reported statistics to carry that bias.
 type Result struct {
 	Samples       int
 	Nominal       float64
 	Mean, Std     float64
 	Min, Max      float64
 	P50, P95, P99 float64
+	Clipped       int
 }
 
 // Run draws samples perturbed trees, evaluates the metric at output e of
@@ -85,13 +102,14 @@ func RunWithRand(t *rctree.Tree, e rctree.NodeID, metric Metric, v Variation, sa
 		return Result{}, err
 	}
 	values := make([]float64, 0, samples)
-	var sum, sumSq float64
-	min, max := math.Inf(1), math.Inf(-1)
+	var w stats.Welford
+	clipped := 0
 	for s := 0; s < samples; s++ {
-		pt, outID, err := perturb(t, e, v, rng)
+		pt, outID, clips, err := perturb(t, e, v, rng)
 		if err != nil {
 			return Result{}, err
 		}
+		clipped += clips
 		tm, err := pt.CharacteristicTimes(outID)
 		if err != nil {
 			return Result{}, err
@@ -101,53 +119,29 @@ func RunWithRand(t *rctree.Tree, e rctree.NodeID, metric Metric, v Variation, sa
 			return Result{}, err
 		}
 		values = append(values, val)
-		sum += val
-		sumSq += val * val
-		if val < min {
-			min = val
-		}
-		if val > max {
-			max = val
-		}
-	}
-	n := float64(samples)
-	mean := sum / n
-	variance := sumSq/n - mean*mean
-	if variance < 0 {
-		variance = 0
+		w.Add(val)
 	}
 	sort.Float64s(values)
 	return Result{
 		Samples: samples,
 		Nominal: nominal,
-		Mean:    mean,
-		Std:     math.Sqrt(variance),
-		Min:     min,
-		Max:     max,
-		P50:     quantile(values, 0.50),
-		P95:     quantile(values, 0.95),
-		P99:     quantile(values, 0.99),
+		Mean:    w.Mean(),
+		Std:     w.Std(),
+		Min:     w.Min(),
+		Max:     w.Max(),
+		P50:     stats.Quantile(values, 0.50),
+		P95:     stats.Quantile(values, 0.95),
+		P99:     stats.Quantile(values, 0.99),
+		Clipped: clipped,
 	}, nil
 }
 
-// quantile interpolates the q-th quantile of sorted values.
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 1 {
-		return sorted[0]
-	}
-	pos := q * float64(len(sorted)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return sorted[lo]
-	}
-	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
-}
-
 // perturb rebuilds the tree with every element value multiplied by an
-// independent Gaussian factor, and maps the output node through.
-func perturb(t *rctree.Tree, e rctree.NodeID, v Variation, rng *rand.Rand) (*rctree.Tree, rctree.NodeID, error) {
+// independent Gaussian factor, and maps the output node through. The third
+// result counts factor draws that hit the 0.01 positivity floor (see
+// Result.Clipped).
+func perturb(t *rctree.Tree, e rctree.NodeID, v Variation, rng *rand.Rand) (*rctree.Tree, rctree.NodeID, int, error) {
+	clipped := 0
 	draw := func(nominal, sigma float64) float64 {
 		if nominal == 0 || sigma == 0 {
 			return nominal
@@ -155,6 +149,7 @@ func perturb(t *rctree.Tree, e rctree.NodeID, v Variation, rng *rand.Rand) (*rct
 		f := 1 + sigma*rng.NormFloat64()
 		if f < 0.01 {
 			f = 0.01
+			clipped++
 		}
 		return nominal * f
 	}
@@ -188,12 +183,12 @@ func perturb(t *rctree.Tree, e rctree.NodeID, v Variation, rng *rand.Rand) (*rct
 		}
 	})
 	if buildErr != nil {
-		return nil, 0, buildErr
+		return nil, 0, 0, buildErr
 	}
 	b.Output(ids[e])
 	pt, err := b.Build()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return pt, ids[e], nil
+	return pt, ids[e], clipped, nil
 }

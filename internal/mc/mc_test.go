@@ -177,18 +177,116 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
-func TestQuantileInterpolation(t *testing.T) {
-	vals := []float64{1, 2, 3, 4}
-	if got := quantile(vals, 0.5); math.Abs(got-2.5) > 1e-12 {
-		t.Errorf("median = %g, want 2.5", got)
+// TestQuantileConvention: Result quantiles follow the shared stats.Quantile
+// convention (R-7, interpolated). Pinned through the public API with a
+// two-sample run whose sorted values make the interpolation visible.
+func TestQuantileConvention(t *testing.T) {
+	tr, out := fig7(t)
+	res, err := Run(tr, out, ElmoreTD(), Variation{RSigma: 0.1, CSigma: 0.1}, 2, 5)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if got := quantile(vals, 0); got != 1 {
-		t.Errorf("q0 = %g", got)
+	// With n=2 the R-7 median is the midpoint of the two samples and P95/P99
+	// interpolate between them — none of the three may equal an endpoint
+	// unless the samples coincide.
+	if res.Min == res.Max {
+		t.Fatalf("degenerate two-sample draw: %+v", res)
 	}
-	if got := quantile(vals, 1); got != 4 {
-		t.Errorf("q1 = %g", got)
+	wantP50 := (res.Min + res.Max) / 2
+	if math.Abs(res.P50-wantP50) > 1e-12 {
+		t.Errorf("n=2 P50 = %g, want midpoint %g", res.P50, wantP50)
 	}
-	if got := quantile([]float64{7}, 0.9); got != 7 {
-		t.Errorf("singleton quantile = %g", got)
+	if got, want := res.P95, res.Min+0.95*(res.Max-res.Min); math.Abs(got-want) > 1e-9 {
+		t.Errorf("n=2 P95 = %g, want %g", got, want)
+	}
+}
+
+// bigNominalTree builds a fig7-shaped tree scaled so the Elmore delay is
+// ~1e9 while relative sigma stays tiny — the regime where the old
+// sumSq/n − mean² variance formula cancels catastrophically.
+func bigNominalTree(t *testing.T) (*rctree.Tree, rctree.NodeID) {
+	t.Helper()
+	b := rctree.NewBuilder("in")
+	n1 := b.Resistor(rctree.Root, "n1", 1.5e5)
+	b.Capacitor(n1, 2e3)
+	br := b.Resistor(n1, "b", 8e4)
+	b.Capacitor(br, 7e3)
+	n2 := b.Line(n1, "n2", 3e4, 4e3)
+	b.Capacitor(n2, 9e3)
+	b.Output(n2)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, n2
+}
+
+// TestVarianceCancellationRegression is the headline bugfix regression at
+// the mc level: with nominal delay ≈ 3.6e9 and element sigma 1e-9, the
+// metric spread is ~1e-9 of the mean. The old naive-variance formula
+// subtracted two ≈1e19 squares and clamped the rounding noise to zero,
+// reporting Std = 0; Welford keeps the digits. TD is linear in the element
+// values, so doubling sigma must double Std — which also fails when Std is
+// rounding noise rather than signal.
+func TestVarianceCancellationRegression(t *testing.T) {
+	tr, out := bigNominalTree(t)
+	small, err := Run(tr, out, ElmoreTD(), Variation{RSigma: 1e-9, CSigma: 1e-9}, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Nominal < 1e9 {
+		t.Fatalf("nominal %g too small to exercise cancellation", small.Nominal)
+	}
+	if small.Std <= 0 {
+		t.Fatalf("Std = %g at sigma 1e-9; variance cancellation has regressed", small.Std)
+	}
+	// Spread must be commensurate with sigma: ~1e-9 relative, not clamped to
+	// zero and not rounding noise orders of magnitude off.
+	rel := small.Std / small.Nominal
+	if rel < 1e-10 || rel > 1e-8 {
+		t.Errorf("relative Std = %g, want ~1e-9", rel)
+	}
+	big, err := Run(tr, out, ElmoreTD(), Variation{RSigma: 4e-9, CSigma: 4e-9}, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed → same unit Gaussians → exactly 4× the perturbations, and TD
+	// linearity makes Std scale with them. Allow slack for float rounding.
+	ratio := big.Std / small.Std
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("Std(4σ)/Std(σ) = %g, want ≈4 (linear-metric scaling)", ratio)
+	}
+}
+
+// TestClippedCountReported: at fabrication-realistic sigma no factor draw
+// hits the positivity floor; at absurd sigma many do, and the count is
+// surfaced so callers can see the truncation bias (the clipped low tail
+// drags the reported mean upward).
+func TestClippedCountReported(t *testing.T) {
+	tr, out := fig7(t)
+	low, err := Run(tr, out, ElmoreTD(), Variation{RSigma: 0.05, CSigma: 0.05}, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Clipped != 0 {
+		t.Errorf("5%% sigma clipped %d draws; expected none", low.Clipped)
+	}
+	high, err := Run(tr, out, ElmoreTD(), Variation{RSigma: 0.8, CSigma: 0.8}, 300, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At sigma 0.8 the floor 0.01 sits at z ≈ −1.24, so ~10.8% of draws clip.
+	// 300 samples × 6 draws each = 1800 draws; expect roughly 195, and
+	// certainly a lot more than zero.
+	if high.Clipped < 50 {
+		t.Errorf("80%% sigma clipped only %d of 1800 draws; count not reported?", high.Clipped)
+	}
+	// The truncation bias is real and upward: clipping removes the most
+	// negative factors, so the sampled mean exceeds what symmetric variation
+	// around nominal would give. (TD is linear, so without clipping the mean
+	// stays near nominal; see TestSpreadGrowsWithSigma.)
+	if high.Mean <= high.Nominal {
+		t.Errorf("high-sigma mean %g not above nominal %g despite %d clips",
+			high.Mean, high.Nominal, high.Clipped)
 	}
 }

@@ -1,0 +1,65 @@
+package mcd
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/randnet"
+	"repro/internal/timing"
+)
+
+// BenchmarkCornerSweep compares the two ways to evaluate one corner's Monte
+// Carlo samples: the in-place arena sweep (SetFactors + re-propagate over
+// flat columns) versus rebuilding an explicitly-scaled netlist and running a
+// full analysis per sample — the internal/mc approach lifted naively to
+// designs. Both paths are single-threaded so the ratio is per-sample work,
+// not parallelism; scripts/bench_trajectory.sh records the ratio as
+// corner_sweep_arena_vs_rebuild.
+func BenchmarkCornerSweep(b *testing.B) {
+	d := randnet.Design(rand.New(rand.NewSource(17)), randnet.DefaultDesignConfig(6, 4))
+	const samples = 8
+	const th, req = 0.5, 400.0
+	v := Variation{RSigma: 0.05, CSigma: 0.05}
+	corners := []Corner{{Name: "typ", RScale: 1, CScale: 1}}
+	ctx := context.Background()
+
+	b.Run("arena", func(b *testing.B) {
+		g, err := timing.NewGraph(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt := Options{
+			Samples: samples, Seed: 1, Variation: v, Corners: corners,
+			Threshold: th, Required: req, Sequential: true,
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyzeGraph(ctx, g, "bench", opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("rebuild", func(b *testing.B) {
+		rF, cF, _ := drawFactors(len(d.Nets), samples, v, 1)
+		opt := timing.Options{Threshold: th, Required: req, K: -1, Sequential: true}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < samples; s++ {
+				rf := make([]float64, len(d.Nets))
+				cf := make([]float64, len(d.Nets))
+				for j := range rf {
+					rf[j], cf[j] = rF[s][j], cF[s][j]
+				}
+				sd, err := ScaleDesign(d, rf, cf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := timing.Analyze(ctx, sd, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,442 @@
+// Package mcd lifts Monte Carlo variation analysis from single RC trees
+// (internal/mc) to whole designs: process-corner sweeps with per-net Gaussian
+// derating, evaluated as vectorized passes over the flat timing arena.
+//
+// # Model
+//
+// A Corner is a global (R scale, C scale) pair — the classic slow/typ/fast
+// process points. On top of each corner, Variation draws one independent
+// Gaussian factor pair per net per sample (sheet-resistance and oxide spread
+// are spatially correlated within a net, independent across nets at this
+// granularity). The same per-net factor draws are reused across all corners
+// of one sample — the corners model the same die shifted globally, so their
+// distributions are comparable point by point.
+//
+// # Execution
+//
+// Where internal/mc rebuilds a pointer tree per sample, mcd mounts a
+// timing.VarArena over the design's flat arena: one sample is one in-place
+// rescale of three float64 columns plus one levelized re-propagation, with
+// zero tree construction. Workers each own a VarArena clone and write
+// disjoint sample columns of the slack matrix, so results are bit-identical
+// for a given seed regardless of worker count — the determinism test pins
+// this.
+//
+// # Results
+//
+// Per corner: nominal WNS/TNS (no derating), full WNS/TNS distributions,
+// per-endpoint arrival and slack distributions (mean/std and P50/P95/P99 via
+// the shared internal/stats convention), and each endpoint's criticality —
+// the fraction of samples in which it is the worst-slack endpoint. Gaussian
+// factors are clipped at 0.01 to stay positive; Report.Clipped counts the
+// clipped draws, since clipping truncates the low tail and biases results
+// (see internal/mc's Result.Clipped for the same contract).
+package mcd
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/netlist"
+	"repro/internal/obs"
+	"repro/internal/stats"
+	"repro/internal/timing"
+)
+
+// Corner is one global process point: every resistance in the design scales
+// by RScale, every capacitance by CScale.
+type Corner struct {
+	Name   string  `json:"name"`
+	RScale float64 `json:"rScale"`
+	CScale float64 `json:"cScale"`
+}
+
+// DefaultCorners is the classic three-point sweep: slow (+15% R and C),
+// typical, fast (−15%).
+func DefaultCorners() []Corner {
+	return []Corner{
+		{Name: "slow", RScale: 1.15, CScale: 1.15},
+		{Name: "typ", RScale: 1, CScale: 1},
+		{Name: "fast", RScale: 0.85, CScale: 0.85},
+	}
+}
+
+// Variation is the per-net Gaussian derating applied on top of each corner:
+// independent relative 1-sigma spreads of each net's resistances and
+// capacitances. Zero sigmas disable the corresponding draws entirely (and
+// consume no randomness), leaving a pure corner sweep.
+type Variation struct {
+	RSigma float64 `json:"rSigma"`
+	CSigma float64 `json:"cSigma"`
+}
+
+// Options configures a design-level variation analysis.
+type Options struct {
+	// Corners to sweep; nil means DefaultCorners().
+	Corners []Corner
+	// Variation is the per-net Gaussian derating (zero value: none).
+	Variation Variation
+	// Samples per corner; 0 means 256.
+	Samples int
+	// Seed feeds the factor draws; the same seed reproduces the same report
+	// exactly, at any worker count.
+	Seed int64
+	// Threshold is the receiving gates' switching threshold (0 means 0.5).
+	Threshold float64
+	// Required is the default required arrival time for endpoints without an
+	// explicit .require card; <= 0 leaves them unconstrained.
+	Required float64
+	// Workers caps sweep parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Sequential forces the whole sweep onto the caller's goroutine.
+	Sequential bool
+	// Obs receives per-corner sweep spans; nil disables telemetry.
+	Obs *obs.Registry
+}
+
+// Dist summarizes one sampled scalar with moments and the shared quantile
+// convention (internal/stats: R-7 interpolation).
+type Dist struct {
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+}
+
+// distOf summarizes vals (not required sorted; a sorted copy is made).
+func distOf(vals []float64) Dist {
+	var w stats.Welford
+	for _, v := range vals {
+		w.Add(v)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	return Dist{
+		Mean: w.Mean(), Std: w.Std(), Min: w.Min(), Max: w.Max(),
+		P50: stats.Quantile(sorted, 0.50),
+		P95: stats.Quantile(sorted, 0.95),
+		P99: stats.Quantile(sorted, 0.99),
+	}
+}
+
+// EndpointDist is one endpoint's behavior at one corner under variation.
+type EndpointDist struct {
+	Net    string
+	Output string
+	// Required is the endpoint's required arrival time, +Inf when
+	// unconstrained.
+	Required float64
+	// NominalArrival and NominalSlack are the corner's values with no
+	// derating (per-net factors all 1). NominalSlack is +Inf when
+	// unconstrained.
+	NominalArrival float64
+	NominalSlack   float64
+	// Arrival is the distribution of the latest arrival; Slack is the
+	// distribution of the slack, nil for unconstrained endpoints.
+	Arrival Dist
+	Slack   *Dist
+	// Criticality is the fraction of samples in which this endpoint had the
+	// worst slack of the design (0 for unconstrained endpoints).
+	Criticality float64
+}
+
+// CornerResult is the sweep of one corner.
+type CornerResult struct {
+	Corner Corner
+	// NominalWNS/NominalTNS are the corner's WNS and TNS with no derating;
+	// NominalWNS is +Inf when no endpoint is constrained.
+	NominalWNS float64
+	NominalTNS float64
+	// WNS is the distribution of per-sample worst negative slack, nil when no
+	// endpoint is constrained. TNS is the distribution of per-sample total
+	// negative slack.
+	WNS *Dist
+	TNS Dist
+	// Endpoints are ordered by ascending nominal slack (worst first);
+	// unconstrained endpoints follow, by descending nominal arrival.
+	Endpoints []EndpointDist
+}
+
+// Report is the full multi-corner variation analysis of one design.
+type Report struct {
+	Design    string
+	Threshold float64
+	Samples   int
+	Seed      int64
+	Variation Variation
+	// Clipped counts Gaussian factor draws clipped at the 0.01 positivity
+	// floor across all samples (shared by every corner); nonzero means the
+	// distributions carry upward truncation bias.
+	Clipped int
+	Corners []CornerResult
+	// WorstCorner names the corner with the smallest nominal WNS ("" when no
+	// endpoint is constrained).
+	WorstCorner string
+}
+
+// resolve applies Options defaults and validates.
+func (opt Options) resolve() (Options, error) {
+	if opt.Samples == 0 {
+		opt.Samples = 256
+	}
+	if opt.Samples < 1 {
+		return opt, fmt.Errorf("mcd: samples must be >= 1, got %d", opt.Samples)
+	}
+	if opt.Variation.RSigma < 0 || opt.Variation.CSigma < 0 {
+		return opt, fmt.Errorf("mcd: negative sigma in %+v", opt.Variation)
+	}
+	if opt.Corners == nil {
+		opt.Corners = DefaultCorners()
+	}
+	if len(opt.Corners) == 0 {
+		return opt, fmt.Errorf("mcd: empty corner list")
+	}
+	for _, c := range opt.Corners {
+		if c.RScale <= 0 || c.CScale <= 0 {
+			return opt, fmt.Errorf("mcd: corner %q has non-positive scale", c.Name)
+		}
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Sequential {
+		opt.Workers = 1
+	}
+	return opt, nil
+}
+
+// drawFactors draws the per-net factor matrices for every sample: one R and
+// one C factor per net per sample, clipped at 0.01. A zero sigma returns a
+// nil matrix for that dimension and consumes no draws. Draw order is
+// sample-major, then net, R before C — the property tests reproduce it.
+func drawFactors(nets, samples int, v Variation, seed int64) (rF, cF [][]float64, clipped int) {
+	rng := rand.New(rand.NewSource(seed))
+	draw := func(sigma float64) float64 {
+		f := 1 + sigma*rng.NormFloat64()
+		if f < 0.01 {
+			f = 0.01
+			clipped++
+		}
+		return f
+	}
+	if v.RSigma > 0 {
+		rF = make([][]float64, samples)
+	}
+	if v.CSigma > 0 {
+		cF = make([][]float64, samples)
+	}
+	for s := 0; s < samples; s++ {
+		if rF != nil {
+			rF[s] = make([]float64, nets)
+		}
+		if cF != nil {
+			cF[s] = make([]float64, nets)
+		}
+		for i := 0; i < nets; i++ {
+			if rF != nil {
+				rF[s][i] = draw(v.RSigma)
+			}
+			if cF != nil {
+				cF[s][i] = draw(v.CSigma)
+			}
+		}
+	}
+	return rF, cF, clipped
+}
+
+// Analyze runs the multi-corner variation analysis of a design.
+func Analyze(ctx context.Context, d *netlist.Design, opt Options) (*Report, error) {
+	g, err := timing.NewGraph(d)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeGraph(ctx, g, d.Name, opt)
+}
+
+// AnalyzeGraph is Analyze on a prebuilt timing graph (sharing its cached
+// arena); name labels the report.
+func AnalyzeGraph(ctx context.Context, g *timing.Graph, name string, opt Options) (*Report, error) {
+	opt, err := opt.resolve()
+	if err != nil {
+		return nil, err
+	}
+	va, err := g.VarArena(opt.Threshold, opt.Required)
+	if err != nil {
+		return nil, err
+	}
+	eps := va.Endpoints()
+	rF, cF, clipped := drawFactors(va.Nets(), opt.Samples, opt.Variation, opt.Seed)
+	rep := &Report{
+		Design:    name,
+		Threshold: va.Threshold(),
+		Samples:   opt.Samples,
+		Seed:      opt.Seed,
+		Variation: opt.Variation,
+		Clipped:   clipped,
+	}
+	for _, c := range opt.Corners {
+		sp := obs.StartSpan(opt.Obs, "mcd_corner_sweep", "corner", c.Name)
+		cr, err := sweepCorner(ctx, va, c, eps, rF, cF, opt.Samples, opt.Workers)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("mcd: corner %q: %w", c.Name, err)
+		}
+		rep.Corners = append(rep.Corners, *cr)
+	}
+	worst := math.Inf(1)
+	for _, cr := range rep.Corners {
+		if cr.NominalWNS < worst {
+			worst = cr.NominalWNS
+			rep.WorstCorner = cr.Corner.Name
+		}
+	}
+	return rep, nil
+}
+
+// sweepCorner runs one corner: a nominal pass (no derating) on va itself,
+// then the per-sample sweep fanned across workers, each on its own clone
+// writing disjoint sample columns. All statistics are reduced sequentially
+// afterwards, so the result is independent of the worker count.
+func sweepCorner(ctx context.Context, va *timing.VarArena, c Corner, eps []timing.VarEndpoint, rF, cF [][]float64, samples, workers int) (*CornerResult, error) {
+	if err := va.SetFactors(c.RScale, c.CScale, nil, nil); err != nil {
+		return nil, err
+	}
+	if err := va.Propagate(ctx); err != nil {
+		return nil, err
+	}
+	cr := &CornerResult{Corner: c, NominalWNS: math.Inf(1)}
+	nomArr := make([]float64, len(eps))
+	nomSlack := make([]float64, len(eps))
+	for e, ep := range eps {
+		nomArr[e] = va.Arrival(ep.Slot).Max
+		nomSlack[e] = va.Slack(ep)
+		if !math.IsInf(ep.Required, 1) {
+			if nomSlack[e] < cr.NominalWNS {
+				cr.NominalWNS = nomSlack[e]
+			}
+			if nomSlack[e] < 0 {
+				cr.NominalTNS += nomSlack[e]
+			}
+		}
+	}
+	// Per-sample matrices: endpoint-major, sample columns written by whichever
+	// worker owns the sample.
+	arrMat := make([][]float64, len(eps))
+	slackMat := make([][]float64, len(eps))
+	for e := range eps {
+		arrMat[e] = make([]float64, samples)
+		slackMat[e] = make([]float64, samples)
+	}
+	wns := make([]float64, samples)
+	tns := make([]float64, samples)
+	crit := make([]int, samples)
+	if workers > samples {
+		workers = samples
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wa := va
+			if workers > 1 {
+				wa = va.Clone()
+			}
+			for s := w; s < samples; s += workers {
+				var rNet, cNet []float64
+				if rF != nil {
+					rNet = rF[s]
+				}
+				if cF != nil {
+					cNet = cF[s]
+				}
+				if err := wa.SetFactors(c.RScale, c.CScale, rNet, cNet); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := wa.Propagate(ctx); err != nil {
+					errs[w] = err
+					return
+				}
+				sWNS, sTNS, sCrit := math.Inf(1), 0.0, -1
+				for e, ep := range eps {
+					arrMat[e][s] = wa.Arrival(ep.Slot).Max
+					sl := wa.Slack(ep)
+					slackMat[e][s] = sl
+					if math.IsInf(ep.Required, 1) {
+						continue
+					}
+					// Strict < keeps the lowest endpoint index on ties — the
+					// deterministic criticality attribution.
+					if sl < sWNS {
+						sWNS, sCrit = sl, e
+					}
+					if sl < 0 {
+						sTNS += sl
+					}
+				}
+				wns[s], tns[s], crit[s] = sWNS, sTNS, sCrit
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	critCount := make([]int, len(eps))
+	constrained := false
+	for s := 0; s < samples; s++ {
+		if crit[s] >= 0 {
+			critCount[crit[s]]++
+			constrained = true
+		}
+	}
+	if constrained {
+		d := distOf(wns)
+		cr.WNS = &d
+	}
+	cr.TNS = distOf(tns)
+	for e, ep := range eps {
+		ed := EndpointDist{
+			Net:            ep.Net,
+			Output:         ep.Output,
+			Required:       ep.Required,
+			NominalArrival: nomArr[e],
+			NominalSlack:   nomSlack[e],
+			Arrival:        distOf(arrMat[e]),
+			Criticality:    float64(critCount[e]) / float64(samples),
+		}
+		if !math.IsInf(ep.Required, 1) {
+			d := distOf(slackMat[e])
+			ed.Slack = &d
+		}
+		cr.Endpoints = append(cr.Endpoints, ed)
+	}
+	// Worst nominal slack first; unconstrained after, by descending nominal
+	// arrival; names break ties — the timing.Report endpoint order.
+	sort.SliceStable(cr.Endpoints, func(a, b int) bool {
+		ea, eb := &cr.Endpoints[a], &cr.Endpoints[b]
+		if ea.NominalSlack != eb.NominalSlack {
+			return ea.NominalSlack < eb.NominalSlack
+		}
+		if ea.NominalArrival != eb.NominalArrival {
+			return ea.NominalArrival > eb.NominalArrival
+		}
+		if ea.Net != eb.Net {
+			return ea.Net < eb.Net
+		}
+		return ea.Output < eb.Output
+	})
+	return cr, nil
+}

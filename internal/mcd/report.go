@@ -1,0 +1,193 @@
+package mcd
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// fmtG renders a float compactly, with +Inf as "-" (unconstrained).
+func fmtG(v float64) string {
+	if math.IsInf(v, 0) {
+		return "-"
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// Summary renders the fixed-width multi-corner report: a header, then per
+// corner the nominal and sampled WNS/TNS and the endpoint table (worst
+// nominal slack first). For slack the informative tail is the low one —
+// Min is the worst draw seen — while criticality says where the WNS lives.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	name := r.Design
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Fprintf(&b, "design %s: %d corners, %d samples/corner, threshold %g, seed %d\n",
+		name, len(r.Corners), r.Samples, r.Threshold, r.Seed)
+	fmt.Fprintf(&b, "variation: rSigma %g, cSigma %g", r.Variation.RSigma, r.Variation.CSigma)
+	if r.Clipped > 0 {
+		fmt.Fprintf(&b, " (%d clipped draws: low tail truncated, results biased up)", r.Clipped)
+	}
+	b.WriteByte('\n')
+	if r.WorstCorner != "" {
+		fmt.Fprintf(&b, "worst corner: %s\n", r.WorstCorner)
+	}
+	for i := range r.Corners {
+		cr := &r.Corners[i]
+		fmt.Fprintf(&b, "\ncorner %s (R x%g, C x%g): nominal WNS %s TNS %s",
+			cr.Corner.Name, cr.Corner.RScale, cr.Corner.CScale,
+			fmtG(cr.NominalWNS), fmtG(cr.NominalTNS))
+		if cr.WNS != nil {
+			fmt.Fprintf(&b, "   WNS mean %s std %s min %s", fmtG(cr.WNS.Mean), fmtG(cr.WNS.Std), fmtG(cr.WNS.Min))
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-12s %-10s %10s %10s %10s %10s %10s %10s %6s\n",
+			"net", "output", "required", "nom.slack", "slk.mean", "slk.std", "slk.min", "arr.mean", "crit%")
+		for _, e := range cr.Endpoints {
+			mean, std, min := "-", "-", "-"
+			if e.Slack != nil {
+				mean, std, min = fmtG(e.Slack.Mean), fmtG(e.Slack.Std), fmtG(e.Slack.Min)
+			}
+			fmt.Fprintf(&b, "%-12s %-10s %10s %10s %10s %10s %10s %10s %6.1f\n",
+				e.Net, e.Output, fmtG(e.Required), fmtG(e.NominalSlack),
+				mean, std, min, fmtG(e.Arrival.Mean), 100*e.Criticality)
+		}
+	}
+	return b.String()
+}
+
+// WriteCSV emits one row per corner × endpoint. Unconstrained endpoints
+// leave the required/slack columns empty.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"corner", "net", "output", "required", "nominal_slack", "criticality",
+		"arrival_mean", "arrival_std", "arrival_p50", "arrival_p95", "arrival_p99",
+		"slack_mean", "slack_std", "slack_min", "slack_p50",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("mcd: csv: %w", err)
+	}
+	g := func(v float64) string {
+		if math.IsInf(v, 0) {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	for i := range r.Corners {
+		cr := &r.Corners[i]
+		for _, e := range cr.Endpoints {
+			row := []string{
+				cr.Corner.Name, e.Net, e.Output,
+				g(e.Required), g(e.NominalSlack),
+				strconv.FormatFloat(e.Criticality, 'g', -1, 64),
+				g(e.Arrival.Mean), g(e.Arrival.Std), g(e.Arrival.P50), g(e.Arrival.P95), g(e.Arrival.P99),
+			}
+			if e.Slack != nil {
+				row = append(row, g(e.Slack.Mean), g(e.Slack.Std), g(e.Slack.Min), g(e.Slack.P50))
+			} else {
+				row = append(row, "", "", "", "")
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("mcd: csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Wire shapes: +Inf is not representable in JSON, so unconstrained
+// requireds/slacks ride as nil pointers (the timing.Report convention).
+type jsonEndpointDist struct {
+	Net            string   `json:"net"`
+	Output         string   `json:"output"`
+	Required       *float64 `json:"required,omitempty"`
+	NominalArrival float64  `json:"nominalArrival"`
+	NominalSlack   *float64 `json:"nominalSlack,omitempty"`
+	Arrival        Dist     `json:"arrival"`
+	Slack          *Dist    `json:"slack,omitempty"`
+	Criticality    float64  `json:"criticality"`
+}
+
+type jsonCornerResult struct {
+	Corner     Corner             `json:"corner"`
+	NominalWNS *float64           `json:"nominalWns,omitempty"`
+	NominalTNS float64            `json:"nominalTns"`
+	WNS        *Dist              `json:"wns,omitempty"`
+	TNS        Dist               `json:"tns"`
+	Endpoints  []jsonEndpointDist `json:"endpoints"`
+}
+
+type jsonReport struct {
+	Design      string             `json:"design,omitempty"`
+	Threshold   float64            `json:"threshold"`
+	Samples     int                `json:"samples"`
+	Seed        int64              `json:"seed"`
+	Variation   Variation          `json:"variation"`
+	Clipped     int                `json:"clipped"`
+	WorstCorner string             `json:"worstCorner,omitempty"`
+	Corners     []jsonCornerResult `json:"corners"`
+}
+
+// finitePtr maps +Inf (unconstrained) to nil for the JSON wire form.
+func finitePtr(v float64) *float64 {
+	if math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func (r *Report) wire() jsonReport {
+	out := jsonReport{
+		Design: r.Design, Threshold: r.Threshold,
+		Samples: r.Samples, Seed: r.Seed,
+		Variation: r.Variation, Clipped: r.Clipped,
+		WorstCorner: r.WorstCorner,
+	}
+	for i := range r.Corners {
+		cr := &r.Corners[i]
+		jc := jsonCornerResult{
+			Corner:     cr.Corner,
+			NominalWNS: finitePtr(cr.NominalWNS),
+			NominalTNS: cr.NominalTNS,
+			WNS:        cr.WNS,
+			TNS:        cr.TNS,
+		}
+		for _, e := range cr.Endpoints {
+			jc.Endpoints = append(jc.Endpoints, jsonEndpointDist{
+				Net: e.Net, Output: e.Output,
+				Required:       finitePtr(e.Required),
+				NominalArrival: e.NominalArrival,
+				NominalSlack:   finitePtr(e.NominalSlack),
+				Arrival:        e.Arrival,
+				Slack:          e.Slack,
+				Criticality:    e.Criticality,
+			})
+		}
+		out.Corners = append(out.Corners, jc)
+	}
+	return out
+}
+
+// WriteJSON emits the report as indented JSON with a stable schema.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.wire()); err != nil {
+		return fmt.Errorf("mcd: json: %w", err)
+	}
+	return nil
+}
+
+// MarshalJSON makes the report JSON-safe anywhere it is embedded (the
+// rcserve corners endpoint embeds it in its envelope).
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.wire())
+}

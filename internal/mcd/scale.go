@@ -1,0 +1,84 @@
+package mcd
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/rctree"
+)
+
+// ScaleDesign rebuilds every net tree of d with per-net multiplicative
+// factors: net i's resistances scale by rf[i], its capacitances (edge and
+// grounded) by cf[i]. Stages, requires, and output designations carry over
+// unchanged; stage delays are gate-intrinsic and do not scale. A nil factor
+// slice means 1 everywhere; otherwise the slice must have one entry per net,
+// in design net order.
+//
+// This is the reference construction the arena sweep must agree with — the
+// property tests check timing.VarArena.SetFactors against a full analysis of
+// the ScaleDesign'd netlist — and the explicit-corner path for callers that
+// need a materialized netlist (closure's shadow corner sessions).
+func ScaleDesign(d *netlist.Design, rf, cf []float64) (*netlist.Design, error) {
+	if rf != nil && len(rf) != len(d.Nets) {
+		return nil, fmt.Errorf("mcd: %d R factors for %d nets", len(rf), len(d.Nets))
+	}
+	if cf != nil && len(cf) != len(d.Nets) {
+		return nil, fmt.Errorf("mcd: %d C factors for %d nets", len(cf), len(d.Nets))
+	}
+	out := &netlist.Design{Name: d.Name, Stages: d.Stages, Requires: d.Requires}
+	out.Nets = make([]netlist.DesignNet, len(d.Nets))
+	for i := range d.Nets {
+		rfi, cfi := 1.0, 1.0
+		if rf != nil {
+			rfi = rf[i]
+		}
+		if cf != nil {
+			cfi = cf[i]
+		}
+		t, err := scaleTree(d.Nets[i].Tree, rfi, cfi)
+		if err != nil {
+			return nil, fmt.Errorf("mcd: net %q: %w", d.Nets[i].Name, err)
+		}
+		out.Nets[i] = netlist.DesignNet{Name: d.Nets[i].Name, Tree: t}
+	}
+	return out, nil
+}
+
+// scaleTree rebuilds one tree with uniform R and C factors, preserving node
+// names and the output designation order.
+func scaleTree(t *rctree.Tree, rf, cf float64) (*rctree.Tree, error) {
+	b := rctree.NewBuilder(t.Name(rctree.Root))
+	ids := map[rctree.NodeID]rctree.NodeID{rctree.Root: rctree.Root}
+	var buildErr error
+	t.Walk(func(id rctree.NodeID) {
+		if buildErr != nil {
+			return
+		}
+		if id == rctree.Root {
+			if c := t.NodeCap(id); c > 0 {
+				b.Capacitor(rctree.Root, c*cf)
+			}
+			return
+		}
+		kind, r, c := t.Edge(id)
+		switch kind {
+		case rctree.EdgeResistor:
+			ids[id] = b.Resistor(ids[t.Parent(id)], t.Name(id), r*rf)
+		case rctree.EdgeLine:
+			ids[id] = b.Line(ids[t.Parent(id)], t.Name(id), r*rf, c*cf)
+		default:
+			buildErr = fmt.Errorf("unexpected edge kind at node %q", t.Name(id))
+			return
+		}
+		if nc := t.NodeCap(id); nc > 0 {
+			b.Capacitor(ids[id], nc*cf)
+		}
+	})
+	if buildErr != nil {
+		return nil, buildErr
+	}
+	for _, o := range t.Outputs() {
+		b.Output(ids[o])
+	}
+	return b.Build()
+}

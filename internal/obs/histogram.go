@@ -88,8 +88,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 
 // Quantile estimates the q-th quantile (0..1) by linear interpolation inside
 // the containing bucket, the standard Prometheus histogram_quantile
-// estimate. Empty histograms return NaN; observations in the +Inf overflow
-// bucket clamp to the highest finite bound.
+// estimate. It is the bucketed counterpart of the repo-wide exact-sample
+// convention in internal/stats (R-7 linear interpolation, used by mc, mcd
+// and rcload): both interpolate linearly, but this one only sees bucket
+// boundaries, so it converges to stats.Quantile as buckets narrow. Empty
+// histograms return NaN; observations in the +Inf overflow bucket clamp to
+// the highest finite bound.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	var total uint64
 	for _, c := range s.Counts {

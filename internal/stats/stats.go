@@ -1,0 +1,136 @@
+// Package stats holds the small, shared statistical kernels the repository's
+// Monte Carlo and measurement layers agree on, so every surface reports the
+// same numbers for the same samples.
+//
+// # Moments
+//
+// Welford is a single-pass mean/variance accumulator. The naive textbook
+// formula Var = E[x²] − E[x]² cancels catastrophically when the mean is large
+// relative to the spread: with values near 1e9 and a spread near 1, both
+// terms are ≈1e18 and their float64 difference is pure rounding noise
+// (≈2e2), so the reported standard deviation is garbage — or clamped to
+// zero. Welford's recurrence tracks the centered second moment directly and
+// stays accurate at any offset; TestWelfordCancellationRegression pins the
+// failure mode. Variance is the population form (divide by n), matching the
+// historical behavior of internal/mc.
+//
+// # Quantiles
+//
+// Quantile implements the one ordered-sample convention every caller shares:
+// linear interpolation between order statistics with the q-th quantile at
+// position q·(n−1) — the "R-7" rule of Hyndman & Fan (numpy and Excel's
+// default). Concretely, for sorted x[0..n-1]:
+//
+//	pos  = q · (n−1)
+//	Q(q) = x[⌊pos⌋] + (pos − ⌊pos⌋) · (x[⌈pos⌉] − x[⌊pos⌋])
+//
+// so Q(0) = min, Q(1) = max, exact ranks hit sample values exactly, n = 1
+// returns the sole sample for every q, and the n = 2 median is the midpoint.
+//
+// Users of the convention:
+//
+//   - internal/mc and internal/mcd compute Monte Carlo delay/slack quantiles
+//     with Quantile directly;
+//   - cmd/rcload computes its latency p50/p99 with Percentile (the same rule
+//     with q in percent);
+//   - internal/obs histograms cannot see individual samples, so their
+//     Quantile estimates this convention by linear interpolation inside the
+//     containing fixed bucket (the Prometheus histogram_quantile estimate) —
+//     same rule, bucket-resolution accuracy.
+package stats
+
+import "math"
+
+// Welford is a single-pass accumulator of count, mean, centered second
+// moment, and extrema. The zero value is an empty accumulator.
+type Welford struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(v float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = v, v
+	} else {
+		if v < w.min {
+			w.min = v
+		}
+		if v > w.max {
+			w.max = v
+		}
+	}
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// N reports the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance m2/n (0 when empty). Rounding can
+// leave m2 a hair negative on degenerate inputs; it is clamped to 0.
+func (w *Welford) Var() float64 {
+	if w.n == 0 || w.m2 < 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Min returns the smallest observation (+Inf when empty).
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.Inf(1)
+	}
+	return w.min
+}
+
+// Max returns the largest observation (-Inf when empty).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.Inf(-1)
+	}
+	return w.max
+}
+
+// Quantile returns the q-th quantile (q in [0, 1]) of an ascending-sorted
+// sample by the package convention (see the package comment): linear
+// interpolation between order statistics, position q·(n−1). Out-of-range q
+// clamps to [0, 1]; an empty sample returns NaN.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentile is Quantile with p in percent: Percentile(x, 99) == Quantile(x,
+// 0.99). cmd/rcload's latency summaries are the main caller.
+func Percentile(sorted []float64, p float64) float64 {
+	return Quantile(sorted, p/100)
+}

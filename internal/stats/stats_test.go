@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveVariance is the formula internal/mc used before Welford:
+// E[x²] − E[x]², clamped at zero. Kept here as the regression reference —
+// the cancellation test below demonstrates exactly how it fails.
+func naiveVariance(values []float64) float64 {
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(values))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return variance
+}
+
+// twoPassVariance is the numerically safe reference: subtract the mean
+// first, then sum squares (population form).
+func twoPassVariance(values []float64) float64 {
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	mean := sum / float64(len(values))
+	var m2 float64
+	for _, v := range values {
+		d := v - mean
+		m2 += d * d
+	}
+	return m2 / float64(len(values))
+}
+
+// TestWelfordCancellationRegression is the headline bugfix regression:
+// samples whose nominal value is ~1e9× their spread. The old
+// sumSq/n − mean² formula loses every significant digit of the variance
+// (the two squared terms are ≈1e18, their true difference ≈1, and float64
+// rounding noise at that magnitude is ≈2e2); Welford matches the two-pass
+// reference to high relative accuracy.
+func TestWelfordCancellationRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const nominal = 1e9
+	values := make([]float64, 2000)
+	var w Welford
+	for i := range values {
+		values[i] = nominal + rng.NormFloat64() // spread σ = 1, mean = 1e9
+		w.Add(values[i])
+	}
+	want := twoPassVariance(values)
+	if want < 0.5 || want > 2 {
+		t.Fatalf("reference variance %g implausible for unit-sigma noise", want)
+	}
+	// A single-pass pass at offset 1e9 keeps ~8 digits of the variance (the
+	// centered updates still subtract 1e9-magnitude floats once); the naive
+	// formula keeps none.
+	if got := w.Var(); math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("Welford variance = %.17g, reference = %.17g", got, want)
+	}
+	// And the old formula really does fail on exactly these samples — here it
+	// goes negative and clamps to zero, reporting a spread-free distribution.
+	// If this ever starts passing, the regression test lost its teeth.
+	naive := naiveVariance(values)
+	if rel := math.Abs(naive-want) / want; rel < 0.5 {
+		t.Errorf("naive formula unexpectedly accurate: %g vs %g (rel err %g)", naive, want, rel)
+	}
+}
+
+func TestWelfordMoments(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Var() != 0 || !math.IsInf(w.Min(), 1) || !math.IsInf(w.Max(), -1) {
+		t.Errorf("empty accumulator: %+v", w)
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(v)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", w.Mean())
+	}
+	if math.Abs(w.Var()-4) > 1e-12 { // the classic population-variance example
+		t.Errorf("variance = %g, want 4", w.Var())
+	}
+	if math.Abs(w.Std()-2) > 1e-12 {
+		t.Errorf("std = %g, want 2", w.Std())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("min/max = %g/%g", w.Min(), w.Max())
+	}
+	var single Welford
+	single.Add(7)
+	if single.Mean() != 7 || single.Var() != 0 || single.Min() != 7 || single.Max() != 7 {
+		t.Errorf("singleton accumulator: %+v", single)
+	}
+}
+
+// TestQuantileConvention pins the R-7 convention's small-n edge cases: the
+// table is the contract every surface (mc, mcd, rcload) shares.
+func TestQuantileConvention(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		q      float64
+		want   float64
+	}{
+		{"n1 q0", []float64{7}, 0, 7},
+		{"n1 q0.5", []float64{7}, 0.5, 7},
+		{"n1 q1", []float64{7}, 1, 7},
+		{"n2 min", []float64{1, 3}, 0, 1},
+		{"n2 median midpoint", []float64{1, 3}, 0.5, 2},
+		{"n2 max", []float64{1, 3}, 1, 3},
+		{"n2 interior", []float64{1, 3}, 0.25, 1.5},
+		{"n4 median", []float64{1, 2, 3, 4}, 0.5, 2.5},
+		{"n5 exact rank q0.25", []float64{1, 2, 3, 4, 5}, 0.25, 2},
+		{"n5 exact rank q0.5", []float64{1, 2, 3, 4, 5}, 0.5, 3},
+		{"n5 exact rank q0.75", []float64{1, 2, 3, 4, 5}, 0.75, 4},
+		{"n5 interpolated", []float64{1, 2, 3, 4, 5}, 0.9, 4.6},
+		{"min is q0", []float64{-3, 0, 10}, 0, -3},
+		{"max is q1", []float64{-3, 0, 10}, 1, 10},
+		{"clamp below", []float64{1, 2}, -0.5, 1},
+		{"clamp above", []float64{1, 2}, 1.5, 2},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Quantile(%v, %g) = %g, want %g", c.name, c.sorted, c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); !math.IsNaN(got) {
+		t.Errorf("empty sample quantile = %g, want NaN", got)
+	}
+	if got := Percentile([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 50); math.Abs(got-5.5) > 1e-12 {
+		t.Errorf("Percentile p50 = %g, want 5.5", got)
+	}
+	if got := Percentile([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 99); math.Abs(got-9.91) > 1e-12 {
+		t.Errorf("Percentile p99 = %g, want 9.91", got)
+	}
+}

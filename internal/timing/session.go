@@ -250,6 +250,12 @@ func (s *Session) Gen() uint64 { return s.gen }
 // Threshold returns the session's switching threshold.
 func (s *Session) Threshold() float64 { return s.th }
 
+// Required returns the session's default required arrival time (<= 0 means
+// endpoints without an explicit .require card are unconstrained). Corner
+// analyses mounting scaled shadow sessions use it to reproduce the session's
+// constraint defaults.
+func (s *Session) Required() float64 { return s.required }
+
 // Nets reports the number of nets in the session's design.
 func (s *Session) Nets() int { return len(s.g.nodes) }
 

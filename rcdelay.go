@@ -37,7 +37,12 @@
 //     is accepted until WNS reaches zero or a budget runs out. The result is
 //     a replayable ECO edit list, the closure trajectory, and the Pareto
 //     frontier of (cost, WNS) states visited (POST /design/{id}/close and
-//     statime -close are the HTTP and CLI forms).
+//     statime -close are the HTTP and CLI forms);
+//   - AnalyzeCorners lifts the analysis to process variation: slow/typ/fast
+//     corner sweeps with per-net Gaussian derating run as vectorized passes
+//     over the flat timing arena, reporting per-endpoint slack distributions,
+//     corner-tagged WNS/TNS and criticality probability (POST
+//     /design/{id}/corners and statime -corners are the HTTP and CLI forms).
 //
 // Element units are the caller's choice: ohms with farads give seconds,
 // ohms with picofarads give picoseconds (the paper's §V convention).
@@ -51,6 +56,7 @@ import (
 	"repro/internal/closure"
 	"repro/internal/core"
 	"repro/internal/incr"
+	"repro/internal/mcd"
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/rctree"
@@ -417,6 +423,66 @@ func CloseSession(ctx context.Context, sess *DesignSession, opt ClosureOptions) 
 // are cheap and forks of the same parent may Apply concurrently with each
 // other (each fork on its own goroutine).
 func ForkDesignSession(sess *DesignSession) *DesignSession { return sess.Fork() }
+
+// Variation-analysis types, re-exported from the internal mcd engine.
+type (
+	// Corner is one global process point: every resistance in the design
+	// scales by RScale, every capacitance by CScale.
+	Corner = mcd.Corner
+	// CornerVariation is the per-net Gaussian derating applied on top of
+	// each corner (relative 1-sigma spreads; zero disables the draws).
+	CornerVariation = mcd.Variation
+	// CornerOptions configures AnalyzeCorners (corner list, variation,
+	// sample count, seed, threshold, default required time, workers).
+	CornerOptions = mcd.Options
+	// CornerDist summarizes one sampled scalar: mean/std/min/max plus
+	// P50/P95/P99 under the shared internal/stats quantile convention.
+	CornerDist = mcd.Dist
+	// CornerEndpoint is one endpoint's arrival and slack distributions at
+	// one corner, with its criticality probability.
+	CornerEndpoint = mcd.EndpointDist
+	// CornerResult is the sweep of one corner: nominal and sampled WNS/TNS
+	// plus the per-endpoint distributions.
+	CornerResult = mcd.CornerResult
+	// CornerReport is the full multi-corner variation analysis of a design,
+	// with Summary/WriteCSV/WriteJSON render methods.
+	CornerReport = mcd.Report
+)
+
+// DefaultCorners is the classic three-point sweep: slow (+15% R and C),
+// typical, fast (−15%).
+func DefaultCorners() []Corner { return mcd.DefaultCorners() }
+
+// AnalyzeCorners runs the multi-corner Monte Carlo variation analysis of a
+// design: each corner's global R/C scales, compounded with per-net Gaussian
+// factors drawn once per sample and shared across corners, are applied as
+// in-place rescales of the flat timing arena's element columns followed by a
+// levelized re-propagation — no per-sample tree rebuild. The report carries,
+// per corner, nominal and sampled WNS/TNS, per-endpoint arrival and slack
+// distributions, and each endpoint's criticality (the fraction of samples in
+// which it is the WNS endpoint). Results are bit-identical for a given seed
+// regardless of worker count. cmd/rcserve's POST /design/{id}/corners and
+// statime -corners are the HTTP and CLI forms.
+func AnalyzeCorners(ctx context.Context, d *Design, opt CornerOptions) (*CornerReport, error) {
+	return mcd.Analyze(ctx, d, opt)
+}
+
+// DesignCorners runs the same variation analysis against a prebuilt
+// TimingGraph, so repeated sweeps of one design (different seeds, sample
+// counts or corner lists) skip re-levelization. name labels the report.
+func DesignCorners(ctx context.Context, g *TimingGraph, name string, opt CornerOptions) (*CornerReport, error) {
+	return mcd.AnalyzeGraph(ctx, g, name, opt)
+}
+
+// ScaleDesign returns a deep copy of a design with every net's element
+// values scaled: net i's resistances by rFactors[i], capacitances by
+// cFactors[i] (nil means all ones). Stage delays and required times are
+// unscaled — this is the explicit-netlist form of what AnalyzeCorners does
+// in place on the arena, and what the corner-aware closure mounts its
+// shadow sessions on.
+func ScaleDesign(d *Design, rFactors, cFactors []float64) (*Design, error) {
+	return mcd.ScaleDesign(d, rFactors, cFactors)
+}
 
 // AnalyzeBatch analyzes every job on a one-shot engine with default
 // options: the jobs fan out across GOMAXPROCS workers, structurally

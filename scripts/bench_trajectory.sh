@@ -5,8 +5,10 @@
 #   BENCH_incremental.json  full-vs-incremental EditTree sweeps
 #   BENCH_timing.json       arena vs pointer chip-slack cores, the arena
 #                           propagation kernel under its three schedules,
-#                           full-reanalyze vs dirty-cone ECO re-timing, and
-#                           sequential vs concurrent closure-trial evaluation
+#                           full-reanalyze vs dirty-cone ECO re-timing,
+#                           sequential vs concurrent closure-trial evaluation,
+#                           and the corner sweep's in-place arena rescale vs
+#                           per-sample netlist rebuild
 #   BENCH_serve.json        rcserve under rcload: per-operation p50/p99 at
 #                           two concurrency levels plus kill -9 recovery
 #                           timing (via scripts/serve_smoke.sh)
@@ -76,8 +78,8 @@ cat BENCH_incremental.json
 run_timing() {
     echo "GOMAXPROCS $1"
     GOMAXPROCS="$1" go test -run '^$' \
-        -bench 'BenchmarkDesignSlack|BenchmarkDesignECO|BenchmarkArenaPropagation|BenchmarkClosure' \
-        -benchtime "$timing_benchtime" -count 1 ./internal/timing/ ./internal/closure/
+        -bench 'BenchmarkDesignSlack|BenchmarkDesignECO|BenchmarkArenaPropagation|BenchmarkClosure|BenchmarkCornerSweep' \
+        -benchtime "$timing_benchtime" -count 1 ./internal/timing/ ./internal/closure/ ./internal/mcd/
 }
 raw="$(run_timing 1)"
 if [ "$maxprocs" -gt 1 ]; then
@@ -127,6 +129,7 @@ END {
             "ArenaPropagation/sequential@" maxmp, "ArenaPropagation/worksteal@" maxmp)
     }
     speedup("eco_dirty_cone_vs_full", "DesignECO/full-reanalyze@1", "DesignECO/dirty-cone@1")
+    speedup("corner_sweep_arena_vs_rebuild", "CornerSweep/rebuild@1", "CornerSweep/arena@1")
     speedup("closure_concurrent_vs_sequential", "Closure/sequential@" maxmp, "Closure/concurrent@" maxmp)
     # Ratio of instrumented to bare propagation: a registry-enabled pass per
     # the observability contract must stay within 2% of the no-op path
