@@ -10,6 +10,9 @@
 // -ops operations of mixed traffic — ECO edit batches, slack reads, and
 // close/reopen cycles in -edit-frac/-slack-frac proportions — recording
 // per-operation latency percentiles (p50/p99) and 429 backpressure retries.
+// Every request carries a W3C traceparent header, and the report's per-op
+// "slowest" section names the server-side trace ids of the slowest calls —
+// paste one into rcserve's GET /debug/traces/{id} to see its span tree.
 // The final state of every surviving design (id, WNS, TNS, edit count) is
 // written to -state, and the latency report as JSON to -out (default
 // stdout).
@@ -38,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 type config struct {
@@ -114,8 +118,12 @@ func client(cfg config) *http.Client {
 
 // doJSON performs one request and decodes the JSON answer. 429 answers are
 // retried with a short backoff (counting each retry); any other non-2xx is
-// an error carrying the server's message.
-func doJSON(c *http.Client, method, url string, body []byte, retries429 *counter) (map[string]any, error) {
+// an error carrying the server's message. Every attempt carries a fresh W3C
+// traceparent, so the server records the operation under a trace id rcload
+// knows; the returned id (confirmed from the response's traceparent echo,
+// falling back to the one sent) lets the latency report name the server-side
+// trace of its slowest operations.
+func doJSON(c *http.Client, method, url string, body []byte, retries429 *counter) (map[string]any, string, error) {
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
 		if body != nil {
@@ -123,19 +131,25 @@ func doJSON(c *http.Client, method, url string, body []byte, retries429 *counter
 		}
 		req, err := http.NewRequest(method, url, rd)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		tid := trace.NewTraceID()
+		req.Header.Set("traceparent", trace.FormatTraceparent(tid, trace.NewSpanID()))
+		traceID := tid.String()
 		resp, err := c.Do(req)
 		if err != nil {
-			return nil, err
+			return nil, traceID, err
+		}
+		if echoed, _, ok := trace.ParseTraceparent(resp.Header.Get("traceparent")); ok {
+			traceID = echoed.String()
 		}
 		data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 		resp.Body.Close()
 		if err != nil {
-			return nil, err
+			return nil, traceID, err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests && attempt < 50 {
 			if retries429 != nil {
@@ -147,13 +161,13 @@ func doJSON(c *http.Client, method, url string, body []byte, retries429 *counter
 		var decoded map[string]any
 		if len(data) > 0 {
 			if err := json.Unmarshal(data, &decoded); err != nil {
-				return nil, fmt.Errorf("%s %s: bad JSON (%d): %.200s", method, url, resp.StatusCode, data)
+				return nil, traceID, fmt.Errorf("%s %s: bad JSON (%d): %.200s", method, url, resp.StatusCode, data)
 			}
 		}
 		if resp.StatusCode < 200 || resp.StatusCode > 299 {
-			return decoded, fmt.Errorf("%s %s: %d: %v", method, url, resp.StatusCode, decoded["error"])
+			return decoded, traceID, fmt.Errorf("%s %s: %d: %v", method, url, resp.StatusCode, decoded["error"])
 		}
-		return decoded, nil
+		return decoded, traceID, nil
 	}
 }
 
@@ -169,36 +183,59 @@ func (c *counter) value() int64 {
 	return c.n
 }
 
-// latencies collects per-operation durations for one op kind.
+// slowOp names one slow operation's latency and its server-side trace id —
+// the handle to paste into GET /debug/traces/{id} for the span tree.
+type slowOp struct {
+	Ms    float64 `json:"ms"`
+	Trace string  `json:"trace,omitempty"`
+}
+
+// maxSlowOps bounds the slowest-op list kept per op kind.
+const maxSlowOps = 3
+
+// latencies collects per-operation durations for one op kind, retaining the
+// trace ids of the slowest few.
 type latencies struct {
 	mu     sync.Mutex
 	ms     []float64
+	slow   []slowOp // descending by Ms, at most maxSlowOps entries
 	errors int
 }
 
-func (l *latencies) observe(d time.Duration, err error) {
+func (l *latencies) observe(d time.Duration, traceID string, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err != nil {
 		l.errors++
 		return
 	}
-	l.ms = append(l.ms, float64(d.Nanoseconds())/1e6)
+	ms := float64(d.Nanoseconds()) / 1e6
+	l.ms = append(l.ms, ms)
+	i := sort.Search(len(l.slow), func(i int) bool { return l.slow[i].Ms < ms })
+	if i < maxSlowOps {
+		l.slow = append(l.slow, slowOp{})
+		copy(l.slow[i+1:], l.slow[i:])
+		l.slow[i] = slowOp{Ms: ms, Trace: traceID}
+		if len(l.slow) > maxSlowOps {
+			l.slow = l.slow[:maxSlowOps]
+		}
+	}
 }
 
 // opStats is the JSON latency summary of one op kind.
 type opStats struct {
-	Count  int     `json:"count"`
-	Errors int     `json:"errors"`
-	P50ms  float64 `json:"p50_ms"`
-	P99ms  float64 `json:"p99_ms"`
-	MaxMs  float64 `json:"max_ms"`
+	Count   int      `json:"count"`
+	Errors  int      `json:"errors"`
+	P50ms   float64  `json:"p50_ms"`
+	P99ms   float64  `json:"p99_ms"`
+	MaxMs   float64  `json:"max_ms"`
+	Slowest []slowOp `json:"slowest,omitempty"`
 }
 
 func (l *latencies) stats() opStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	s := opStats{Count: len(l.ms), Errors: l.errors}
+	s := opStats{Count: len(l.ms), Errors: l.errors, Slowest: append([]slowOp(nil), l.slow...)}
 	if len(l.ms) == 0 {
 		return s
 	}
@@ -282,17 +319,17 @@ func loadEdit(i int) string {
 	}
 }
 
-func createDesign(c *http.Client, cfg config, w int, retries *counter) (string, error) {
+func createDesign(c *http.Client, cfg config, w int, retries *counter) (string, string, error) {
 	body, _ := json.Marshal(map[string]any{"design": loadDeck(w), "threshold": 0.7, "required": 700})
-	resp, err := doJSON(c, http.MethodPost, cfg.addr+"/design", body, retries)
+	resp, traceID, err := doJSON(c, http.MethodPost, cfg.addr+"/design", body, retries)
 	if err != nil {
-		return "", err
+		return "", traceID, err
 	}
 	id, _ := resp["id"].(string)
 	if id == "" {
-		return "", fmt.Errorf("create: no id in %v", resp)
+		return "", traceID, fmt.Errorf("create: no id in %v", resp)
 	}
-	return id, nil
+	return id, traceID, nil
 }
 
 func runLoad(cfg config) (*loadReport, error) {
@@ -312,8 +349,8 @@ func runLoad(cfg config) (*loadReport, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
 			t0 := time.Now()
-			id, err := createDesign(c, cfg, w, &retries)
-			lats["create"].observe(time.Since(t0), err)
+			id, tr, err := createDesign(c, cfg, w, &retries)
+			lats["create"].observe(time.Since(t0), tr, err)
 			if err != nil {
 				errCh <- fmt.Errorf("session %d: %w", w, err)
 				return
@@ -329,8 +366,8 @@ func runLoad(cfg config) (*loadReport, error) {
 					}
 					body := []byte(`{"edits": [` + strings.Join(specs, ",") + `]}`)
 					t0 := time.Now()
-					resp, err := doJSON(c, http.MethodPost, cfg.addr+"/design/"+id+"/edit", body, &retries)
-					lats["edit"].observe(time.Since(t0), err)
+					resp, tr, err := doJSON(c, http.MethodPost, cfg.addr+"/design/"+id+"/edit", body, &retries)
+					lats["edit"].observe(time.Since(t0), tr, err)
 					if err == nil {
 						if applied, ok := resp["applied"].(float64); ok {
 							edits += int(applied)
@@ -338,23 +375,23 @@ func runLoad(cfg config) (*loadReport, error) {
 					}
 				case r < cfg.editFrac+cfg.slackFrac:
 					t0 := time.Now()
-					_, err := doJSON(c, http.MethodGet, cfg.addr+"/design/"+id+"/slack", nil, &retries)
-					lats["slack"].observe(time.Since(t0), err)
+					_, tr, err := doJSON(c, http.MethodGet, cfg.addr+"/design/"+id+"/slack", nil, &retries)
+					lats["slack"].observe(time.Since(t0), tr, err)
 				default:
 					t0 := time.Now()
-					_, err := doJSON(c, http.MethodDelete, cfg.addr+"/design/"+id, nil, &retries)
+					_, tr, err := doJSON(c, http.MethodDelete, cfg.addr+"/design/"+id, nil, &retries)
 					if err == nil {
-						id, err = createDesign(c, cfg, w, &retries)
+						id, _, err = createDesign(c, cfg, w, &retries)
 						edits = 0
 					}
-					lats["close"].observe(time.Since(t0), err)
+					lats["close"].observe(time.Since(t0), tr, err)
 					if err != nil {
 						errCh <- fmt.Errorf("session %d: close/reopen: %w", w, err)
 						return
 					}
 				}
 			}
-			info, err := doJSON(c, http.MethodGet, cfg.addr+"/design/"+id, nil, &retries)
+			info, _, err := doJSON(c, http.MethodGet, cfg.addr+"/design/"+id, nil, &retries)
 			if err != nil {
 				errCh <- fmt.Errorf("session %d: final info: %w", w, err)
 				return
@@ -432,7 +469,7 @@ func runVerify(cfg config) (*verifyReport, error) {
 	const tol = 1e-9
 	for _, want := range sf.Designs {
 		t0 := time.Now()
-		info, err := doJSON(c, http.MethodGet, cfg.addr+"/design/"+want.ID, nil, nil)
+		info, _, err := doJSON(c, http.MethodGet, cfg.addr+"/design/"+want.ID, nil, nil)
 		ms := float64(time.Since(t0).Nanoseconds()) / 1e6
 		rep.RecoveryMsTot += ms
 		if ms > rep.RecoveryMsMax {

@@ -100,16 +100,16 @@ func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		httpError(w, r, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
 		return
 	}
 	if req.Design == "" {
-		httpError(w, "request names no design: set design to a multi-net deck", http.StatusUnprocessableEntity)
+		httpError(w, r, "request names no design: set design to a multi-net deck", http.StatusUnprocessableEntity)
 		return
 	}
 	design, err := rcdelay.ParseDesign(req.Design)
 	if err != nil {
-		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		httpError(w, r, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	sess, err := rcdelay.NewDesignSession(r.Context(), design, rcdelay.DesignOptions{
@@ -119,14 +119,14 @@ func (s *server) handleDesignCreate(w http.ResponseWriter, r *http.Request) {
 		Obs:       s.obs,
 	})
 	if err != nil {
-		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		httpError(w, r, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	ent := s.designs.create(&designSession{sess: sess, opts: req})
 	defer s.designs.release(ent)
 	if err := s.walCreate(ent, design); err != nil {
 		s.designs.delete(ent.id)
-		httpError(w, fmt.Sprintf("durability write failed: %v", err), http.StatusInternalServerError)
+		httpError(w, r, fmt.Sprintf("durability write failed: %v", err), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusCreated, designSummary(ent))
@@ -143,7 +143,7 @@ func (s *server) lookupDesign(w http.ResponseWriter, r *http.Request) (*entry[*d
 		e, ok = s.recoverDesign(r.Context(), id)
 	}
 	if !ok {
-		httpError(w, "unknown or expired design", http.StatusNotFound)
+		httpError(w, r, "unknown or expired design", http.StatusNotFound)
 		return nil, false
 	}
 	return e, true
@@ -183,7 +183,7 @@ type designEditResponse struct {
 // endpoint, with slack instead of characteristic times in the answer.
 func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_design_requests_total", 1)
-	done, ok := admitOr429(w, s.designs, r.PathValue("id"))
+	done, ok := admitOr429(w, r, s.designs, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -197,29 +197,29 @@ func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		httpError(w, r, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
 		return
 	}
 	if len(req.Edits) == 0 {
-		httpError(w, "edit request carries no edits", http.StatusUnprocessableEntity)
+		httpError(w, r, "edit request carries no edits", http.StatusUnprocessableEntity)
 		return
 	}
 	if !s.designs.allowEdits(ent, len(req.Edits)) {
-		rateLimited(w, "design edit rate limit exceeded")
+		rateLimited(w, r, "design edit rate limit exceeded")
 		return
 	}
 	ds := ent.val
 	ds.mu.Lock()
-	res, err := ds.sess.Apply(req.Edits)
+	res, err := ds.sess.ApplyCtx(r.Context(), req.Edits)
 	ds.edits += res.Applied
 	var wns *float64
 	if !math.IsInf(res.WNS, 0) {
 		wns = &res.WNS
 	}
-	walErr := s.walAppend(ds, req.Edits[:res.Applied])
+	walErr := s.walAppend(r.Context(), ds, req.Edits[:res.Applied])
 	ds.mu.Unlock()
 	if walErr != nil {
-		httpError(w, fmt.Sprintf("durability write failed: %v", walErr), http.StatusInternalServerError)
+		httpError(w, r, fmt.Sprintf("durability write failed: %v", walErr), http.StatusInternalServerError)
 		return
 	}
 	s.count("rcserve_design_edits_total", int64(res.Applied))
@@ -243,7 +243,7 @@ func (s *server) handleDesignEdit(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleDesignSlack(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_design_requests_total", 1)
 	s.count("rcserve_slack_queries_total", 1)
-	done, ok := admitOr429(w, s.designs, r.PathValue("id"))
+	done, ok := admitOr429(w, r, s.designs, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -298,7 +298,7 @@ type designCloseResponse struct {
 func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_design_requests_total", 1)
 	s.count("rcserve_close_requests_total", 1)
-	done, ok := admitOr429(w, s.designs, r.PathValue("id"))
+	done, ok := admitOr429(w, r, s.designs, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -312,7 +312,7 @@ func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil && err != io.EOF {
-		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		httpError(w, r, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
 		return
 	}
 	if r.URL.Query().Get("stream") != "" {
@@ -334,16 +334,16 @@ func (s *server) handleDesignClose(w http.ResponseWriter, r *http.Request) {
 		// in memory and in the WAL (closure moves are ECO edits like any
 		// other — a restart replays the repair).
 		ds.edits += len(report.Edits)
-		walErr = s.walAppend(ds, report.Edits)
+		walErr = s.walAppend(r.Context(), ds, report.Edits)
 	}
 	gen := ds.sess.Gen()
 	ds.mu.Unlock()
 	if err != nil && report == nil {
-		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		httpError(w, r, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	if walErr != nil {
-		httpError(w, fmt.Sprintf("durability write failed: %v", walErr), http.StatusInternalServerError)
+		httpError(w, r, fmt.Sprintf("durability write failed: %v", walErr), http.StatusInternalServerError)
 		return
 	}
 	s.count("rcserve_closure_moves_total", int64(len(report.Moves)))
@@ -388,7 +388,7 @@ type designCornersResponse struct {
 func (s *server) handleDesignCorners(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_design_requests_total", 1)
 	s.count("rcserve_corner_requests_total", 1)
-	done, ok := admitOr429(w, s.designs, r.PathValue("id"))
+	done, ok := admitOr429(w, r, s.designs, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -402,7 +402,7 @@ func (s *server) handleDesignCorners(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil && err != io.EOF {
-		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		httpError(w, r, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
 		return
 	}
 	ds := ent.val
@@ -413,7 +413,7 @@ func (s *server) handleDesignCorners(w http.ResponseWriter, r *http.Request) {
 	required := ds.sess.Required()
 	ds.mu.Unlock()
 	if derr != nil {
-		httpError(w, derr.Error(), http.StatusInternalServerError)
+		httpError(w, r, derr.Error(), http.StatusInternalServerError)
 		return
 	}
 	report, err := rcdelay.AnalyzeCorners(r.Context(), design, rcdelay.CornerOptions{
@@ -427,7 +427,7 @@ func (s *server) handleDesignCorners(w http.ResponseWriter, r *http.Request) {
 		Obs:        s.obs,
 	})
 	if err != nil {
-		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		httpError(w, r, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	writeJSON(w, http.StatusOK, designCornersResponse{ID: ent.id, Gen: gen, Report: report})
@@ -441,13 +441,13 @@ func (s *server) handleDesignDelete(w http.ResponseWriter, r *http.Request) {
 	// would resurrect the design on the next lookup.
 	if s.wal != nil && s.wal.Exists(id) {
 		if err := s.wal.Remove(id); err != nil {
-			httpError(w, fmt.Sprintf("durability remove failed: %v", err), http.StatusInternalServerError)
+			httpError(w, r, fmt.Sprintf("durability remove failed: %v", err), http.StatusInternalServerError)
 			return
 		}
 		deleted = true
 	}
 	if !deleted {
-		httpError(w, "unknown or expired design", http.StatusNotFound)
+		httpError(w, r, "unknown or expired design", http.StatusNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"closed": true})

@@ -34,6 +34,10 @@
 //	GET    /readyz              readiness; 503 once a shutdown drain starts
 //	GET    /debug/vars          legacy JSON counter blob (per-server, no
 //	                            global expvar registration)
+//	GET    /debug/traces        flight recorder: recent + pinned slow/error
+//	                            traces, newest first (?slow=1 pinned only)
+//	GET    /debug/traces/{id}   one trace as a span tree; ?format=chrome
+//	                            emits Chrome trace-event JSON (Perfetto)
 //	GET    /debug/pprof/        runtime profiling (net/http/pprof)
 //
 // POST /design/{id}/close?stream=1 switches the closure response to
@@ -93,6 +97,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -100,6 +105,7 @@ import (
 
 	rcdelay "repro"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -131,10 +137,17 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "durability directory: per-design WAL + snapshots (empty = in-memory only)")
 		snapEvery   = flag.Int("snapshot-every", defaultSnapEvery, "WAL edits that trigger an automatic design snapshot")
 		snapEach    = flag.Duration("snapshot-interval", 30*time.Second, "periodic snapshotter cadence (0 disables the timer)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		traceBuf    = flag.Int("trace-buffer", 64, "completed traces the flight recorder retains")
+		traceSlow   = flag.Duration("trace-slow", 250*time.Millisecond, "request latency at or above which a trace is pinned in the slow ring")
 	)
 	flag.Parse()
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		log.Fatalf("rcserve: %v", err)
+	}
 	srv := newServer(rcdelay.NewBatchEngine(rcdelay.BatchOptions{Workers: *workers, CacheSize: *cache}))
+	srv.tracer = trace.New(trace.Options{Capacity: *traceBuf, SlowThreshold: *traceSlow})
 	srv.logger = logger
 	cfg := storeConfig{
 		ttl: *sessionTTL, max: *maxSessions,
@@ -219,6 +232,7 @@ type server struct {
 	start    time.Time
 	obs      *obs.Registry
 	logger   *slog.Logger
+	tracer   *trace.Tracer
 	draining atomic.Bool
 
 	// Durability (nil wal = in-memory only, the default): per-design WAL +
@@ -233,8 +247,13 @@ type server struct {
 // requestMeta is mutated by the per-route registration wrapper and read by
 // the ServeHTTP middleware: the mux only stamps Pattern on its internal
 // request copy, so the matched route has to be smuggled out through a
-// context pointer for the middleware's metric labels.
-type requestMeta struct{ route string }
+// context pointer for the middleware's metric labels. The middleware also
+// stamps the request's correlation id here so deep error paths (httpError)
+// can echo it into response bodies.
+type requestMeta struct {
+	route string
+	id    string
+}
 
 type metaKey struct{}
 
@@ -260,6 +279,7 @@ func newServer(engine *rcdelay.BatchEngine) *server {
 		start:     time.Now(),
 		obs:       obs.NewRegistry(),
 		logger:    slog.Default(),
+		tracer:    trace.New(trace.Options{}),
 	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /readyz", s.handleReadyz)
@@ -279,6 +299,8 @@ func newServer(engine *rcdelay.BatchEngine) *server {
 	s.handle("GET /design/{id}", s.handleDesignInfo)
 	s.handle("DELETE /design/{id}", s.handleDesignDelete)
 	s.handle("GET /debug/vars", s.handleVars)
+	s.handle("GET /debug/traces", s.handleTraceList)
+	s.handle("GET /debug/traces/{id}", s.handleTraceGet)
 	s.handle("GET /debug/pprof/", pprof.Index)
 	s.handle("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.handle("GET /debug/pprof/profile", pprof.Profile)
@@ -358,26 +380,36 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }
 
+// errorBody builds the JSON error envelope, echoing the request's
+// correlation id so a client can quote it when reporting a failure.
+func errorBody(r *http.Request, msg string) map[string]any {
+	body := map[string]any{"error": msg}
+	if m, ok := r.Context().Value(metaKey{}).(*requestMeta); ok && m.id != "" {
+		body["requestId"] = m.id
+	}
+	return body
+}
+
 // httpError writes a JSON error envelope (the session endpoints speak JSON
 // end to end; plain-text errors are awkward for interactive clients).
-func httpError(w http.ResponseWriter, msg string, status int) {
-	writeJSON(w, status, map[string]any{"error": msg})
+func httpError(w http.ResponseWriter, r *http.Request, msg string, status int) {
+	writeJSON(w, status, errorBody(r, msg))
 }
 
 // rateLimited answers 429 with a Retry-After hint — the backpressure signal
 // for both the per-session edit-rate limit and a full shard queue.
-func rateLimited(w http.ResponseWriter, msg string) {
+func rateLimited(w http.ResponseWriter, r *http.Request, msg string) {
 	w.Header().Set("Retry-After", "1")
-	writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": msg})
+	writeJSON(w, http.StatusTooManyRequests, errorBody(r, msg))
 }
 
 // admitOr429 takes an admission token from id's shard queue, answering 429
 // when the shard is already at its in-flight depth. The returned func gives
 // the token back; call it when the request is done.
-func admitOr429[T any](w http.ResponseWriter, st *ttlStore[T], id string) (func(), bool) {
+func admitOr429[T any](w http.ResponseWriter, r *http.Request, st *ttlStore[T], id string) (func(), bool) {
 	done, ok := st.admit(id)
 	if !ok {
-		rateLimited(w, "shard admission queue full")
+		rateLimited(w, r, "shard admission queue full")
 		return nil, false
 	}
 	return done, true
@@ -435,13 +467,30 @@ func newRequestID() string {
 }
 
 // ServeHTTP is the telemetry middleware around the mux: every request gets
-// a correlation id, a per-route latency observation, a per-route/status
-// counter, and one structured log line.
+// a correlation id (the inbound X-Request-Id when well-formed, minted
+// otherwise, echoed back either way), a trace root span (joining the
+// inbound W3C traceparent when one is sent), a per-route latency
+// observation, a per-route/status counter, and one structured log line
+// carrying both ids.
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	meta := &requestMeta{}
-	r = r.WithContext(context.WithValue(r.Context(), metaKey{}, meta))
+	meta := &requestMeta{id: requestID(r)}
+	ctx := context.WithValue(r.Context(), metaKey{}, meta)
+	var tid trace.TraceID
+	var parent trace.SpanID
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		tid, parent, _ = trace.ParseTraceparent(tp)
+	}
+	ctx, span := s.tracer.StartRemote(ctx, "rcserve.request", tid, parent)
+	span.SetAttr("method", r.Method)
+	span.SetAttr("path", r.URL.Path)
+	span.SetAttr("request_id", meta.id)
+	r = r.WithContext(ctx)
 	sw := &statusWriter{ResponseWriter: w}
-	reqID := newRequestID()
+	w.Header().Set("X-Request-Id", meta.id)
+	traceID := span.TraceID()
+	if !traceID.IsZero() {
+		w.Header().Set("traceparent", trace.FormatTraceparent(traceID, span.SpanID()))
+	}
 	start := time.Now()
 	s.mux.ServeHTTP(sw, r)
 	dur := time.Since(start)
@@ -452,13 +501,24 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if sw.status == 0 {
 		sw.status = http.StatusOK
 	}
+	span.SetAttr("route", route)
+	span.SetAttr("status", strconv.Itoa(sw.status))
+	if sw.status >= http.StatusInternalServerError {
+		span.SetError(fmt.Errorf("status %d", sw.status))
+	}
+	span.End()
 	s.obs.Counter("http_requests_total",
 		"route", route, "code", fmt.Sprintf("%d", sw.status)).Add(1)
 	s.obs.Histogram("http_request_seconds", obs.LatencyBuckets, "route", route).
 		Observe(dur.Seconds())
-	s.logger.Info("request",
-		"id", reqID, "method", r.Method, "path", r.URL.Path, "route", route,
-		"status", sw.status, "bytes", sw.bytes, "dur", dur)
+	logAttrs := []any{
+		"id", meta.id, "method", r.Method, "path", r.URL.Path, "route", route,
+		"status", sw.status, "bytes", sw.bytes, "dur", dur,
+	}
+	if !traceID.IsZero() {
+		logAttrs = append(logAttrs, "trace", traceID.String())
+	}
+	s.logger.Info("request", logAttrs...)
 }
 
 // jobRequest is one network plus its evaluation requests, as posted by the

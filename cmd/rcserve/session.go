@@ -80,25 +80,25 @@ func (s *server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		httpError(w, r, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
 		return
 	}
 	var tree *rcdelay.Tree
 	var err error
 	switch {
 	case req.Netlist != "" && req.Expression != "":
-		httpError(w, "give either netlist or expression, not both", http.StatusUnprocessableEntity)
+		httpError(w, r, "give either netlist or expression, not both", http.StatusUnprocessableEntity)
 		return
 	case req.Netlist != "":
 		tree, err = rcdelay.ParseNetlist(req.Netlist)
 	case req.Expression != "":
 		tree, _, err = rcdelay.ParseExpression(req.Expression)
 	default:
-		httpError(w, "session names no network: set netlist or expression", http.StatusUnprocessableEntity)
+		httpError(w, r, "session names no network: set netlist or expression", http.StatusUnprocessableEntity)
 		return
 	}
 	if err != nil {
-		httpError(w, err.Error(), http.StatusUnprocessableEntity)
+		httpError(w, r, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	ent := s.sessions.create(&session{et: rcdelay.NewEditTree(tree)})
@@ -128,7 +128,7 @@ func (s *server) sessionInfo(ent *entry[*session]) sessionInfoJSON {
 func (s *server) lookupSession(w http.ResponseWriter, r *http.Request) (*entry[*session], bool) {
 	ent, ok := s.sessions.get(r.PathValue("id"))
 	if !ok {
-		httpError(w, "unknown or expired session", http.StatusNotFound)
+		httpError(w, r, "unknown or expired session", http.StatusNotFound)
 		return nil, false
 	}
 	return ent, true
@@ -145,7 +145,7 @@ func (s *server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_session_requests_total", 1)
 	if !s.sessions.delete(r.PathValue("id")) {
-		httpError(w, "unknown or expired session", http.StatusNotFound)
+		httpError(w, r, "unknown or expired session", http.StatusNotFound)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"closed": true})
@@ -159,7 +159,7 @@ func (s *server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 // interactive clients get edit→times in one round trip.
 func (s *server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
 	s.count("rcserve_session_requests_total", 1)
-	done, ok := admitOr429(w, s.sessions, r.PathValue("id"))
+	done, ok := admitOr429(w, r, s.sessions, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -174,15 +174,15 @@ func (s *server) handleSessionEdit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
+		httpError(w, r, fmt.Sprintf("bad request: %v", err), badRequestStatus(err))
 		return
 	}
 	if len(req.Edits) == 0 {
-		httpError(w, "edit request carries no edits", http.StatusUnprocessableEntity)
+		httpError(w, r, "edit request carries no edits", http.StatusUnprocessableEntity)
 		return
 	}
 	if !s.sessions.allowEdits(ent, len(req.Edits)) {
-		rateLimited(w, "session edit rate limit exceeded")
+		rateLimited(w, r, "session edit rate limit exceeded")
 		return
 	}
 	sess.mu.Lock()
@@ -399,12 +399,12 @@ func (s *server) handleSessionBounds(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	thresholds, err := parseFloats(q.Get("thresholds"))
 	if err != nil {
-		httpError(w, fmt.Sprintf("thresholds: %v", err), floatsStatus(err))
+		httpError(w, r, fmt.Sprintf("thresholds: %v", err), floatsStatus(err))
 		return
 	}
 	times, err := parseFloats(q.Get("times"))
 	if err != nil {
-		httpError(w, fmt.Sprintf("times: %v", err), floatsStatus(err))
+		httpError(w, r, fmt.Sprintf("times: %v", err), floatsStatus(err))
 		return
 	}
 	sess.mu.Lock()
@@ -414,7 +414,7 @@ func (s *server) handleSessionBounds(w http.ResponseWriter, r *http.Request) {
 	if name := q.Get("output"); name != "" {
 		id, ok := sess.et.Lookup(name)
 		if !ok {
-			httpError(w, fmt.Sprintf("unknown node %q", name), http.StatusUnprocessableEntity)
+			httpError(w, r, fmt.Sprintf("unknown node %q", name), http.StatusUnprocessableEntity)
 			return
 		}
 		outs = []rcdelay.NodeID{id}
@@ -422,7 +422,7 @@ func (s *server) handleSessionBounds(w http.ResponseWriter, r *http.Request) {
 	for _, o := range outs {
 		tm, err := sess.et.Times(o)
 		if err != nil {
-			httpError(w, fmt.Sprintf("output %q: %v", sess.et.Name(o), err), http.StatusUnprocessableEntity)
+			httpError(w, r, fmt.Sprintf("output %q: %v", sess.et.Name(o), err), http.StatusUnprocessableEntity)
 			return
 		}
 		oj := outputJSON{
@@ -432,7 +432,7 @@ func (s *server) handleSessionBounds(w http.ResponseWriter, r *http.Request) {
 		if len(thresholds) > 0 || len(times) > 0 {
 			bounds, err := rcdelay.NewBounds(tm)
 			if err != nil {
-				httpError(w, fmt.Sprintf("output %q: %v", sess.et.Name(o), err), http.StatusUnprocessableEntity)
+				httpError(w, r, fmt.Sprintf("output %q: %v", sess.et.Name(o), err), http.StatusUnprocessableEntity)
 				return
 			}
 			for _, row := range bounds.DelayTable(thresholds) {

@@ -89,7 +89,7 @@ func (s *sseWriter) event(name string, payload any) {
 func (s *server) streamDesignClose(w http.ResponseWriter, r *http.Request, ent *entry[*designSession], req designCloseRequest) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, "streaming unsupported by this connection", http.StatusNotImplemented)
+		httpError(w, r, "streaming unsupported by this connection", http.StatusNotImplemented)
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -117,7 +117,7 @@ func (s *server) streamDesignClose(w http.ResponseWriter, r *http.Request, ent *
 	var walErr error
 	if report != nil {
 		ds.edits += len(report.Edits)
-		walErr = s.walAppend(ds, report.Edits)
+		walErr = s.walAppend(r.Context(), ds, report.Edits)
 	}
 	gen := ds.sess.Gen()
 	ds.mu.Unlock()

@@ -17,11 +17,15 @@ import (
 // snapshot + log tail through ParseDesign/NewDesignSession/Apply.
 
 // openWAL mounts the durability store; main calls it when -data-dir is set.
+// The store reports into the server's registry, so /metrics carries the
+// wal_append/wal_fsync/wal_snapshot/wal_recovery histograms and the
+// rotation/torn-tail/stale-file counters.
 func (s *server) openWAL(dir string) error {
 	st, err := wal.Open(dir)
 	if err != nil {
 		return err
 	}
+	st.Instrument(s.obs)
 	s.wal = st
 	return nil
 }
@@ -52,27 +56,27 @@ func (s *server) walCreate(ent *entry[*designSession], design *rcdelay.Design) e
 // response. When the log grows past -snapshot-every edits the session is
 // snapshotted inline (one materialize + atomic rename) so replay length
 // stays bounded.
-func (s *server) walAppend(ds *designSession, edits []rcdelay.DesignEdit) error {
+func (s *server) walAppend(ctx context.Context, ds *designSession, edits []rcdelay.DesignEdit) error {
 	if ds.wlog == nil || len(edits) == 0 {
 		return nil
 	}
-	if err := ds.wlog.Append(edits); err != nil {
+	if err := ds.wlog.AppendCtx(ctx, edits); err != nil {
 		return err
 	}
 	if s.snapEvery > 0 && ds.wlog.Pending() >= s.snapEvery {
-		return s.walSnapshotLocked(ds)
+		return s.walSnapshotLocked(ctx, ds)
 	}
 	return nil
 }
 
 // walSnapshotLocked rotates ds's log onto a fresh snapshot of the
 // materialized design. Callers hold ds.mu.
-func (s *server) walSnapshotLocked(ds *designSession) error {
+func (s *server) walSnapshotLocked(ctx context.Context, ds *designSession) error {
 	d, err := ds.sess.Design()
 	if err != nil {
 		return fmt.Errorf("materialize: %w", err)
 	}
-	return ds.wlog.Rotate(rcdelay.WriteDesign(d), ds.edits)
+	return ds.wlog.RotateCtx(ctx, rcdelay.WriteDesign(d), ds.edits)
 }
 
 // snapshotAll snapshots every live design with pending WAL edits; the
@@ -91,7 +95,7 @@ func (s *server) snapshotAll() (int, error) {
 		ds := ent.val
 		ds.mu.Lock()
 		if ds.wlog != nil && ds.wlog.Pending() > 0 {
-			if err := s.walSnapshotLocked(ds); err != nil {
+			if err := s.walSnapshotLocked(context.Background(), ds); err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("design %s: %w", id, err)
 				}
@@ -168,7 +172,7 @@ func (s *server) recoverDesign(ctx context.Context, id string) (*entry[*designSe
 // ParseDesign/NewDesignSession, then the log tail through Apply — and
 // inserts the session under its original id, pinned.
 func (s *server) rebuildDesign(ctx context.Context, id string) (*entry[*designSession], bool) {
-	rec, l, err := s.wal.Recover(id)
+	rec, l, err := s.wal.RecoverCtx(ctx, id)
 	if err != nil {
 		s.logger.Error("rcserve: design recovery", "id", id, "err", err)
 		return nil, false
@@ -192,7 +196,7 @@ func (s *server) rebuildDesign(ctx context.Context, id string) (*entry[*designSe
 		return nil, false
 	}
 	if len(rec.Edits) > 0 {
-		if _, err := sess.Apply(rec.Edits); err != nil {
+		if _, err := sess.ApplyCtx(ctx, rec.Edits); err != nil {
 			l.Close()
 			s.logger.Error("rcserve: design recovery: log replay", "id", id, "err", err)
 			return nil, false

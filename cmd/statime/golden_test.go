@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -50,7 +51,7 @@ func TestGoldenDesignReports(t *testing.T) {
 	for _, format := range []string{"text", "csv", "json"} {
 		t.Run(format, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := runDesign(&buf, []string{filepath.Join("testdata", "chip.ckt")}, 0.7, "", format, 2); err != nil {
+			if err := runDesign(context.Background(), &buf, []string{filepath.Join("testdata", "chip.ckt")}, 0.7, "", format, 2); err != nil {
 				t.Fatal(err)
 			}
 			checkGolden(t, "chip_"+format+".golden", buf.Bytes())
@@ -62,7 +63,7 @@ func TestGoldenCloseReports(t *testing.T) {
 	for _, format := range []string{"text", "csv", "json"} {
 		t.Run(format, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := runClose(&buf, nil, []string{filepath.Join("testdata", "fail.ckt")}, 0.7, "", format, 2, 0, 0); err != nil {
+			if err := runClose(context.Background(), &buf, nil, []string{filepath.Join("testdata", "fail.ckt")}, 0.7, "", format, 2, 0, 0); err != nil {
 				t.Fatal(err)
 			}
 			checkGolden(t, "close_"+format+".golden", buf.Bytes())
@@ -74,7 +75,7 @@ func TestGoldenCornerReports(t *testing.T) {
 	for _, format := range []string{"text", "csv", "json"} {
 		t.Run(format, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := runCorners(&buf, []string{filepath.Join("testdata", "fail.ckt")}, 0.7, "", format,
+			if err := runCorners(context.Background(), &buf, []string{filepath.Join("testdata", "fail.ckt")}, 0.7, "", format,
 				32, 1, 0.05, 0.05); err != nil {
 				t.Fatal(err)
 			}
@@ -87,7 +88,7 @@ func TestGoldenEcoReports(t *testing.T) {
 	for _, format := range []string{"text", "csv", "json"} {
 		t.Run(format, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := runEco(&buf, []string{filepath.Join("testdata", "chip.ckt")}, 0.7, "", format, 2,
+			if err := runEco(context.Background(), &buf, []string{filepath.Join("testdata", "chip.ckt")}, 0.7, "", format, 2,
 				filepath.Join("testdata", "chip.eco")); err != nil {
 				t.Fatal(err)
 			}

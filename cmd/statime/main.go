@@ -83,8 +83,22 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed for the -corners factor draws")
 		rsigma    = flag.Float64("rsigma", 0.05, "per-net relative 1-sigma resistance spread with -corners")
 		csigma    = flag.Float64("csigma", 0.05, "per-net relative 1-sigma capacitance spread with -corners")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of this run to FILE (chrome://tracing / Perfetto)")
 	)
 	flag.Parse()
+
+	// With -trace, the whole run becomes one recorded trace: a root span over
+	// the selected mode, with the engine layers' phase spans (levelize,
+	// propagate, eco apply, closure trials, corner sweeps) attached through
+	// the context. Without it ctx carries no span and tracing costs nothing.
+	ctx := context.Background()
+	var tracer *rcdelay.Tracer
+	var root *rcdelay.TraceSpan
+	if *traceOut != "" {
+		tracer = rcdelay.NewTracer(rcdelay.TracerOptions{SlowThreshold: -1})
+		ctx, root = tracer.Start(ctx, "statime")
+	}
+
 	var err error
 	switch {
 	case *eco != "" && *doClose:
@@ -92,24 +106,50 @@ func main() {
 	case *corners && (*eco != "" || *doClose):
 		err = fmt.Errorf("-corners is a reporting mode and cannot be combined with -eco or -close")
 	case *corners:
-		err = runCorners(os.Stdout, flag.Args(), *threshold, *deadline, *format, *samples, *seed, *rsigma, *csigma)
+		root.SetAttr("mode", "corners")
+		err = runCorners(ctx, os.Stdout, flag.Args(), *threshold, *deadline, *format, *samples, *seed, *rsigma, *csigma)
 	case *eco != "":
-		err = runEco(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k, *eco)
+		root.SetAttr("mode", "eco")
+		err = runEco(ctx, os.Stdout, flag.Args(), *threshold, *deadline, *format, *k, *eco)
 	case *doClose:
+		root.SetAttr("mode", "close")
 		var progressW io.Writer
 		if *progress {
 			progressW = os.Stderr
 		}
-		err = runClose(os.Stdout, progressW, flag.Args(), *threshold, *deadline, *format, *k, *budget, *maxCost)
+		err = runClose(ctx, os.Stdout, progressW, flag.Args(), *threshold, *deadline, *format, *k, *budget, *maxCost)
 	case *design:
-		err = runDesign(os.Stdout, flag.Args(), *threshold, *deadline, *format, *k)
+		root.SetAttr("mode", "design")
+		err = runDesign(ctx, os.Stdout, flag.Args(), *threshold, *deadline, *format, *k)
 	default:
+		root.SetAttr("mode", "nets")
 		err = run(os.Stdout, flag.Args(), *threshold, *deadline, *format)
+	}
+	if tracer != nil {
+		root.SetError(err)
+		root.End()
+		if werr := writeTraceFile(*traceOut, tracer); werr != nil && err == nil {
+			err = werr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "statime:", err)
 		os.Exit(1)
 	}
+}
+
+// writeTraceFile dumps the tracer's recorded traces (one: this run) as
+// Chrome trace-event JSON.
+func writeTraceFile(path string, tracer *rcdelay.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-trace: %w", err)
+	}
+	if err := rcdelay.WriteChromeTrace(f, tracer.Recent()); err != nil {
+		f.Close()
+		return fmt.Errorf("-trace: %w", err)
+	}
+	return f.Close()
 }
 
 func run(w io.Writer, paths []string, threshold float64, deadlineStr, format string) error {
@@ -194,12 +234,12 @@ func writeReport(w io.Writer, format string, r reporter) error {
 
 // runDesign is the -design mode: one multi-net deck through the chip-level
 // timing engine.
-func runDesign(w io.Writer, paths []string, threshold float64, deadlineStr, format string, k int) error {
+func runDesign(ctx context.Context, w io.Writer, paths []string, threshold float64, deadlineStr, format string, k int) error {
 	design, required, err := loadDesign("-design", paths, deadlineStr)
 	if err != nil {
 		return err
 	}
-	report, err := rcdelay.AnalyzeDesign(context.Background(), design, rcdelay.DesignOptions{
+	report, err := rcdelay.AnalyzeDesign(ctx, design, rcdelay.DesignOptions{
 		Threshold: threshold,
 		Required:  required,
 		K:         k,
@@ -213,12 +253,12 @@ func runDesign(w io.Writer, paths []string, threshold float64, deadlineStr, form
 // runCorners is the -corners mode: sweep the design across the default
 // slow/typ/fast process corners with per-net Gaussian derating and report
 // the per-endpoint slack distributions and criticality.
-func runCorners(w io.Writer, paths []string, threshold float64, deadlineStr, format string, samples int, seed int64, rsigma, csigma float64) error {
+func runCorners(ctx context.Context, w io.Writer, paths []string, threshold float64, deadlineStr, format string, samples int, seed int64, rsigma, csigma float64) error {
 	design, required, err := loadDesign("-corners", paths, deadlineStr)
 	if err != nil {
 		return err
 	}
-	report, err := rcdelay.AnalyzeCorners(context.Background(), design, rcdelay.CornerOptions{
+	report, err := rcdelay.AnalyzeCorners(ctx, design, rcdelay.CornerOptions{
 		Samples:   samples,
 		Seed:      seed,
 		Variation: rcdelay.CornerVariation{RSigma: rsigma, CSigma: csigma},
@@ -233,7 +273,7 @@ func runCorners(w io.Writer, paths []string, threshold float64, deadlineStr, for
 
 // runEco is the -eco mode: analyze the design once, replay the edit list
 // through an incremental re-timing session, and report the slack deltas.
-func runEco(w io.Writer, paths []string, threshold float64, deadlineStr, format string, k int, ecoPath string) error {
+func runEco(ctx context.Context, w io.Writer, paths []string, threshold float64, deadlineStr, format string, k int, ecoPath string) error {
 	editData, err := os.ReadFile(ecoPath)
 	if err != nil {
 		return err
@@ -249,7 +289,7 @@ func runEco(w io.Writer, paths []string, threshold float64, deadlineStr, format 
 	if err != nil {
 		return err
 	}
-	sess, err := rcdelay.NewDesignSession(context.Background(), design, rcdelay.DesignOptions{
+	sess, err := rcdelay.NewDesignSession(ctx, design, rcdelay.DesignOptions{
 		Threshold: threshold,
 		Required:  required,
 		K:         k,
@@ -258,7 +298,7 @@ func runEco(w io.Writer, paths []string, threshold float64, deadlineStr, format 
 		return err
 	}
 	before := sess.Report()
-	res, err := sess.Apply(edits)
+	res, err := sess.ApplyCtx(ctx, edits)
 	if err != nil {
 		return fmt.Errorf("%s: %w", ecoPath, err)
 	}
@@ -270,7 +310,7 @@ func runEco(w io.Writer, paths []string, threshold float64, deadlineStr, format 
 // trajectory. A non-nil progressW (stderr under -progress) receives one
 // line per accepted move as it lands — the CLI twin of rcserve's SSE
 // stream, sharing the same ProgressEvent hook.
-func runClose(w, progressW io.Writer, paths []string, threshold float64, deadlineStr, format string, k, budget int, maxCost float64) error {
+func runClose(ctx context.Context, w, progressW io.Writer, paths []string, threshold float64, deadlineStr, format string, k, budget int, maxCost float64) error {
 	design, required, err := loadDesign("-close", paths, deadlineStr)
 	if err != nil {
 		return err
@@ -291,7 +331,7 @@ func runClose(w, progressW io.Writer, paths []string, threshold float64, deadlin
 				ev.Move.Cost, ev.WNS, ev.TNS, ev.CumCost)
 		}
 	}
-	report, err := rcdelay.CloseTiming(context.Background(), design, opt)
+	report, err := rcdelay.CloseTiming(ctx, design, opt)
 	if err != nil {
 		return err
 	}

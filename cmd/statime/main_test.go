@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	rcdelay "repro"
 )
 
 func writeNet(t *testing.T, dir, name string) string {
@@ -126,33 +129,33 @@ func TestRunEcoErrors(t *testing.T) {
 		}
 		return p
 	}
-	if err := runEco(devnull, nil, 0.7, "", "text", 2, eco); err == nil {
+	if err := runEco(context.Background(), devnull, nil, 0.7, "", "text", 2, eco); err == nil {
 		t.Error("no design accepted")
 	}
-	if err := runEco(devnull, []string{chip}, 0.7, "", "text", 2, filepath.Join(dir, "missing.eco")); err == nil {
+	if err := runEco(context.Background(), devnull, []string{chip}, 0.7, "", "text", 2, filepath.Join(dir, "missing.eco")); err == nil {
 		t.Error("missing eco file accepted")
 	}
-	if err := runEco(devnull, []string{chip}, 0.7, "", "text", 2, write("bad.eco", "warp a.b 1\n")); err == nil {
+	if err := runEco(context.Background(), devnull, []string{chip}, 0.7, "", "text", 2, write("bad.eco", "warp a.b 1\n")); err == nil {
 		t.Error("bad eco op accepted")
 	}
-	if err := runEco(devnull, []string{chip}, 0.7, "", "text", 2, write("empty.eco", "* nothing\n")); err == nil {
+	if err := runEco(context.Background(), devnull, []string{chip}, 0.7, "", "text", 2, write("empty.eco", "* nothing\n")); err == nil {
 		t.Error("empty eco list accepted")
 	}
-	if err := runEco(devnull, []string{chip}, 0.7, "zzz", "text", 2, eco); err == nil {
+	if err := runEco(context.Background(), devnull, []string{chip}, 0.7, "zzz", "text", 2, eco); err == nil {
 		t.Error("bad deadline accepted")
 	}
-	if err := runEco(devnull, []string{chip}, 0.7, "", "xml", 2, eco); err == nil {
+	if err := runEco(context.Background(), devnull, []string{chip}, 0.7, "", "xml", 2, eco); err == nil {
 		t.Error("bad format accepted")
 	}
-	if err := runEco(devnull, []string{write("bad.ckt", "garbage")}, 0.7, "", "text", 2, eco); err == nil {
+	if err := runEco(context.Background(), devnull, []string{write("bad.ckt", "garbage")}, 0.7, "", "text", 2, eco); err == nil {
 		t.Error("bad design accepted")
 	}
 	// An edit list that fails mid-replay surfaces the edit error.
-	if err := runEco(devnull, []string{chip}, 0.7, "", "text", 2, write("fail.eco", "setR ghost.o 5\n")); err == nil {
+	if err := runEco(context.Background(), devnull, []string{chip}, 0.7, "", "text", 2, write("fail.eco", "setR ghost.o 5\n")); err == nil {
 		t.Error("failing edit accepted")
 	}
 	// A deadline applies as the default requirement in eco mode too.
-	if err := runEco(devnull, []string{chip}, 0.7, "5k", "csv", 2, eco); err != nil {
+	if err := runEco(context.Background(), devnull, []string{chip}, 0.7, "5k", "csv", 2, eco); err != nil {
 		t.Errorf("eco with deadline: %v", err)
 	}
 }
@@ -163,7 +166,7 @@ func TestRunEcoErrors(t *testing.T) {
 func TestRunCloseProgress(t *testing.T) {
 	var out, progress bytes.Buffer
 	fail := filepath.Join("testdata", "fail.ckt")
-	if err := runClose(&out, &progress, []string{fail}, 0.7, "", "json", 2, 0, 0); err != nil {
+	if err := runClose(context.Background(), &out, &progress, []string{fail}, 0.7, "", "json", 2, 0, 0); err != nil {
 		t.Fatal(err)
 	}
 	var report struct {
@@ -194,7 +197,49 @@ func TestRunCloseProgress(t *testing.T) {
 	}
 	// Without a sink the same run stays silent on the progress side.
 	out.Reset()
-	if err := runClose(&out, nil, []string{fail}, 0.7, "", "text", 2, 0, 0); err != nil {
+	if err := runClose(context.Background(), &out, nil, []string{fail}, 0.7, "", "text", 2, 0, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceOutput drives -trace's plumbing: a traced -close run writes a
+// Chrome trace-event file whose events include the engine phase spans.
+func TestTraceOutput(t *testing.T) {
+	tracer := rcdelay.NewTracer(rcdelay.TracerOptions{SlowThreshold: -1})
+	ctx, root := tracer.Start(context.Background(), "statime")
+	root.SetAttr("mode", "close")
+	var out bytes.Buffer
+	if err := runClose(ctx, &out, nil, []string{filepath.Join("testdata", "fail.ckt")}, 0.7, "", "json", 2, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeTraceFile(path, tracer); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatalf("trace file did not decode: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event phase %q, want X", ev.Ph)
+		}
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"statime", "closure_run", "closure_trial", "timing_propagate"} {
+		if !names[want] {
+			t.Errorf("trace missing %s span (got %v)", want, names)
+		}
 	}
 }

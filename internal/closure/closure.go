@@ -17,6 +17,7 @@ import (
 	"repro/internal/opt"
 	"repro/internal/rctree"
 	"repro/internal/timing"
+	"repro/internal/trace"
 )
 
 // Cost-model constants (abstract area units; see the package documentation).
@@ -331,8 +332,8 @@ func (e *engine) worstWNS(typWNS float64) float64 {
 }
 
 func (e *engine) run(ctx context.Context) (*Report, error) {
-	sp := obs.StartSpan(e.opt.Obs, "closure_run")
-	defer sp.End()
+	ctx, op := trace.StartOp(ctx, e.opt.Obs, "closure_run")
+	defer op.End()
 	base := e.sess.EndpointTable()
 	e.rep = &Report{
 		Design:     base.Design,
@@ -361,6 +362,7 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 			// with the error.
 			e.rep.Reason = "cancelled"
 			runErr = err
+			op.SetError(err)
 			break
 		}
 		if e.opt.MaxMoves >= 0 && len(e.rep.Moves) >= e.opt.MaxMoves {
@@ -389,7 +391,7 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 			}
 			break
 		}
-		results := e.evaluate(cands)
+		results := e.evaluate(ctx, cands)
 		// Score gains at the currently-worst corner (the typical session
 		// counts as a corner here): closing the worst corner is what moves
 		// the design's certified figure.
@@ -439,20 +441,27 @@ func (e *engine) run(ctx context.Context) (*Report, error) {
 			break
 		}
 		winner := cands[best]
-		res, err := e.sess.Apply(winner.Edits)
+		actx, aop := trace.StartOp(ctx, e.opt.Obs, "closure_accept", "kind", winner.Kind)
+		aop.Span().SetAttr("net", winner.Net)
+		res, err := e.sess.ApplyCtx(actx, winner.Edits)
 		if err != nil {
 			// The trial on an identical fork succeeded, so this is a bug,
 			// not a user input problem — surface it loudly.
+			aop.SetError(err)
+			aop.End()
 			return nil, fmt.Errorf("closure: accepted move failed on commit: %w", err)
 		}
 		prevW, prevT := curW, curT
 		for _, cs := range e.corners {
-			cres, err := cs.sess.Apply(scaleEdits(winner.Edits, cs.c))
+			cres, err := cs.sess.ApplyCtx(actx, scaleEdits(winner.Edits, cs.c))
 			if err != nil {
+				aop.SetError(err)
+				aop.End()
 				return nil, fmt.Errorf("closure: accepted move failed on corner %q: %w", cs.c.Name, err)
 			}
 			cs.wns, cs.tns = cres.WNS, cres.TNS
 		}
+		aop.End()
 		wns, tns = res.WNS, res.TNS
 		// Gain as scored: at the corner that was worst before the move.
 		newW, newT := wns, tns
@@ -515,7 +524,9 @@ type trial struct {
 // edit list. Forks are taken sequentially (Fork mutates the parent's
 // copy-on-write bookkeeping); the Applies fan across the worker pool. The
 // result slice is indexed like cands, so scheduling cannot reorder anything.
-func (e *engine) evaluate(cands []Move) []trial {
+// Each trial attaches a closure_trial span under ctx's closure_run span —
+// safe from the pool workers, the per-trace collector is mutex-protected.
+func (e *engine) evaluate(ctx context.Context, cands []Move) []trial {
 	forks := make([]*timing.Session, len(cands))
 	cforks := make([][]*timing.Session, len(cands))
 	for i := range cands {
@@ -533,12 +544,14 @@ func (e *engine) evaluate(cands []Move) []trial {
 	e.opt.Obs.Counter("closure_forks_total").Add(int64(nForks))
 	e.opt.Obs.Counter("closure_trials_total").Add(int64(len(cands)))
 	runTrial := func(i int) {
-		res, err := forks[i].Apply(cands[i].Edits)
+		tctx, top := trace.StartOp(ctx, e.opt.Obs, "closure_trial", "kind", cands[i].Kind)
+		top.Span().SetAttr("net", cands[i].Net)
+		res, err := forks[i].ApplyCtx(tctx, cands[i].Edits)
 		tr := trial{res: res, err: err}
 		if err == nil && len(e.corners) > 0 {
 			tr.corner = make([]timing.ApplyResult, len(e.corners))
 			for j, cs := range e.corners {
-				cres, cerr := cforks[i][j].Apply(scaleEdits(cands[i].Edits, cs.c))
+				cres, cerr := cforks[i][j].ApplyCtx(tctx, scaleEdits(cands[i].Edits, cs.c))
 				if cerr != nil {
 					tr.err = cerr
 					break
@@ -546,6 +559,12 @@ func (e *engine) evaluate(cands []Move) []trial {
 				tr.corner[j] = cres
 			}
 		}
+		// Structural-guard rejections are expected trial outcomes, not trace
+		// errors; the span just records them.
+		if tr.err != nil {
+			top.Span().SetAttr("rejected", tr.err.Error())
+		}
+		top.End()
 		results[i] = tr
 	}
 	if e.opt.Concurrency <= 1 || len(cands) == 1 {

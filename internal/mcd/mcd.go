@@ -46,6 +46,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/timing"
+	"repro/internal/trace"
 )
 
 // Corner is one global process point: every resistance in the design scales
@@ -283,9 +284,10 @@ func AnalyzeGraph(ctx context.Context, g *timing.Graph, name string, opt Options
 		Clipped:   clipped,
 	}
 	for _, c := range opt.Corners {
-		sp := obs.StartSpan(opt.Obs, "mcd_corner_sweep", "corner", c.Name)
-		cr, err := sweepCorner(ctx, va, c, eps, rF, cF, opt.Samples, opt.Workers)
-		sp.End()
+		sctx, op := trace.StartOp(ctx, opt.Obs, "mcd_corner_sweep", "corner", c.Name)
+		cr, err := sweepCorner(sctx, va, c, eps, rF, cF, opt.Samples, opt.Workers)
+		op.SetError(err)
+		op.End()
 		if err != nil {
 			return nil, fmt.Errorf("mcd: corner %q: %w", c.Name, err)
 		}

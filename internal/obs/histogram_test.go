@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestQuantileEdgeCases pins the corners of the bucketed estimator that the
+// happy-path tests in registry_test.go don't reach: out-of-range q on both
+// sides, the q=0 and q=1 boundaries, a single-bucket ladder, and a snapshot
+// whose only mass sits in the implicit +Inf bucket of a bucket-less series.
+func TestQuantileEdgeCases(t *testing.T) {
+	reg := NewRegistry()
+
+	h := reg.Histogram("edge", []float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(1.1); !math.IsNaN(got) {
+		t.Errorf("q>1 = %v, want NaN", got)
+	}
+	if got := s.Quantile(math.Inf(1)); !math.IsNaN(got) {
+		t.Errorf("q=+Inf = %v, want NaN", got)
+	}
+	// q=0 lands at the lower edge of the first occupied bucket.
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("q=0 = %v, want 0", got)
+	}
+	// q=1 lands at the upper bound of the last occupied bucket.
+	if got := s.Quantile(1); math.Abs(got-4) > 1e-9 {
+		t.Errorf("q=1 = %v, want 4", got)
+	}
+
+	// Single-bucket ladder: everything interpolates inside [0, bound].
+	h1 := reg.Histogram("edge_one", []float64{10})
+	for i := 0; i < 4; i++ {
+		h1.Observe(5)
+	}
+	if got := h1.Snapshot().Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("single-bucket p50 = %v, want 5", got)
+	}
+	// Overflow in a single-bucket ladder clamps to that one bound.
+	h1.Observe(1e6)
+	if got := h1.Snapshot().Quantile(0.99); got != 10 {
+		t.Errorf("single-bucket overflow p99 = %v, want 10", got)
+	}
+
+	// A snapshot with mass but no finite buckets has nothing to clamp to.
+	noBuckets := HistogramSnapshot{Counts: []uint64{7}, Count: 7}
+	if got := noBuckets.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("bucket-less p50 = %v, want NaN", got)
+	}
+}
+
+// TestHistogramObserveSnapshotRace hammers one histogram with concurrent
+// observers — all adding the same value, to maximize contention on the
+// CAS-updated sum — while other goroutines snapshot it continuously. Run
+// under -race this proves Observe/Snapshot need no external locking; the
+// final count and sum prove no CAS update was lost.
+func TestHistogramObserveSnapshotRace(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("race_lat", LatencyBuckets)
+	const (
+		writers = 8
+		readers = 4
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				s := h.Snapshot()
+				// Mid-flight snapshots may tear across counters, but each
+				// field must stay internally sane.
+				if s.Sum < 0 || math.IsNaN(s.Sum) {
+					t.Errorf("torn sum: %v", s.Sum)
+					return
+				}
+				if len(s.Counts) != len(s.Buckets)+1 {
+					t.Errorf("counts/buckets mismatch: %d vs %d", len(s.Counts), len(s.Buckets))
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	// Wait for writers only, then release the readers.
+	waitWriters := make(chan struct{})
+	go func() { wg.Wait(); close(waitWriters) }()
+	for {
+		s := h.Snapshot()
+		if s.Count == writers*perW {
+			break
+		}
+		select {
+		case <-waitWriters:
+		default:
+			continue
+		}
+		break
+	}
+	close(done)
+	<-waitWriters
+
+	s := h.Snapshot()
+	if s.Count != writers*perW {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perW)
+	}
+	if want := 0.25 * float64(writers*perW); math.Abs(s.Sum-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v (lost CAS update)", s.Sum, want)
+	}
+}

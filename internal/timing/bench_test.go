@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/randnet"
 	"repro/internal/rctree"
+	"repro/internal/trace"
 )
 
 // BenchmarkDesignSlack measures chip-level slack computation on a generated
@@ -177,6 +178,53 @@ func BenchmarkArenaPropagationObs(b *testing.B) {
 	}
 	b.Run("disabled", func(b *testing.B) { run(b, nil) })
 	b.Run("enabled", func(b *testing.B) { run(b, obs.NewRegistry()) })
+}
+
+// BenchmarkArenaPropagationTrace is the tracing twin of
+// BenchmarkArenaPropagationObs: the same arena analysis path with no trace
+// in the context (the one-context-lookup no-op every untraced request pays)
+// vs wrapped in a live trace, one root span per iteration as a request
+// middleware would do, with the engine's StartOp child spans recording into
+// it. scripts/bench_trajectory.sh records the ratio as trace_overhead in
+// BENCH_timing.json; the contract is trace_overhead <= 1.05.
+func BenchmarkArenaPropagationTrace(b *testing.B) {
+	cfg := randnet.DefaultDesignConfig(6, 40)
+	cfg.Net = randnet.DefaultConfig(60)
+	design := randnet.DesignSeed(123, cfg)
+	g, err := NewGraph(design)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := g.arena(); err != nil {
+		b.Fatal(err) // build the arena outside the measured region
+	}
+	opt := Options{Threshold: 0.7, Core: CoreArena, Sequential: true}
+	r, err := opt.resolve()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("disabled", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := g.computeState(ctx, r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		tracer := trace.New(trace.Options{Capacity: 4, SlowThreshold: -1})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx, root := tracer.Start(context.Background(), "bench")
+			if _, err := g.computeState(ctx, r); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+		}
+	})
 }
 
 // BenchmarkDesignECO measures the cost of absorbing a single-net ECO edit on

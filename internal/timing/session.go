@@ -13,6 +13,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/rctree"
+	"repro/internal/trace"
 )
 
 // Edit is one ECO operation on a design session, addressed by net name plus
@@ -121,9 +122,10 @@ const (
 // initial full analysis (through opt.Engine's pool unless opt.Sequential).
 // Options are fixed for the session's lifetime.
 func NewSession(ctx context.Context, d *netlist.Design, opt Options) (*Session, error) {
-	sp := obs.StartSpan(opt.Obs, "timing_levelize")
+	_, op := trace.StartOp(ctx, opt.Obs, "timing_levelize")
 	g, err := NewGraph(d)
-	sp.End()
+	op.SetError(err)
+	op.End()
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +371,14 @@ func (s *Session) ProtectedOutputs(net string) []string {
 // prefix stays in effect and the propagated state remains consistent, so a
 // caller can inspect the partial result and keep going.
 func (s *Session) Apply(edits []Edit) (ApplyResult, error) {
-	sp := obs.StartSpan(s.obs, "timing_eco_apply")
+	return s.ApplyCtx(context.Background(), edits)
+}
+
+// ApplyCtx is Apply with trace propagation: when ctx carries an active trace
+// span, the apply (and its dirty-cone re-propagation) attach child spans
+// under it alongside the duration histograms both forms always record.
+func (s *Session) ApplyCtx(ctx context.Context, edits []Edit) (ApplyResult, error) {
+	ctx, op := trace.StartOp(ctx, s.obs, "timing_eco_apply")
 	var res ApplyResult
 	edited := map[int]bool{}
 	var firstErr error
@@ -383,14 +392,21 @@ func (s *Session) Apply(edits []Edit) (ApplyResult, error) {
 		res.Applied++
 	}
 	if len(edited) > 0 {
+		// The dirty-cone sweep's duration is part of the eco-apply histogram;
+		// the trace view gets its own child span so a request tree shows the
+		// propagate phase distinctly.
+		_, psp := trace.StartSpan(ctx, "timing_propagate")
 		if err := s.propagate(edited, &res); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		psp.SetAttr("dirty_nets", fmt.Sprint(res.DirtyNets))
+		psp.End()
 		s.gen++
 	}
 	res.Gen = s.gen
 	res.WNS, res.TNS = s.summary()
-	sp.End()
+	op.SetError(firstErr)
+	op.End()
 	if s.obs != nil {
 		s.obs.Counter("timing_eco_edits_applied_total").Add(int64(res.Applied))
 		s.obs.Histogram("timing_eco_dirty_nets", obs.SizeBuckets).Observe(float64(res.DirtyNets))

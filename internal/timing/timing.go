@@ -13,6 +13,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/rctree"
+	"repro/internal/trace"
 )
 
 // Interval is a closed time interval [Min, Max] bracketing an arrival.
@@ -131,16 +132,20 @@ type Graph struct {
 }
 
 // arena returns the graph's flat compute core, building it on first use.
-func (g *Graph) arena() (*designArena, error) { return g.arenaWith(nil) }
+func (g *Graph) arena() (*designArena, error) {
+	return g.arenaWith(context.Background(), nil)
+}
 
 // arenaWith is arena with telemetry: the build (which happens at most once
-// per graph) records a timing_arena_build_seconds span on reg when it is the
-// call that actually constructs the core.
-func (g *Graph) arenaWith(reg *obs.Registry) (*designArena, error) {
+// per graph) records a timing_arena_build_seconds histogram on reg and a
+// timing_arena_build trace span under ctx when it is the call that actually
+// constructs the core.
+func (g *Graph) arenaWith(ctx context.Context, reg *obs.Registry) (*designArena, error) {
 	g.arenaOnce.Do(func() {
-		sp := obs.StartSpan(reg, "timing_arena_build")
+		_, op := trace.StartOp(ctx, reg, "timing_arena_build")
 		g.arenaVal, g.arenaErr = newDesignArena(g)
-		sp.End()
+		op.SetError(g.arenaErr)
+		op.End()
 	})
 	return g.arenaVal, g.arenaErr
 }
@@ -351,7 +356,7 @@ func (g *Graph) Analyze(ctx context.Context, opt Options) (*Report, error) {
 // materialized once at the end.
 func (g *Graph) computeState(ctx context.Context, r resolved) ([]netTiming, error) {
 	if r.core == CoreArena {
-		da, err := g.arenaWith(r.obs)
+		da, err := g.arenaWith(ctx, r.obs)
 		if err != nil {
 			return nil, err
 		}
@@ -360,19 +365,21 @@ func (g *Graph) computeState(ctx context.Context, r resolved) ([]netTiming, erro
 		if r.workers <= 1 {
 			sched = "sequential"
 		}
-		sp := obs.StartSpan(r.obs, "timing_propagate", "core", "arena", "sched", sched)
-		if err := da.propagate(ctx, st, r.th, r.sched, r.workers, nil); err != nil {
+		pctx, op := trace.StartOp(ctx, r.obs, "timing_propagate", "core", "arena", "sched", sched)
+		if err := da.propagate(pctx, st, r.th, r.sched, r.workers, nil); err != nil {
+			op.SetError(err)
+			op.End()
 			return nil, err
 		}
-		sp.End()
+		op.End()
 		return da.netTimings(st), nil
 	}
 	sched := "batch"
 	if r.analyzer != nil {
 		sched = "sequential"
 	}
-	sp := obs.StartSpan(r.obs, "timing_propagate", "core", "pointer", "sched", sched)
-	defer sp.End()
+	ctx, op := trace.StartOp(ctx, r.obs, "timing_propagate", "core", "pointer", "sched", sched)
+	defer op.End()
 	state := make([]netTiming, len(g.nodes))
 	for _, level := range g.levels {
 		// Arrivals first: every driver sits in a shallower level, so its
@@ -573,9 +580,10 @@ func (g *Graph) backtrack(state []netTiming, ep EndpointSlack) Path {
 // build (stage resolution plus Kahn levelization) gets its own span on
 // opt.Obs, separate from the propagation spans Analyze records.
 func Analyze(ctx context.Context, d *netlist.Design, opt Options) (*Report, error) {
-	sp := obs.StartSpan(opt.Obs, "timing_levelize")
+	_, op := trace.StartOp(ctx, opt.Obs, "timing_levelize")
 	g, err := NewGraph(d)
-	sp.End()
+	op.SetError(err)
+	op.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,106 @@
+package trace
+
+import "sync"
+
+// recorder is the flight recorder: two rings of completed traces. The recent
+// ring churns with every completion; the slow ring only admits traces that
+// crossed the latency threshold or carried an error, so a burst of fast
+// healthy traffic can never evict the one trace that explains an incident.
+type recorder struct {
+	mu     sync.Mutex
+	recent ring
+	slow   ring
+}
+
+// ring is a fixed-capacity circular buffer of traces, newest overwriting
+// oldest.
+type ring struct {
+	buf  []*Trace
+	next int // index the next add writes
+	full bool
+}
+
+func (r *ring) init(capacity int) { r.buf = make([]*Trace, capacity) }
+
+func (r *ring) add(t *Trace) {
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// list returns the ring's traces newest-first.
+func (r *ring) list() []*Trace {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// find scans newest-first, so a client that (wrongly but commonly) reuses
+// one trace id across requests still gets its latest trace back.
+func (r *ring) find(id TraceID) (*Trace, bool) {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	for i := 1; i <= n; i++ {
+		if t := r.buf[(r.next-i+len(r.buf))%len(r.buf)]; t != nil && t.ID == id {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (rec *recorder) init(capacity, slowCapacity int) {
+	rec.recent.init(capacity)
+	rec.slow.init(slowCapacity)
+}
+
+func (rec *recorder) add(t *Trace, pin bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.recent.add(t)
+	if pin {
+		rec.slow.add(t)
+	}
+}
+
+func (rec *recorder) recentList() []*Trace {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := rec.recent.list()
+	seen := make(map[TraceID]bool, len(out))
+	for _, t := range out {
+		seen[t.ID] = true
+	}
+	// Pinned traces that already rotated out of the recent ring stay listed.
+	for _, t := range rec.slow.list() {
+		if !seen[t.ID] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (rec *recorder) slowList() []*Trace {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.slow.list()
+}
+
+func (rec *recorder) get(id TraceID) (*Trace, bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if t, ok := rec.recent.find(id); ok {
+		return t, true
+	}
+	return rec.slow.find(id)
+}

@@ -1,0 +1,61 @@
+package trace
+
+import "strings"
+
+// Traceparent formatting per the W3C Trace Context recommendation:
+// version "00", then trace id, parent span id, and flags, dash-separated
+// lowercase hex. We always emit flags 01 (sampled) — a trace that reached
+// the recorder was by definition recorded.
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+
+// FormatTraceparent renders a traceparent header value for the given ids.
+func FormatTraceparent(traceID TraceID, spanID SpanID) string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(traceID.String())
+	b.WriteByte('-')
+	b.WriteString(spanID.String())
+	b.WriteString("-01")
+	return b.String()
+}
+
+// ParseTraceparent decodes a traceparent header value. It accepts any
+// version except the reserved "ff", requires well-formed non-zero trace and
+// parent ids, and tolerates future-version trailing fields after the flags.
+func ParseTraceparent(header string) (TraceID, SpanID, bool) {
+	parts := strings.Split(header, "-")
+	if len(parts) < 4 {
+		return TraceID{}, SpanID{}, false
+	}
+	version := parts[0]
+	if len(version) != 2 || !isHex(version) || version == "ff" {
+		return TraceID{}, SpanID{}, false
+	}
+	if version == "00" && len(parts) != 4 {
+		return TraceID{}, SpanID{}, false
+	}
+	tid, ok := ParseTraceID(parts[1])
+	if !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	sid, ok := ParseSpanID(parts[2])
+	if !ok {
+		return TraceID{}, SpanID{}, false
+	}
+	if len(parts[3]) != 2 || !isHex(parts[3]) {
+		return TraceID{}, SpanID{}, false
+	}
+	return tid, sid, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

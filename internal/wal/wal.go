@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -11,7 +12,9 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/timing"
+	"repro/internal/trace"
 )
 
 // Meta is the durable per-design header: everything a recovery needs to
@@ -47,6 +50,10 @@ type Meta struct {
 type Store struct {
 	dir string
 	mu  sync.Mutex // serializes directory-level create/remove/list
+	// obs receives durability telemetry (append/fsync/snapshot/recovery
+	// histograms and rotation/torn-tail/stale-file counters); nil — the
+	// default — disables it. See Instrument.
+	obs *obs.Registry
 }
 
 // Open ensures dir exists and returns the store rooted there.
@@ -148,7 +155,7 @@ func (s *Store) Create(id, deck string, meta Meta) (*Log, error) {
 	if err := writeMeta(dir, meta); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, meta: meta}
+	l := &Log{dir: dir, meta: meta, obs: s.obs}
 	if err := l.openLog(); err != nil {
 		return nil, err
 	}
@@ -171,6 +178,12 @@ type Recovered struct {
 // truncated away so subsequent appends start at a record boundary; stray
 // files from older sequences (an interrupted rotation) are retired.
 func (s *Store) Recover(id string) (*Recovered, *Log, error) {
+	return s.RecoverCtx(context.Background(), id)
+}
+
+// recover is the Recover body, shared with the span-attaching RecoverCtx
+// (which owns the wal_recovery histogram/span around this call).
+func (s *Store) recover(id string) (*Recovered, *Log, error) {
 	if !validID(id) {
 		return nil, nil, fmt.Errorf("wal: bad id %q", id)
 	}
@@ -215,11 +228,14 @@ func (s *Store) Recover(id string) (*Recovered, *Log, error) {
 			if err := os.Truncate(logPath, int64(clean)); err != nil {
 				return nil, nil, fmt.Errorf("wal: %w", err)
 			}
+			s.obs.Counter("wal_torn_tails_dropped_total").Add(1)
 		}
 	}
 
-	retireStale(dir, seq)
-	l := &Log{dir: dir, meta: meta, pending: len(rec.Edits)}
+	if retired := retireStale(dir, seq); retired > 0 {
+		s.obs.Counter("wal_stale_files_retired_total").Add(int64(retired))
+	}
+	l := &Log{dir: dir, meta: meta, pending: len(rec.Edits), obs: s.obs}
 	if err := l.openLog(); err != nil {
 		return nil, nil, err
 	}
@@ -254,13 +270,15 @@ func newestSnapshot(dir string, metaSeq uint64) (uint64, error) {
 }
 
 // retireStale deletes snapshots and logs from sequences older than live —
-// leftovers of a rotation interrupted before its cleanup step. Failures are
-// ignored: stale files are garbage, not state.
-func retireStale(dir string, live uint64) {
+// leftovers of a rotation interrupted before its cleanup step — and returns
+// how many files it removed. Failures are ignored: stale files are garbage,
+// not state.
+func retireStale(dir string, live uint64) int {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return
+		return 0
 	}
+	retired := 0
 	for _, e := range ents {
 		name := e.Name()
 		var n uint64
@@ -270,15 +288,20 @@ func retireStale(dir string, live uint64) {
 		case strings.HasPrefix(name, "wal.") && strings.HasSuffix(name, ".log"):
 			n, err = strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal."), ".log"), 10, 64)
 		case strings.HasSuffix(name, ".tmp"):
-			os.Remove(filepath.Join(dir, name))
+			if os.Remove(filepath.Join(dir, name)) == nil {
+				retired++
+			}
 			continue
 		default:
 			continue
 		}
 		if err == nil && n < live {
-			os.Remove(filepath.Join(dir, name))
+			if os.Remove(filepath.Join(dir, name)) == nil {
+				retired++
+			}
 		}
 	}
+	return retired
 }
 
 // replayLog parses the log line by line. A torn final line — no trailing
@@ -313,7 +336,8 @@ type Log struct {
 	dir     string
 	meta    Meta
 	f       *os.File
-	pending int // edits appended since the live snapshot
+	pending int           // edits appended since the live snapshot
+	obs     *obs.Registry // inherited from the store; nil disables telemetry
 }
 
 func (l *Log) openLog() error {
@@ -329,9 +353,13 @@ func (l *Log) openLog() error {
 // Append renders the edits through the ECO grammar, appends them to the live
 // log and fsyncs before returning: an acknowledged edit survives a crash.
 func (l *Log) Append(edits []timing.Edit) error {
-	if len(edits) == 0 {
-		return nil
-	}
+	return l.AppendCtx(context.Background(), edits)
+}
+
+// append is the Append body, shared with the span-attaching AppendCtx (which
+// owns the wal_append histogram/span around this call). The fsync — usually
+// the dominant cost — gets its own nested wal_fsync span and histogram.
+func (l *Log) append(ctx context.Context, edits []timing.Edit) error {
 	text := timing.FormatEdits(edits)
 	// Guard against unreplayable lines reaching disk: FormatEdits renders
 	// malformed hand-assembled edits as lines a reparse rejects.
@@ -341,7 +369,11 @@ func (l *Log) Append(edits []timing.Edit) error {
 	if _, err := l.f.WriteString(text); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := l.f.Sync(); err != nil {
+	_, op := trace.StartOp(ctx, l.obs, "wal_fsync")
+	err := l.f.Sync()
+	op.SetError(err)
+	op.End()
+	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	l.pending += len(edits)
@@ -360,15 +392,30 @@ func (l *Log) Seq() uint64 { return l.meta.Seq }
 // retires the old pair. A crash anywhere in between leaves a complete pair
 // on disk — old before the snapshot rename commits, new after.
 func (l *Log) Rotate(deck string, totalEdits int) error {
+	return l.rotate(context.Background(), deck, totalEdits)
+}
+
+// rotate is the Rotate body; the snapshot write + rename (the bulk of a
+// rotation's IO) records wal_snapshot_seconds and a wal_snapshot trace span,
+// and a completed rotation bumps wal_rotations_total.
+func (l *Log) rotate(ctx context.Context, deck string, totalEdits int) error {
 	next := l.meta.Seq + 1
 	tmp := filepath.Join(l.dir, snapName(next)+".tmp")
+	_, op := trace.StartOp(ctx, l.obs, "wal_snapshot")
+	op.Span().SetAttr("seq", strconv.FormatUint(next, 10))
 	if err := writeFileSync(tmp, []byte(deck)); err != nil {
+		op.SetError(err)
+		op.End()
 		return err
 	}
 	if err := os.Rename(tmp, filepath.Join(l.dir, snapName(next))); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		err = fmt.Errorf("wal: %w", err)
+		op.SetError(err)
+		op.End()
+		return err
 	}
 	syncDir(l.dir)
+	op.End()
 
 	old, oldSeq := l.f, l.meta.Seq
 	l.meta.Seq = next
@@ -384,6 +431,7 @@ func (l *Log) Rotate(deck string, totalEdits int) error {
 	l.pending = 0
 	os.Remove(filepath.Join(l.dir, snapName(oldSeq)))
 	os.Remove(filepath.Join(l.dir, logName(oldSeq)))
+	l.obs.Counter("wal_rotations_total").Add(1)
 	return nil
 }
 

@@ -50,6 +50,7 @@ package rcdelay
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/algebra"
 	"repro/internal/batch"
@@ -62,6 +63,7 @@ import (
 	"repro/internal/rctree"
 	"repro/internal/sim"
 	"repro/internal/timing"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -391,6 +393,43 @@ type (
 // Prometheus text exposition format with its WritePrometheus method —
 // cmd/rcserve's GET /metrics is that call behind HTTP.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// Tracing types, re-exported from the internal trace package. A Tracer mints
+// hierarchical request traces (every engine layer attaches its phase spans
+// through the context) and retains completed ones in a flight recorder;
+// cmd/rcserve's middleware and /debug/traces endpoints, and statime's -trace
+// flag, are the HTTP and CLI forms.
+type (
+	// Tracer mints traces and retains completed ones. All methods on a nil
+	// *Tracer are no-ops, so tracing is disabled by leaving it nil.
+	Tracer = trace.Tracer
+	// TracerOptions sizes the tracer's flight recorder (recent/slow ring
+	// capacities, slow-pin threshold, per-trace span cap).
+	TracerOptions = trace.Options
+	// TraceSpan is one live timed operation; children attach via
+	// StartTraceSpan. All methods on a nil *TraceSpan are no-ops.
+	TraceSpan = trace.Span
+	// RecordedTrace is one completed trace as retained by the recorder.
+	RecordedTrace = trace.Trace
+)
+
+// NewTracer returns a tracer with its flight recorder sized by opt (the zero
+// value selects the defaults).
+func NewTracer(opt TracerOptions) *Tracer { return trace.New(opt) }
+
+// StartTraceSpan opens a child of ctx's active trace span. When ctx carries
+// no span it returns (ctx, nil) after a single context lookup — the same
+// pinned-cheap disabled path every engine layer rides.
+func StartTraceSpan(ctx context.Context, name string) (context.Context, *TraceSpan) {
+	return trace.StartSpan(ctx, name)
+}
+
+// WriteChromeTrace renders completed traces as Chrome trace-event JSON, the
+// format chrome://tracing and Perfetto load directly (statime -trace writes
+// one of these files per run).
+func WriteChromeTrace(w io.Writer, traces []*RecordedTrace) error {
+	return trace.WriteChrome(w, traces)
+}
 
 // CloseTiming runs automated timing closure on a design with negative
 // slack: it mounts an incremental re-timing session (opt.Timing), generates

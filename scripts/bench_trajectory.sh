@@ -135,6 +135,10 @@ END {
     # the observability contract must stay within 2% of the no-op path
     # (metrics_overhead <= 1.02).
     speedup("metrics_overhead", "ArenaPropagationObs/enabled@1", "ArenaPropagationObs/disabled@1")
+    # Same contract for the tracer: an analysis wrapped in a live trace (one
+    # root span per request plus the engine child spans) must stay within 5%
+    # of the untraced path (trace_overhead <= 1.05).
+    speedup("trace_overhead", "ArenaPropagationTrace/enabled@1", "ArenaPropagationTrace/disabled@1")
     printf "  \"speedup\": {\n"
     for (i = 0; i < sn; i++) printf "%s%s\n", sl[i], (i < sn-1 ? "," : "")
     printf "  }\n}\n"

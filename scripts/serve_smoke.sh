@@ -4,8 +4,10 @@
 #   1. start rcserve with a durability dir and drive it with rcload at two
 #      concurrency levels (mixed edit/slack/close traffic), recording
 #      per-operation p50/p99 latencies and the final WNS/TNS of every design;
-#   2. kill -9 the server mid-flight state (no drain, no final snapshot);
-#   3. restart it on the same data dir and verify every design recovered —
+#   2. check the flight recorder: /debug/traces must list traces from the
+#      load traffic and one must export as Chrome trace events;
+#   3. kill -9 the server mid-flight state (no drain, no final snapshot);
+#   4. restart it on the same data dir and verify every design recovered —
 #      same WNS/TNS to 1e-9, same edit count — timing the recovery lookups.
 #
 # The combined result lands in BENCH_serve.json at the repo root: one "load"
@@ -53,6 +55,18 @@ echo "serve_smoke: load suite at concurrency $c1"
 echo "serve_smoke: load suite at concurrency $c2 (state recorded for recovery check)"
 "$work/rcload" -mode load -addr "$addr" -sessions "$c2" -ops "$ops" \
     -seed 2 -state "$work/state.json" -out "$work/load_c2.json"
+
+echo "serve_smoke: checking the flight recorder at /debug/traces"
+curl -sf "$addr/debug/traces" >"$work/traces.json"
+grep -q '"id"' "$work/traces.json" || {
+    echo "serve_smoke: /debug/traces recorded no traces after the load suites" >&2
+    exit 1
+}
+tid="$(sed -n 's/.*"id": *"\([0-9a-f]\{32\}\)".*/\1/p' "$work/traces.json" | head -1)"
+curl -sf "$addr/debug/traces/$tid?format=chrome" | grep -q '"traceEvents"' || {
+    echo "serve_smoke: trace $tid did not export as Chrome trace events" >&2
+    exit 1
+}
 
 echo "serve_smoke: kill -9 mid-state, restarting on the same data dir"
 kill -9 "$server_pid"
